@@ -1,0 +1,52 @@
+//! Reverse-mode automatic differentiation for the HOGA reproduction.
+//!
+//! The paper trains HOGA and its baselines with PyTorch; this crate replaces
+//! that dependency with a small, safe, tape-based autodiff engine over
+//! [`hoga_tensor::Matrix`]:
+//!
+//! * [`ParamSet`] holds named, trainable parameters outside any tape.
+//! * [`Tape`] records a computation graph as an arena of nodes; every method
+//!   on the tape (e.g. [`Tape::matmul`], [`Tape::softmax_rows`],
+//!   [`Tape::layer_norm`], [`Tape::batched_matmul_nt`]) appends one node and
+//!   returns a lightweight [`Var`] handle.
+//! * [`Tape::backward`] runs the reverse sweep from a scalar loss and returns
+//!   [`Gradients`] keyed by [`ParamId`]; gradients from data-parallel workers
+//!   can be summed with [`Gradients::accumulate`], which is exactly the
+//!   all-reduce of PyTorch DDP.
+//! * [`optim`] provides Adam and SGD; [`gradcheck`] provides a
+//!   finite-difference checker used heavily by this crate's tests.
+//!
+//! # Examples
+//!
+//! Train `y = xW` one step toward a target:
+//!
+//! ```
+//! use hoga_autograd::{ParamSet, Tape, optim::{Adam, Optimizer}};
+//! use hoga_tensor::{Init, Matrix};
+//!
+//! let mut params = ParamSet::new();
+//! let w = params.add("w", Init::XavierUniform.matrix(2, 1, 0));
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let target = Matrix::from_rows(&[&[1.0], &[0.0]]);
+//!
+//! let mut tape = Tape::new();
+//! let xv = tape.constant(x);
+//! let wv = tape.param(&params, w);
+//! let pred = tape.matmul(xv, wv);
+//! let loss = tape.mse_loss(pred, &target);
+//! let grads = tape.backward(loss);
+//!
+//! let mut opt = Adam::new(1e-2);
+//! opt.step(&mut params, &grads);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod optim;
+mod params;
+mod tape;
+
+pub use params::{ParamId, ParamSet};
+pub use tape::{Gradients, Tape, Var};

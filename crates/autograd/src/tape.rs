@@ -1,0 +1,852 @@
+//! The reverse-mode tape: an arena of operation nodes plus the backward sweep.
+
+use crate::params::{ParamId, ParamSet};
+use hoga_tensor::{
+    layernorm_backward, layernorm_forward, softmax_backward_rows, softmax_rows, CsrMatrix,
+    LayerNormCache, Matrix,
+};
+use std::sync::Arc;
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var`s are cheap copyable indices; they are only meaningful for the tape
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Per-parameter gradients produced by [`Tape::backward`].
+///
+/// Indexed by [`ParamId`]; parameters that did not participate in the loss
+/// have no entry. Worker gradients are merged with [`Gradients::accumulate`]
+/// (the all-reduce step of data-parallel training).
+#[derive(Debug, Clone, Default)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Creates an empty gradient store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The gradient of parameter `id`, if it received one.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    fn slot(&mut self, idx: usize) -> &mut Option<Matrix> {
+        if self.grads.len() <= idx {
+            self.grads.resize(idx + 1, None);
+        }
+        &mut self.grads[idx]
+    }
+
+    fn add(&mut self, id: ParamId, delta: &Matrix) {
+        match self.slot(id.index()) {
+            Some(g) => g.axpy(1.0, delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Sums another worker's gradients into this one (all-reduce).
+    pub fn accumulate(&mut self, other: &Gradients) {
+        for (idx, g) in other.grads.iter().enumerate() {
+            if let Some(g) = g {
+                match self.slot(idx) {
+                    Some(mine) => mine.axpy(1.0, g),
+                    slot @ None => *slot = Some(g.clone()),
+                }
+            }
+        }
+    }
+
+    /// Multiplies every gradient by `s` (e.g. `1/num_workers` averaging).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.map_inplace(|x| x * s);
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| {
+                let n = g.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Rescales so the global norm does not exceed `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let n = self.global_norm();
+        if n > max_norm && n > 0.0 {
+            self.scale(max_norm / n);
+        }
+    }
+
+    /// Iterates over `(ParamId, gradient)` pairs that received gradients.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+    }
+}
+
+enum Op {
+    Constant,
+    Param(ParamId),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Hadamard(Var, Var),
+    Scale(Var, f32),
+    AddBias { x: Var, bias: Var },
+    Matmul(Var, Var),
+    BatchedMatmul { a: Var, b: Var, batch: usize },
+    BatchedMatmulNT { a: Var, b: Var, batch: usize },
+    Relu(Var),
+    Sigmoid(Var),
+    SoftmaxRows(Var),
+    LayerNorm { x: Var, gamma: Var, beta: Var, cache: LayerNormCache },
+    ConcatCols(Var, Var),
+    SelectRows { x: Var, indices: Vec<usize> },
+    Reshape(Var),
+    Spmm { adj_t: Arc<CsrMatrix>, x: Var },
+    SegmentReduce { x: Var, segments: Vec<(usize, usize)>, mean: bool },
+    SumAll(Var),
+    MseLoss { pred: Var, target: Matrix },
+    CrossEntropyMean { logits: Var, labels: Vec<usize>, probs: Matrix, weights: Vec<f32> },
+    Dropout { x: Var, mask: Matrix },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single-use computation tape.
+///
+/// Build the forward pass by calling the op methods, then call
+/// [`Tape::backward`] once on the final scalar. See the
+/// [crate-level docs](crate) for a complete example.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a non-trainable input.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Constant)
+    }
+
+    /// Records trainable parameter `id`, snapshotting its current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to `params`.
+    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        self.push(params.value(id).clone(), Op::Param(id))
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes differ.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes differ.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product — the gating `U ⊙ V` of Eq. 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes differ.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// Multiplies by scalar `s`.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        let v = self.nodes[x.0].value.scale(s);
+        self.push(v, Op::Scale(x, s))
+    }
+
+    /// Adds a `1 × d` bias row to every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × x.cols()`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let bm = &self.nodes[bias.0].value;
+        assert_eq!(bm.rows(), 1, "bias must be a row vector");
+        assert_eq!(bm.cols(), xm.cols(), "bias width mismatch");
+        let mut v = xm.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(bm.row(0)) {
+                *o += b;
+            }
+        }
+        self.push(v, Op::AddBias { x, bias })
+    }
+
+    /// Matrix product `a · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Batched block-diagonal product (see [`Matrix::batched_matmul`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Matrix::batched_matmul`].
+    pub fn batched_matmul(&mut self, a: Var, b: Var, batch: usize) -> Var {
+        let v = self.nodes[a.0].value.batched_matmul(&self.nodes[b.0].value, batch);
+        self.push(v, Op::BatchedMatmul { a, b, batch })
+    }
+
+    /// Batched product `a_i · b_iᵀ` — the per-node attention logits `QKᵀ` of
+    /// Eq. 7 (see [`Matrix::batched_matmul_nt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Matrix::batched_matmul_nt`].
+    pub fn batched_matmul_nt(&mut self, a: Var, b: Var, batch: usize) -> Var {
+        let v = self.nodes[a.0].value.batched_matmul_nt(&self.nodes[b.0].value, batch);
+        self.push(v, Op::BatchedMatmulNT { a, b, batch })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|a| a.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|a| 1.0 / (1.0 + (-a).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Row-wise softmax (Eq. 7 / Eq. 10 of the paper).
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let v = softmax_rows(&self.nodes[x.0].value);
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// Row-wise LayerNorm with trainable `gamma` / `beta` (both `1 × d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` or `beta` is not `1 × x.cols()`.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let gm = &self.nodes[gamma.0].value;
+        let bm = &self.nodes[beta.0].value;
+        assert_eq!((gm.rows(), bm.rows()), (1, 1), "gamma/beta must be row vectors");
+        let (v, cache) = layernorm_forward(xm, gm.row(0), bm.row(0));
+        self.push(v, Op::LayerNorm { x, gamma, beta, cache })
+    }
+
+    /// Horizontal concatenation `[a ‖ b]` (the readout concat of Eq. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Gathers rows of `x` by index (duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&mut self, x: Var, indices: Vec<usize>) -> Var {
+        let v = self.nodes[x.0].value.select_rows(&indices);
+        self.push(v, Op::SelectRows { x, indices })
+    }
+
+    /// Reinterprets `x` as `rows × cols` without moving data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols != x.len()`.
+    pub fn reshape(&mut self, x: Var, rows: usize, cols: usize) -> Var {
+        let xm = &self.nodes[x.0].value;
+        assert_eq!(rows * cols, xm.len(), "reshape element count mismatch");
+        let v = Matrix::from_vec(rows, cols, xm.as_slice().to_vec());
+        self.push(v, Op::Reshape(x))
+    }
+
+    /// Sparse–dense product `adj · x` with `adj_t = adjᵀ` supplied for the
+    /// backward pass (pass the same handle twice for symmetric `Â`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
+    pub fn spmm(&mut self, adj: &Arc<CsrMatrix>, adj_t: &Arc<CsrMatrix>, x: Var) -> Var {
+        assert_eq!(adj.rows(), adj_t.cols(), "adj/adj_t shape mismatch");
+        assert_eq!(adj.cols(), adj_t.rows(), "adj/adj_t shape mismatch");
+        let v = adj.spmm(&self.nodes[x.0].value);
+        self.push(v, Op::Spmm { adj_t: Arc::clone(adj_t), x })
+    }
+
+    /// Reduces contiguous row segments of `x` by sum or mean — the
+    /// graph-level pooling used by the QoR regression head.
+    ///
+    /// Segment `i` covers rows `segments[i].0 .. segments[i].1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment is empty or out of bounds.
+    pub fn segment_reduce(&mut self, x: Var, segments: Vec<(usize, usize)>, mean: bool) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let d = xm.cols();
+        let mut v = Matrix::zeros(segments.len(), d);
+        for (i, &(lo, hi)) in segments.iter().enumerate() {
+            assert!(lo < hi && hi <= xm.rows(), "bad segment ({lo}, {hi})");
+            let orow = v.row_mut(i);
+            for r in lo..hi {
+                for (o, &xv) in orow.iter_mut().zip(xm.row(r)) {
+                    *o += xv;
+                }
+            }
+            if mean {
+                let inv = 1.0 / (hi - lo) as f32;
+                for o in orow.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+        self.push(v, Op::SegmentReduce { x, segments, mean })
+    }
+
+    /// Sum of all elements, as a `1 × 1` scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Matrix::full(1, 1, self.nodes[x.0].value.sum());
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Mean-squared-error loss against a constant target, as a `1 × 1`
+    /// scalar (mean over all elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` shape differs from the prediction.
+    pub fn mse_loss(&mut self, pred: Var, target: &Matrix) -> Var {
+        let pm = &self.nodes[pred.0].value;
+        assert_eq!(pm.shape(), target.shape(), "mse target shape mismatch");
+        let n = pm.len().max(1) as f32;
+        let loss = pm
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / n;
+        self.push(Matrix::full(1, 1, loss), Op::MseLoss { pred, target: target.clone() })
+    }
+
+    /// Mean cross-entropy of row-wise logits against integer class labels,
+    /// as a `1 × 1` scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()` or a label is out of range.
+    pub fn cross_entropy_mean(&mut self, logits: Var, labels: &[usize]) -> Var {
+        self.cross_entropy_weighted(logits, labels, &[])
+    }
+
+    /// Class-weighted cross-entropy:
+    /// `loss = Σᵢ w(yᵢ)·nllᵢ / Σᵢ w(yᵢ)`, as a `1 × 1` scalar.
+    ///
+    /// Pass an empty slice for uniform weights. Weighting counteracts class
+    /// imbalance (e.g. the plain-node majority in functional reasoning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()`, a label is out of range,
+    /// or `class_weights` is non-empty but shorter than the class count.
+    pub fn cross_entropy_weighted(
+        &mut self,
+        logits: Var,
+        labels: &[usize],
+        class_weights: &[f32],
+    ) -> Var {
+        let lm = &self.nodes[logits.0].value;
+        assert_eq!(labels.len(), lm.rows(), "label count mismatch");
+        if !class_weights.is_empty() {
+            assert!(
+                class_weights.len() >= lm.cols(),
+                "need one weight per class ({} < {})",
+                class_weights.len(),
+                lm.cols()
+            );
+        }
+        let probs = softmax_rows(lm);
+        let weights: Vec<f32> = labels
+            .iter()
+            .map(|&lab| {
+                assert!(lab < lm.cols(), "label {lab} out of range");
+                if class_weights.is_empty() { 1.0 } else { class_weights[lab] }
+            })
+            .collect();
+        let weight_sum: f64 = weights.iter().map(|&w| w as f64).sum();
+        let mut nll = 0.0f64;
+        for ((r, &lab), &w) in labels.iter().enumerate().zip(&weights) {
+            nll -= w as f64 * (probs[(r, lab)].max(1e-12) as f64).ln();
+        }
+        let loss = (nll / weight_sum.max(1e-12)) as f32;
+        self.push(
+            Matrix::full(1, 1, loss),
+            Op::CrossEntropyMean { logits, labels: labels.to_vec(), probs, weights },
+        )
+    }
+
+    /// Inverted dropout with keep-probability `1 - rate`, using the provided
+    /// deterministic 0/scale mask (pass `Matrix::full(..., 1.0)` to disable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from `x`.
+    pub fn dropout(&mut self, x: Var, mask: Matrix) -> Var {
+        let v = self.nodes[x.0].value.hadamard(&mask);
+        self.push(v, Op::Dropout { x, mask })
+    }
+
+    /// Runs the reverse sweep from scalar `loss` and returns parameter
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1 × 1` value on this tape.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        let mut out = Gradients::new();
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(gy) = grads[i].take() else { continue };
+            // Helper closure semantics: accumulate `delta` into node `j`.
+            macro_rules! acc {
+                ($j:expr, $delta:expr) => {{
+                    let j: Var = $j;
+                    let delta: Matrix = $delta;
+                    match &mut grads[j.0] {
+                        Some(g) => g.axpy(1.0, &delta),
+                        slot @ None => *slot = Some(delta),
+                    }
+                }};
+            }
+            match &self.nodes[i].op {
+                Op::Constant => {}
+                Op::Param(id) => out.add(*id, &gy),
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc!(a, gy.clone());
+                    acc!(b, gy);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc!(a, gy.clone());
+                    acc!(b, gy.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = gy.hadamard(&self.nodes[b.0].value);
+                    let db = gy.hadamard(&self.nodes[a.0].value);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::Scale(x, s) => {
+                    let (x, s) = (*x, *s);
+                    acc!(x, gy.scale(s));
+                }
+                Op::AddBias { x, bias } => {
+                    let (x, bias) = (*x, *bias);
+                    acc!(bias, gy.col_sums());
+                    acc!(x, gy);
+                }
+                Op::Matmul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = gy.matmul_nt(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.matmul_tn(&gy);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::BatchedMatmul { a, b, batch } => {
+                    let (a, b, batch) = (*a, *b, *batch);
+                    let da = gy.batched_matmul_nt(&self.nodes[b.0].value, batch);
+                    let db = self.nodes[a.0].value.batched_matmul_tn(&gy, batch);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::BatchedMatmulNT { a, b, batch } => {
+                    let (a, b, batch) = (*a, *b, *batch);
+                    let da = gy.batched_matmul(&self.nodes[b.0].value, batch);
+                    let db = gy.batched_matmul_tn(&self.nodes[a.0].value, batch);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let dx = gy.zip_map(&self.nodes[x.0].value, |g, v| if v > 0.0 { g } else { 0.0 });
+                    acc!(x, dx);
+                }
+                Op::Sigmoid(x) => {
+                    let x = *x;
+                    let dx = gy.zip_map(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
+                    acc!(x, dx);
+                }
+                Op::SoftmaxRows(x) => {
+                    let x = *x;
+                    let dx = softmax_backward_rows(&self.nodes[i].value, &gy);
+                    acc!(x, dx);
+                }
+                Op::LayerNorm { x, gamma, beta, cache } => {
+                    let (x, gamma, beta) = (*x, *gamma, *beta);
+                    let gm = self.nodes[gamma.0].value.row(0).to_vec();
+                    let (dx, dg, db) = layernorm_backward(&gy, &gm, cache);
+                    acc!(x, dx);
+                    acc!(gamma, Matrix::from_vec(1, dg.len(), dg));
+                    acc!(beta, Matrix::from_vec(1, db.len(), db));
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ca = self.nodes[a.0].value.cols();
+                    let cb = self.nodes[b.0].value.cols();
+                    let rows = gy.rows();
+                    let mut da = Matrix::zeros(rows, ca);
+                    let mut db = Matrix::zeros(rows, cb);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&gy.row(r)[..ca]);
+                        db.row_mut(r).copy_from_slice(&gy.row(r)[ca..]);
+                    }
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::SelectRows { x, indices } => {
+                    let x = *x;
+                    let mut dx = Matrix::zeros(
+                        self.nodes[x.0].value.rows(),
+                        self.nodes[x.0].value.cols(),
+                    );
+                    dx.scatter_add_rows(indices, &gy);
+                    acc!(x, dx);
+                }
+                Op::Reshape(x) => {
+                    let x = *x;
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    acc!(x, Matrix::from_vec(r, c, gy.into_vec()));
+                }
+                Op::Spmm { adj_t, x } => {
+                    let x = *x;
+                    let dx = adj_t.spmm(&gy);
+                    acc!(x, dx);
+                }
+                Op::SegmentReduce { x, segments, mean } => {
+                    let x = *x;
+                    let xm = &self.nodes[x.0].value;
+                    let mut dx = Matrix::zeros(xm.rows(), xm.cols());
+                    for (s, &(lo, hi)) in segments.iter().enumerate() {
+                        let w = if *mean { 1.0 / (hi - lo) as f32 } else { 1.0 };
+                        for r in lo..hi {
+                            let drow = dx.row_mut(r);
+                            for (d, &g) in drow.iter_mut().zip(gy.row(s)) {
+                                *d += w * g;
+                            }
+                        }
+                    }
+                    acc!(x, dx);
+                }
+                Op::SumAll(x) => {
+                    let x = *x;
+                    let (r, c) = self.nodes[x.0].value.shape();
+                    acc!(x, Matrix::full(r, c, gy[(0, 0)]));
+                }
+                Op::MseLoss { pred, target } => {
+                    let pred = *pred;
+                    let pm = &self.nodes[pred.0].value;
+                    let n = pm.len().max(1) as f32;
+                    let scale = 2.0 * gy[(0, 0)] / n;
+                    let dp = pm.zip_map(target, |p, t| scale * (p - t));
+                    acc!(pred, dp);
+                }
+                Op::CrossEntropyMean { logits, labels, probs, weights } => {
+                    let logits = *logits;
+                    let weight_sum: f32 = weights.iter().sum::<f32>().max(1e-12);
+                    let base = gy[(0, 0)] / weight_sum;
+                    let mut dl = probs.clone();
+                    for r in 0..dl.rows() {
+                        let w = base * weights[r];
+                        let row = dl.row_mut(r);
+                        for v in row.iter_mut() {
+                            *v *= w;
+                        }
+                        row[labels[r]] -= w;
+                    }
+                    acc!(logits, dl);
+                }
+                Op::Dropout { x, mask } => {
+                    let x = *x;
+                    acc!(x, gy.hadamard(mask));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_tensor::Init;
+
+    #[test]
+    fn linear_regression_gradient_is_correct() {
+        // loss = mean((xW - t)^2); closed-form gradient check.
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::from_rows(&[&[0.5], &[-0.5]]));
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let t = Matrix::from_rows(&[&[1.0], &[2.0]]);
+
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let wv = tape.param(&params, w);
+        let pred = tape.matmul(xv, wv);
+        let loss = tape.mse_loss(pred, &t);
+        let grads = tape.backward(loss);
+
+        // d/dW mean((xW - t)^2) = (2/n) x^T (xW - t)
+        let resid = &x.matmul(params.value(w)) - &t;
+        let expected = x.matmul_tn(&resid).scale(2.0 / 2.0);
+        assert!(grads.get(w).expect("grad").max_abs_diff(&expected) < 1e-5);
+    }
+
+    #[test]
+    fn unused_param_gets_no_gradient() {
+        let mut params = ParamSet::new();
+        let used = params.add("used", Matrix::identity(2));
+        let unused = params.add("unused", Matrix::identity(2));
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let wv = tape.param(&params, used);
+        let y = tape.matmul(x, wv);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert!(grads.get(used).is_some());
+        assert!(grads.get(unused).is_none());
+    }
+
+    #[test]
+    fn param_used_twice_accumulates() {
+        // loss = sum(w) + sum(w)  =>  dw = 2
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::full(2, 2, 3.0));
+        let mut tape = Tape::new();
+        let w1 = tape.param(&params, w);
+        let w2 = tape.param(&params, w);
+        let s = tape.add(w1, w2);
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        assert!(grads.get(w).expect("grad").max_abs_diff(&Matrix::full(2, 2, 2.0)) < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::identity(3));
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]));
+        let wv = tape.param(&params, w);
+        let logits = tape.matmul(x, wv);
+        let labels = vec![0usize, 2usize];
+        let loss = tape.cross_entropy_mean(logits, &labels);
+        let loss_val = tape.value(loss)[(0, 0)];
+        assert!(loss_val > 0.0);
+        let grads = tape.backward(loss);
+        assert!(grads.get(w).is_some());
+    }
+
+    #[test]
+    fn weighted_cross_entropy_prioritizes_minority_class() {
+        // Gradient magnitude on a minority-class row must grow with its
+        // class weight; uniform weights must reproduce cross_entropy_mean.
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::identity(2));
+        let labels = vec![0usize, 1, 1, 1];
+        let x = Matrix::from_rows(&[&[0.1, 0.0], &[0.0, 0.1], &[0.1, 0.0], &[0.0, 0.2]]);
+        let run = |params: &ParamSet, cw: &[f32]| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let wv = tape.param(params, w);
+            let logits = tape.matmul(xv, wv);
+            let loss = if cw.is_empty() {
+                tape.cross_entropy_mean(logits, &labels)
+            } else {
+                tape.cross_entropy_weighted(logits, &labels, cw)
+            };
+            let l = tape.value(loss)[(0, 0)];
+            (l, tape.backward(loss))
+        };
+        let (l_uniform, g_uniform) = run(&params, &[]);
+        let (l_ones, g_ones) = run(&params, &[1.0, 1.0]);
+        assert!((l_uniform - l_ones).abs() < 1e-6, "uniform weights must be a no-op");
+        assert!(
+            g_uniform
+                .get(w)
+                .expect("grad")
+                .max_abs_diff(g_ones.get(w).expect("grad"))
+                < 1e-6
+        );
+        // Upweighting class 0 increases the loss contribution of row 0.
+        let (l_weighted, _) = run(&params, &[3.0, 1.0]);
+        assert!(l_weighted.is_finite());
+        assert_ne!(l_weighted, l_uniform);
+    }
+
+    #[test]
+    fn weighted_cross_entropy_gradcheck() {
+        use crate::gradcheck::check_gradients;
+        let mut params = ParamSet::new();
+        let w = params.add("w", hoga_tensor::Init::SmallUniform.matrix(3, 3, 77));
+        let labels = vec![0usize, 2, 1];
+        let cw = [2.0f32, 0.5, 1.5];
+        let report = check_gradients(&mut params, 1e-2, |tape, params| {
+            let x = tape.constant(Matrix::identity(3));
+            let wv = tape.param(params, w);
+            let logits = tape.matmul(x, wv);
+            tape.cross_entropy_weighted(logits, &labels, &cw)
+        });
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn gradients_accumulate_and_scale() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::full(1, 2, 1.0));
+        let run = |params: &ParamSet| {
+            let mut tape = Tape::new();
+            let wv = tape.param(params, w);
+            let loss = tape.sum_all(wv);
+            tape.backward(loss)
+        };
+        let mut g1 = run(&params);
+        let g2 = run(&params);
+        g1.accumulate(&g2);
+        assert!(g1.get(w).expect("grad").max_abs_diff(&Matrix::full(1, 2, 2.0)) < 1e-6);
+        g1.scale(0.5);
+        assert!(g1.get(w).expect("grad").max_abs_diff(&Matrix::full(1, 2, 1.0)) < 1e-6);
+    }
+
+    #[test]
+    fn clip_global_norm_bounds_gradients() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::full(1, 4, 5.0));
+        let mut tape = Tape::new();
+        let wv = tape.param(&params, w);
+        let scaled = tape.scale(wv, 10.0);
+        let loss = tape.sum_all(scaled);
+        let mut grads = tape.backward(loss);
+        assert!(grads.global_norm() > 1.0);
+        grads.clip_global_norm(1.0);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spmm_backward_uses_transpose() {
+        // y = A x with A asymmetric; check dL/dx = A^T dy for L = sum(y).
+        let a = Arc::new(CsrMatrix::from_coo(2, 2, &[(0, 1, 3.0)]));
+        let at = Arc::new(a.transpose());
+        let mut params = ParamSet::new();
+        let x = params.add("x", Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let mut tape = Tape::new();
+        let xv = tape.param(&params, x);
+        let y = tape.spmm(&a, &at, xv);
+        assert_eq!(tape.value(y).as_slice(), &[6.0, 0.0]);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        // dL/dx = A^T * ones = [0, 3]^T
+        assert_eq!(grads.get(x).expect("grad").as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn segment_reduce_mean_backward_distributes() {
+        let mut params = ParamSet::new();
+        let x = params.add("x", Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32));
+        let mut tape = Tape::new();
+        let xv = tape.param(&params, x);
+        let pooled = tape.segment_reduce(xv, vec![(0, 2), (2, 4)], true);
+        assert_eq!(tape.value(pooled).shape(), (2, 2));
+        let loss = tape.sum_all(pooled);
+        let grads = tape.backward(loss);
+        // Mean over 2 rows: each row receives 1/2.
+        assert!(grads.get(x).expect("grad").max_abs_diff(&Matrix::full(4, 2, 0.5)) < 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_gradient_layout() {
+        let mut params = ParamSet::new();
+        let x = params.add("x", Init::SmallUniform.matrix(2, 6, 1));
+        let mut tape = Tape::new();
+        let xv = tape.param(&params, x);
+        let r = tape.reshape(xv, 3, 4);
+        let sm = tape.softmax_rows(r);
+        let loss = tape.sum_all(sm);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).expect("grad").shape(), (2, 6));
+    }
+}

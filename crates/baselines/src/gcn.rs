@@ -1,0 +1,166 @@
+//! Graph Convolutional Network (Kipf & Welling), the OpenABC-D baseline.
+
+use hoga_autograd::{ParamId, ParamSet, Tape, Var};
+use hoga_tensor::{CsrMatrix, Init, Matrix};
+use std::sync::Arc;
+
+/// A multi-layer GCN: `H^(l+1) = ReLU(Â H^(l) W^(l) + b^(l))` with a linear
+/// final layer. The paper's QoR baseline uses 5 layers.
+///
+/// # Examples
+///
+/// ```
+/// use hoga_autograd::Tape;
+/// use hoga_baselines::gcn::Gcn;
+/// use hoga_circuit::{adjacency, features, Aig};
+/// use std::sync::Arc;
+///
+/// let mut aig = Aig::new(2);
+/// let x = { let (a, b) = (aig.pi_lit(0), aig.pi_lit(1)); aig.and(a, b) };
+/// aig.add_po(x);
+/// let adj = Arc::new(adjacency::normalized_symmetric(&aig));
+/// let feats = features::node_features(&aig);
+///
+/// let model = Gcn::new(feats.cols(), 8, 3, 0);
+/// let mut tape = Tape::new();
+/// let reps = model.forward(&mut tape, &adj, &feats);
+/// assert_eq!(tape.value(reps).shape(), (aig.num_nodes(), 8));
+/// ```
+pub struct Gcn {
+    /// Trainable parameters.
+    pub params: ParamSet,
+    layers: Vec<(ParamId, ParamId)>,
+}
+
+impl Gcn {
+    /// Builds a GCN with `num_layers` layers mapping `input_dim` features to
+    /// `hidden_dim` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0`.
+    pub fn new(input_dim: usize, hidden_dim: usize, num_layers: usize, seed: u64) -> Self {
+        assert!(num_layers > 0, "need at least one layer");
+        let mut params = ParamSet::new();
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let in_d = if l == 0 { input_dim } else { hidden_dim };
+            let w = params.add(
+                format!("gcn{l}.w"),
+                Init::XavierUniform.matrix(in_d, hidden_dim, seed.wrapping_add(l as u64 * 2)),
+            );
+            let b = params.add(format!("gcn{l}.b"), Init::Zeros.matrix(1, hidden_dim, 0));
+            layers.push((w, b));
+        }
+        Self { params, layers }
+    }
+
+    /// Number of message-passing layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Full-graph forward pass: `adj` must be the symmetric normalized
+    /// adjacency (its own transpose).
+    pub fn forward(&self, tape: &mut Tape, adj: &Arc<CsrMatrix>, features: &Matrix) -> Var {
+        let x = tape.constant(features.clone());
+        self.forward_var(tape, adj, x)
+    }
+
+    /// Forward pass over an existing tape variable.
+    pub fn forward_var(&self, tape: &mut Tape, adj: &Arc<CsrMatrix>, x: Var) -> Var {
+        let mut h = x;
+        for (l, &(w, b)) in self.layers.iter().enumerate() {
+            let wv = tape.param(&self.params, w);
+            let bv = tape.param(&self.params, b);
+            let hw = tape.matmul(h, wv);
+            let agg = tape.spmm(adj, adj, hw); // symmetric: adjᵀ = adj
+            let z = tape.add_bias(agg, bv);
+            h = if l + 1 == self.layers.len() { z } else { tape.relu(z) };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_autograd::optim::{Adam, Optimizer};
+    use hoga_circuit::{adjacency, features, Aig};
+
+    fn toy_graph() -> (Arc<CsrMatrix>, Matrix, Aig) {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2));
+        let x = g.xor(a, b);
+        let y = g.maj(a, b, c);
+        g.add_po(x);
+        g.add_po(y);
+        let adj = Arc::new(adjacency::normalized_symmetric(&g));
+        let feats = features::node_features(&g);
+        (adj, feats, g)
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let (adj, feats, g) = toy_graph();
+        let model = Gcn::new(feats.cols(), 16, 5, 1);
+        let mut tape = Tape::new();
+        let reps = model.forward(&mut tape, &adj, &feats);
+        assert_eq!(tape.value(reps).shape(), (g.num_nodes(), 16));
+        assert!(tape.value(reps).is_finite());
+    }
+
+    #[test]
+    fn receptive_field_grows_with_depth() {
+        // A 1-layer GCN on a path graph cannot see 3 hops away; node
+        // features outside the receptive field must not affect the output.
+        let n = 6;
+        let mut trips = Vec::new();
+        for i in 0..n - 1 {
+            trips.push((i, i + 1, 0.5));
+            trips.push((i + 1, i, 0.5));
+        }
+        for i in 0..n {
+            trips.push((i, i, 0.5));
+        }
+        let adj = Arc::new(CsrMatrix::from_coo(n, n, &trips));
+        let feats = Matrix::identity(n);
+        let mut far = feats.clone();
+        far[(5, 5)] = 2.0; // perturb the far end
+        let model = Gcn::new(n, 4, 1, 3);
+        let run = |f: &Matrix| {
+            let mut tape = Tape::new();
+            let reps = model.forward(&mut tape, &adj, f);
+            tape.value(reps).clone()
+        };
+        let r1 = run(&feats);
+        let r2 = run(&far);
+        assert_eq!(r1.row(0), r2.row(0), "1-layer GCN saw 5 hops away");
+        assert_ne!(r1.row(5), r2.row(5));
+    }
+
+    #[test]
+    fn gcn_trains_on_node_labels() {
+        let (adj, feats, g) = toy_graph();
+        let model = Gcn::new(feats.cols(), 8, 2, 5);
+        let mut params = model.params.clone();
+        let head = hoga_core::heads::NodeClassifier::new(&mut params, 8, 2, 6);
+        let model = Gcn { params, layers: model.layers };
+        let labels: Vec<usize> = (0..g.num_nodes()).map(|i| i % 2).collect();
+        let mut opt = Adam::new(2e-2);
+        let mut first = None;
+        let mut last = 0.0;
+        let mut model = model;
+        for _ in 0..60 {
+            let mut tape = Tape::new();
+            let reps = model.forward(&mut tape, &adj, &feats);
+            let logits = head.logits(&mut tape, &model.params, reps);
+            let loss = tape.cross_entropy_mean(logits, &labels);
+            last = tape.value(loss)[(0, 0)];
+            first.get_or_insert(last);
+            let grads = tape.backward(loss);
+            opt.step(&mut model.params, &grads);
+        }
+        assert!(last < first.expect("ran"), "loss did not decrease");
+    }
+}

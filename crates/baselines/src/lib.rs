@@ -1,0 +1,24 @@
+//! Baseline graph-learning models from the paper's evaluation.
+//!
+//! HOGA is compared against four baselines (§IV):
+//!
+//! * [`gcn::Gcn`] — the 5-layer GCN used by the OpenABC-D QoR pipeline
+//!   (Table 2).
+//! * [`sage::GraphSage`] — the GraphSAGE model used by Gamora (Figure 6).
+//! * [`saint`] — GraphSAINT-style random-walk subgraph sampling around a
+//!   GraphSAGE backbone (Figure 6; the paper argues sampling breaks circuit
+//!   functionality, and our reproduction shows the same degradation).
+//! * [`sign::Sign`] — SIGN: an MLP over concatenated hop-wise features,
+//!   i.e. HOGA's Phase 1 without the gated self-attention (Figure 6).
+//!
+//! All models share the autograd substrate of [`hoga_autograd`] and consume
+//! the adjacency/features of [`hoga_circuit`], so comparisons differ *only*
+//! in the model, mirroring the paper's controlled setup (Figure 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gcn;
+pub mod sage;
+pub mod saint;
+pub mod sign;

@@ -1,0 +1,145 @@
+//! SIGN (Frasca et al.): an MLP over concatenated hop-wise features.
+//!
+//! SIGN shares HOGA's Phase 1 exactly — precomputed `X^(k) = Â X^(k-1)` —
+//! but replaces the gated self-attention with a plain MLP on the
+//! concatenation `[X⁰ᵢ ‖ X¹ᵢ ‖ ... ‖ X^Kᵢ]`. It is therefore the paper's
+//! most direct ablation of the attention module (Figure 6: SIGN trails
+//! HOGA on CSA multipliers because it cannot learn high-order cross-hop
+//! interactions).
+
+use hoga_autograd::{ParamId, ParamSet, Tape, Var};
+use hoga_tensor::{Init, Matrix};
+
+/// The SIGN model: per-hop linear embeddings, concatenation, 2-layer MLP.
+pub struct Sign {
+    /// Trainable parameters.
+    pub params: ParamSet,
+    hop_proj: Vec<ParamId>,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    num_hops: usize,
+    input_dim: usize,
+}
+
+impl Sign {
+    /// Builds SIGN for `num_hops + 1` hop matrices of width `input_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(input_dim: usize, hidden_dim: usize, num_hops: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0 && num_hops > 0, "dims must be positive");
+        let mut params = ParamSet::new();
+        let hop_proj = (0..=num_hops)
+            .map(|k| {
+                params.add(
+                    format!("sign.hop{k}.w"),
+                    Init::XavierUniform.matrix(input_dim, hidden_dim, seed.wrapping_add(k as u64)),
+                )
+            })
+            .collect();
+        let cat_dim = hidden_dim * (num_hops + 1);
+        let w1 = params.add("sign.w1", Init::XavierUniform.matrix(cat_dim, hidden_dim, seed ^ 0xA));
+        let b1 = params.add("sign.b1", Init::Zeros.matrix(1, hidden_dim, 0));
+        let w2 = params.add("sign.w2", Init::XavierUniform.matrix(hidden_dim, hidden_dim, seed ^ 0xB));
+        let b2 = params.add("sign.b2", Init::Zeros.matrix(1, hidden_dim, 0));
+        Self { params, hop_proj, w1, b1, w2, b2, num_hops, input_dim }
+    }
+
+    /// Forward pass over a batched hop stack (from
+    /// [`hoga_core::hopfeat::hop_stack`]) of `batch` nodes; returns
+    /// `(batch, hidden_dim)` representations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack shape is inconsistent with the configuration.
+    pub fn forward(&self, tape: &mut Tape, hop_stack: &Matrix, batch: usize) -> Var {
+        let k1 = self.num_hops + 1;
+        assert_eq!(hop_stack.rows(), batch * k1, "hop stack row mismatch");
+        assert_eq!(hop_stack.cols(), self.input_dim, "feature width mismatch");
+        let x = tape.constant(hop_stack.clone());
+        // Project each hop with its own weight, then concatenate per node.
+        let mut cat: Option<Var> = None;
+        for (k, &w) in self.hop_proj.iter().enumerate() {
+            let idx: Vec<usize> = (0..batch).map(|b| b * k1 + k).collect();
+            let xk = tape.select_rows(x, idx);
+            let wv = tape.param(&self.params, w);
+            let hk = tape.matmul(xk, wv);
+            cat = Some(match cat {
+                None => hk,
+                Some(prev) => tape.concat_cols(prev, hk),
+            });
+        }
+        let cat = cat.expect("at least one hop");
+        let w1 = tape.param(&self.params, self.w1);
+        let b1 = tape.param(&self.params, self.b1);
+        let h = tape.matmul(cat, w1);
+        let h = tape.add_bias(h, b1);
+        let h = tape.relu(h);
+        let w2 = tape.param(&self.params, self.w2);
+        let b2 = tape.param(&self.params, self.b2);
+        let out = tape.matmul(h, w2);
+        tape.add_bias(out, b2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_autograd::optim::{Adam, Optimizer};
+
+    #[test]
+    fn forward_shape() {
+        let model = Sign::new(5, 8, 3, 1);
+        let stack = Init::SmallUniform.matrix(4 * 4, 5, 2);
+        let mut tape = Tape::new();
+        let reps = model.forward(&mut tape, &stack, 4);
+        assert_eq!(tape.value(reps).shape(), (4, 8));
+    }
+
+    #[test]
+    fn nodes_are_independent_like_hoga() {
+        let model = Sign::new(4, 8, 2, 3);
+        let stack = Init::SmallUniform.matrix(2 * 3, 4, 4);
+        let mut perturbed = stack.clone();
+        for c in 0..4 {
+            perturbed[(3, c)] += 1.0; // node 1's hop-0 row
+        }
+        let run = |s: &Matrix| {
+            let mut tape = Tape::new();
+            let reps = model.forward(&mut tape, s, 2);
+            tape.value(reps).clone()
+        };
+        let a = run(&stack);
+        let b = run(&perturbed);
+        assert_eq!(a.row(0), b.row(0));
+        assert_ne!(a.row(1), b.row(1));
+    }
+
+    #[test]
+    fn sign_trains() {
+        let mut model = Sign::new(3, 8, 2, 5);
+        let batch = 6;
+        let stack = Init::SmallUniform.matrix(batch * 3, 3, 6).scale(3.0);
+        let labels: Vec<usize> = (0..batch).map(|i| i % 2).collect();
+        let mut cls_params = model.params.clone();
+        let head = hoga_core::heads::NodeClassifier::new(&mut cls_params, 8, 2, 7);
+        model.params = cls_params;
+        let mut opt = Adam::new(1e-2);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..80 {
+            let mut tape = Tape::new();
+            let reps = model.forward(&mut tape, &stack, batch);
+            let logits = head.logits(&mut tape, &model.params, reps);
+            let loss = tape.cross_entropy_mean(logits, &labels);
+            last = tape.value(loss)[(0, 0)];
+            first.get_or_insert(last);
+            let grads = tape.backward(loss);
+            opt.step(&mut model.params, &grads);
+        }
+        assert!(last < first.expect("ran") * 0.8, "SIGN failed to train");
+    }
+}

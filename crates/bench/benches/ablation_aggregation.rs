@@ -1,0 +1,51 @@
+//! §III-B ablation benchmark — gated self-attention vs gate-only vs sum.
+//!
+//! Regenerates the aggregator-ablation table (the design-choice DESIGN.md
+//! calls out) and times one full ablation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hoga_datasets::gamora::ReasoningConfig;
+use hoga_eval::experiments::ablation::{run, AblationConfig};
+use hoga_eval::trainer::TrainConfig;
+use std::hint::black_box;
+
+fn config() -> AblationConfig {
+    if hoga_bench::full_scale() {
+        AblationConfig::default()
+    } else {
+        AblationConfig {
+            train_width: 8,
+            eval_widths: vec![12, 16],
+            graph: ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 },
+            train: TrainConfig { hidden_dim: 32, epochs: 100, lr: 3e-3, ..TrainConfig::default() },
+        }
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let cfg = config();
+    let result = run(&cfg);
+    println!("\n===== Reproduced aggregator ablation =====\n{}", result.render());
+
+    // Time one short gate-only training (the cheapest variant) as the
+    // repeatable kernel.
+    use hoga_core::model::Aggregator;
+    use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind};
+    use hoga_eval::trainer::{train_reasoning, ReasonModelKind};
+    let graph = build_reasoning_graph(MultiplierKind::Csa, cfg.train_width, &cfg.graph);
+    let mut short = cfg.train;
+    short.epochs = 2;
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("gate_only_short_train", |b| {
+        b.iter(|| {
+            let (_, stats) =
+                train_reasoning(&graph, ReasonModelKind::Hoga(Aggregator::GateOnly), &short);
+            black_box(stats.final_loss)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

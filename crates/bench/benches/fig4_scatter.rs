@@ -1,0 +1,45 @@
+//! Figure 4 — prediction-vs-truth scatter benchmark.
+//!
+//! Regenerates the scatter series (CSV on stdout) and times the evaluation
+//! pass that produces them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hoga_eval::experiments::fig4::from_table2;
+use hoga_eval::experiments::table2::{run as run_table2, Table2Config};
+use hoga_eval::trainer::{eval_qor, TrainConfig};
+use std::hint::black_box;
+
+fn config() -> Table2Config {
+    let mut cfg = Table2Config::default();
+    if !hoga_bench::full_scale() {
+        cfg.dataset.scale_divisor = 32;
+        cfg.dataset.recipes_per_design = 8;
+        cfg.dataset.max_scaled_nodes = 1500;
+        cfg.train = TrainConfig { hidden_dim: 32, epochs: 60, lr: 3e-3, ..TrainConfig::default() };
+    }
+    cfg
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = config();
+    let table2 = run_table2(&cfg);
+    let fig = from_table2(&table2);
+    println!("\n===== Reproduced Figure 4 (CSV) =====\n{}", fig.render_csv());
+    for s in &fig.series {
+        if let Some(r) = fig.correlation(&s.model) {
+            println!("correlation({}) = {r:.3}", s.model);
+        }
+    }
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    // Time the inference pass over all test designs for the best model.
+    let model = table2.models.last().expect("models trained");
+    group.bench_function("qor_inference_all_test_designs", |b| {
+        b.iter(|| black_box(eval_qor(&table2.dataset, model, false).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

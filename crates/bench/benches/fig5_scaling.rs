@@ -1,0 +1,53 @@
+//! Figure 5 — multi-worker training-time scaling benchmark.
+//!
+//! Regenerates the scaling series (training time vs worker count) and the
+//! paper's "hop features ≪ training time" claim, then times single steps
+//! at each worker count so Criterion can report the speedup distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoga_eval::experiments::fig5::{run, Fig5Config};
+use hoga_eval::parallel_train::train_reasoning_parallel;
+use hoga_eval::trainer::TrainConfig;
+use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
+use std::hint::black_box;
+
+fn config() -> Fig5Config {
+    if hoga_bench::full_scale() {
+        Fig5Config::default()
+    } else {
+        Fig5Config {
+            width: 12,
+            graph: ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 },
+            train: TrainConfig { hidden_dim: 32, epochs: 2, ..TrainConfig::default() },
+            worker_counts: [1, 2, 4],
+        }
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = config();
+    let result = run(&cfg);
+    println!("\n===== Reproduced Figure 5 =====\n{}", result.render());
+
+    let graph = build_reasoning_graph(MultiplierKind::Booth, cfg.width, &cfg.graph);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for workers in cfg.worker_counts {
+        let mut tcfg = cfg.train;
+        tcfg.epochs = 1;
+        group.bench_with_input(
+            BenchmarkId::new("one_epoch", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let (_, _, stats) = train_reasoning_parallel(&graph, &tcfg, w);
+                    black_box(stats.final_loss)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 6 — functional-reasoning generalization benchmark.
+//!
+//! Regenerates both panels (CSA and Booth multipliers): accuracy vs
+//! bitwidth for HOGA, GraphSAGE, GraphSAINT and SIGN, trained on the small
+//! multiplier only. Criterion times one HOGA train+eval cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hoga_core::model::Aggregator;
+use hoga_datasets::gamora::{build_reasoning_benchmark, MultiplierKind, ReasoningConfig};
+use hoga_eval::experiments::fig6::{run, Fig6Config};
+use hoga_eval::trainer::{eval_reasoning, train_reasoning, ReasonModelKind, TrainConfig};
+use std::hint::black_box;
+
+fn config() -> Fig6Config {
+    if hoga_bench::full_scale() {
+        Fig6Config::default()
+    } else {
+        Fig6Config {
+            train_width: 8,
+            eval_widths: vec![12, 16, 24],
+            graph: ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 },
+            train: TrainConfig { hidden_dim: 32, epochs: 100, lr: 3e-3, ..TrainConfig::default() },
+        }
+    }
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = config();
+    let result = run(&cfg);
+    println!("\n===== Reproduced Figure 6 =====\n{}", result.render());
+
+    let (train_graph, eval_graphs) = build_reasoning_benchmark(
+        MultiplierKind::Csa,
+        cfg.train_width,
+        &cfg.eval_widths[..1],
+        &cfg.graph,
+    );
+    // Time a light kernel: a short HOGA training run plus inference on the
+    // first evaluation width.
+    let mut short = cfg.train;
+    short.epochs = 2;
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("hoga_short_train_and_eval_csa", |b| {
+        b.iter(|| {
+            let (model, _) = train_reasoning(
+                &train_graph,
+                ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
+                &short,
+            );
+            black_box(eval_reasoning(&model, &eval_graphs[0]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 7 — hop-wise attention-score benchmark.
+//!
+//! Regenerates the per-class attention summary (and a CSV of the raw
+//! heatmap rows), then times the score-extraction pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hoga_eval::experiments::fig7::{run, Fig7Config};
+use hoga_eval::trainer::TrainConfig;
+use hoga_datasets::gamora::ReasoningConfig;
+use std::hint::black_box;
+
+fn config() -> Fig7Config {
+    if hoga_bench::full_scale() {
+        Fig7Config::default()
+    } else {
+        Fig7Config {
+            train_width: 8,
+            vis_width: 16,
+            nodes_per_class: 100,
+            graph: ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 },
+            train: TrainConfig { hidden_dim: 32, epochs: 100, lr: 3e-3, ..TrainConfig::default() },
+        }
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = config();
+    let result = run(&cfg);
+    println!("\n===== Reproduced Figure 7 =====\n{}", result.render());
+
+    // Time the attention-score extraction alone on a prebuilt model/graph.
+    use hoga_core::hopfeat::hop_stack;
+    use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
+    use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind};
+    let graph = build_reasoning_graph(MultiplierKind::Booth, cfg.vis_width, &cfg.graph);
+    let hcfg = HogaConfig::new(graph.features.cols(), cfg.train.hidden_dim, cfg.graph.num_hops)
+        .with_aggregator(Aggregator::GatedSelfAttention);
+    let model = HogaModel::new(&hcfg, 0);
+    let nodes: Vec<usize> = (0..graph.aig.num_nodes().min(400)).collect();
+    let stack = hop_stack(&graph.hops, &nodes);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("extract_attention_scores_400_nodes", |b| {
+        b.iter(|| black_box(model.attention_scores(&stack, nodes.len()).sum()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table 2 — QoR prediction benchmark.
+//!
+//! Regenerates the paper's Table 2: per-test-design MAPE and training time
+//! for GCN, HOGA-2 and HOGA-5. Criterion times one full
+//! train-all-three-models cycle; the reproduced table is printed once up
+//! front.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hoga_eval::experiments::table2::{run, Table2Config};
+use hoga_eval::trainer::TrainConfig;
+use std::hint::black_box;
+
+fn config() -> Table2Config {
+    if hoga_bench::full_scale() {
+        Table2Config::default()
+    } else {
+        let mut cfg = Table2Config::default();
+        cfg.dataset.scale_divisor = 32;
+        cfg.dataset.recipes_per_design = 8;
+        cfg.dataset.max_scaled_nodes = 1500;
+        cfg.train = TrainConfig { hidden_dim: 32, epochs: 60, lr: 3e-3, ..TrainConfig::default() };
+        cfg
+    }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = config();
+    // Print the reproduced artifact once (the full experiment).
+    let result = run(&cfg);
+    println!("\n===== Reproduced Table 2 =====\n{}", result.render());
+
+    // Criterion then times a light inner kernel: one HOGA-2 training epoch
+    // on the prebuilt dataset (the quantity behind the table's
+    // training-time column).
+    let dataset = result.dataset;
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let mut one_epoch = cfg.train;
+    one_epoch.epochs = 1;
+    group.bench_function("hoga2_training_epoch", |b| {
+        b.iter(|| {
+            let (_, stats) = hoga_eval::trainer::train_qor(
+                &dataset,
+                hoga_eval::trainer::QorModelKind::Hoga { num_hops: 2 },
+                &one_epoch,
+            );
+            black_box(stats.final_loss)
+        });
+    });
+    group.bench_function("gcn_training_epoch", |b| {
+        b.iter(|| {
+            let (_, stats) = hoga_eval::trainer::train_qor(
+                &dataset,
+                hoga_eval::trainer::QorModelKind::Gcn { layers: cfg.gcn_layers },
+                &one_epoch,
+            );
+            black_box(stats.final_loss)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Graph-matrix views of an AIG.
+//!
+//! HOGA's hop-wise features (Eq. 3) and the GCN baseline both consume the
+//! symmetrically normalized adjacency `Â = D^{-1/2} (A + I) D^{-1/2}` of the
+//! *undirected* circuit graph; GraphSAGE-style mean aggregation consumes the
+//! row-normalized `D^{-1} A`.
+
+use crate::Aig;
+use hoga_tensor::CsrMatrix;
+
+/// Undirected, unweighted adjacency of the AIG (each fanin edge contributes
+/// both directions; no self-loops; parallel edges merged).
+pub fn undirected(aig: &Aig) -> CsrMatrix {
+    let n = aig.num_nodes();
+    let mut triplets = Vec::with_capacity(aig.num_edges() * 2);
+    for (id, a, b) in aig.and_gates() {
+        for f in [a.node(), b.node()] {
+            if f != id {
+                triplets.push((f as usize, id as usize, 1.0));
+                triplets.push((id as usize, f as usize, 1.0));
+            }
+        }
+    }
+    clamp_binary(CsrMatrix::from_coo(n, n, &triplets))
+}
+
+/// Directed fanin→gate adjacency (rows = destinations), used by
+/// direction-aware models and by the random-walk sampler.
+pub fn directed(aig: &Aig) -> CsrMatrix {
+    let n = aig.num_nodes();
+    let mut triplets = Vec::with_capacity(aig.num_edges());
+    for (id, a, b) in aig.and_gates() {
+        triplets.push((id as usize, a.node() as usize, 1.0));
+        triplets.push((id as usize, b.node() as usize, 1.0));
+    }
+    clamp_binary(CsrMatrix::from_coo(n, n, &triplets))
+}
+
+/// Duplicate-merged entries can have value 2 (both fanins from the same
+/// node); clamp back to 1 to keep the graph unweighted.
+fn clamp_binary(m: CsrMatrix) -> CsrMatrix {
+    let n = (m.rows(), m.cols());
+    let mut triplets = Vec::with_capacity(m.nnz());
+    for r in 0..m.rows() {
+        for (c, _) in m.row_entries(r) {
+            triplets.push((r, c, 1.0));
+        }
+    }
+    CsrMatrix::from_coo(n.0, n.1, &triplets)
+}
+
+/// Symmetric GCN normalization `Â = D^{-1/2} (A + I) D^{-1/2}` over the
+/// undirected graph — the operator iterated in Eq. 3 of the paper.
+///
+/// The result is symmetric, so it serves as its own transpose in backward
+/// passes.
+pub fn normalized_symmetric(aig: &Aig) -> CsrMatrix {
+    let n = aig.num_nodes();
+    let adj = undirected(aig);
+    let mut triplets = Vec::with_capacity(adj.nnz() + n);
+    for r in 0..n {
+        triplets.push((r, r, 1.0));
+        for (c, v) in adj.row_entries(r) {
+            triplets.push((r, c, v));
+        }
+    }
+    let a_plus_i = CsrMatrix::from_coo(n, n, &triplets);
+    let deg: Vec<f32> = a_plus_i
+        .row_nnz()
+        .iter()
+        .map(|&d| 1.0 / (d as f32).sqrt())
+        .collect();
+    a_plus_i.scale_rows(&deg).scale_cols(&deg)
+}
+
+/// Row (mean) normalization `D^{-1} A` over the undirected graph, used by
+/// the GraphSAGE baseline's neighbor-mean aggregator.
+pub fn normalized_mean(aig: &Aig) -> CsrMatrix {
+    let adj = undirected(aig);
+    let deg: Vec<f32> = adj
+        .row_nnz()
+        .iter()
+        .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+        .collect();
+    adj.scale_rows(&deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aig;
+
+    fn sample() -> Aig {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2));
+        let x = g.xor(a, b);
+        let y = g.and(x, c);
+        g.add_po(y);
+        g
+    }
+
+    #[test]
+    fn undirected_is_symmetric_binary() {
+        let g = sample();
+        let a = undirected(&g);
+        let d = a.to_dense();
+        assert!(d.max_abs_diff(&d.transpose()) < 1e-6);
+        assert!(d.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        // No self loops.
+        for i in 0..g.num_nodes() {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn directed_has_two_entries_per_gate() {
+        let g = sample();
+        let a = directed(&g);
+        assert_eq!(a.nnz(), g.num_edges());
+    }
+
+    #[test]
+    fn symmetric_normalization_rows_bounded() {
+        let g = sample();
+        let n = normalized_symmetric(&g);
+        let d = n.to_dense();
+        assert!(d.max_abs_diff(&d.transpose()) < 1e-6, "must stay symmetric");
+        // Eigenvalues of the normalized adjacency lie in [-1, 1]; a quick
+        // sanity proxy: every entry is in (0, 1].
+        for r in 0..g.num_nodes() {
+            for (_, v) in n.row_entries(r) {
+                assert!(v > 0.0 && v <= 1.0, "entry {v} out of range");
+            }
+        }
+        // Self-loops present.
+        for i in 0..g.num_nodes() {
+            assert!(d[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_normalization_rows_sum_to_one() {
+        let g = sample();
+        let n = normalized_mean(&g);
+        for r in 0..g.num_nodes() {
+            let s: f32 = n.row_entries(r).map(|(_, v)| v).sum();
+            if s > 0.0 {
+                assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_fanin_from_same_node_stays_binary() {
+        // Gate with both fanins from the same node (a & !a is folded, so use
+        // two distinct literals of distinct nodes through xor instead).
+        let mut g = Aig::new(2);
+        let (a, b) = (g.pi_lit(0), g.pi_lit(1));
+        let x = g.and(a, b);
+        let y = g.and(x, !x); // folds to FALSE, no gate
+        assert_eq!(y, crate::Lit::FALSE);
+        g.add_po(x);
+        let u = undirected(&g);
+        let d = u.to_dense();
+        assert!(d.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}

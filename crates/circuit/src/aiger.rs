@@ -1,0 +1,349 @@
+//! AIGER format I/O (binary `aig` and ASCII `aag`).
+//!
+//! AIGER is the de-facto interchange format for And-Inverter Graphs (used
+//! by ABC, the HWMCC model checkers, and the real OpenABC-D dataset).
+//! Supporting it makes this reproduction interoperable with the original
+//! toolchain: circuits generated here can be optimized by real ABC and
+//! vice versa. Only combinational AIGs (no latches) are supported, which
+//! covers everything in the HOGA paper.
+//!
+//! The encoding is convenient for us because AIGER's literal scheme
+//! (`2·var + complement`, variable 0 = constant false, inputs first) is
+//! exactly [`Lit`]'s representation.
+
+use crate::{Aig, Lit};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Read, Write};
+
+/// Error produced when parsing an AIGER file fails.
+#[derive(Debug)]
+pub struct ParseAigerError(String);
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AIGER: {}", self.0)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+fn perr(msg: impl Into<String>) -> ParseAigerError {
+    ParseAigerError(msg.into())
+}
+
+/// Writes the AIG in binary AIGER (`aig`) format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if the AIG violates its own topological invariant (cannot happen
+/// for AIGs built through the public API).
+pub fn write_aiger(aig: &Aig, mut w: impl Write) -> std::io::Result<()> {
+    let i = aig.num_pis();
+    let a = aig.num_ands();
+    let m = i + a;
+    writeln!(w, "aig {m} {i} 0 {} {a}", aig.num_pos())?;
+    for po in aig.pos() {
+        writeln!(w, "{}", po.raw())?;
+    }
+    for (id, f0, f1) in aig.and_gates() {
+        let lhs = (id as u64) << 1;
+        let (rhs0, rhs1) = if f0.raw() >= f1.raw() {
+            (f0.raw() as u64, f1.raw() as u64)
+        } else {
+            (f1.raw() as u64, f0.raw() as u64)
+        };
+        assert!(lhs > rhs0, "AIG not topologically ordered");
+        write_delta(&mut w, lhs - rhs0)?;
+        write_delta(&mut w, rhs0 - rhs1)?;
+    }
+    Ok(())
+}
+
+/// Writes the AIG in ASCII AIGER (`aag`) format (human-readable).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ascii_aiger(aig: &Aig, mut w: impl Write) -> std::io::Result<()> {
+    let i = aig.num_pis();
+    let a = aig.num_ands();
+    let m = i + a;
+    writeln!(w, "aag {m} {i} 0 {} {a}", aig.num_pos())?;
+    for pi in 0..i {
+        writeln!(w, "{}", aig.pi_lit(pi).raw())?;
+    }
+    for po in aig.pos() {
+        writeln!(w, "{}", po.raw())?;
+    }
+    for (id, f0, f1) in aig.and_gates() {
+        let (rhs0, rhs1) = if f0.raw() >= f1.raw() { (f0, f1) } else { (f1, f0) };
+        writeln!(w, "{} {} {}", (id << 1), rhs0.raw(), rhs1.raw())?;
+    }
+    Ok(())
+}
+
+fn write_delta(w: &mut impl Write, mut delta: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (delta & 0x7F) as u8;
+        delta >>= 7;
+        if delta == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_delta(r: &mut impl Read) -> Result<u64, ParseAigerError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8];
+        r.read_exact(&mut byte).map_err(|e| perr(format!("truncated delta: {e}")))?;
+        value |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(perr("delta overflow"));
+        }
+    }
+}
+
+/// Reads a binary AIGER (`aig`) file.
+///
+/// Only combinational AIGs are accepted (`L` must be 0). Structural
+/// hashing is **not** re-applied during the read, so a round-trip is
+/// exact; call [`Aig::rebuild_strash`]-using passes as usual afterwards.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, latches, truncated
+/// bodies, or non-topological gate definitions.
+pub fn read_aiger(mut r: impl BufRead) -> Result<Aig, ParseAigerError> {
+    let mut header = String::new();
+    r.read_line(&mut header).map_err(|e| perr(e.to_string()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 6 || parts[0] != "aig" {
+        return Err(perr(format!("bad header `{}`", header.trim())));
+    }
+    let nums: Vec<usize> = parts[1..]
+        .iter()
+        .map(|p| p.parse().map_err(|_| perr(format!("bad number `{p}`"))))
+        .collect::<Result<_, _>>()?;
+    let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    if l != 0 {
+        return Err(perr("latches unsupported (combinational AIGs only)"));
+    }
+    if m != i + a {
+        return Err(perr(format!("inconsistent header: M={m} != I+A={}", i + a)));
+    }
+    let mut pos_raw = Vec::with_capacity(o);
+    for _ in 0..o {
+        let mut line = String::new();
+        r.read_line(&mut line).map_err(|e| perr(e.to_string()))?;
+        pos_raw.push(
+            line.trim()
+                .parse::<u32>()
+                .map_err(|_| perr(format!("bad output literal `{}`", line.trim())))?,
+        );
+    }
+    let mut aig = Aig::new(i);
+    for k in 0..a {
+        let lhs = ((i + 1 + k) as u64) << 1;
+        let d0 = read_delta(&mut r)?;
+        let d1 = read_delta(&mut r)?;
+        let rhs0 = lhs.checked_sub(d0).ok_or_else(|| perr("delta0 underflow"))?;
+        let rhs1 = rhs0.checked_sub(d1).ok_or_else(|| perr("delta1 underflow"))?;
+        let f0 = Lit::from_raw(rhs0 as u32);
+        let f1 = Lit::from_raw(rhs1 as u32);
+        let lit = aig.and_raw(f0, f1).map_err(perr)?;
+        debug_assert_eq!(lit.raw() as u64, lhs);
+    }
+    for raw in pos_raw {
+        let po = Lit::from_raw(raw);
+        if po.node() as usize >= aig.num_nodes() {
+            return Err(perr(format!("output literal {raw} out of range")));
+        }
+        aig.add_po(po);
+    }
+    Ok(aig)
+}
+
+/// Reads an ASCII AIGER (`aag`) file.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] under the same conditions as [`read_aiger`].
+pub fn read_ascii_aiger(r: impl BufRead) -> Result<Aig, ParseAigerError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| perr("empty file"))?
+        .map_err(|e| perr(e.to_string()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 6 || parts[0] != "aag" {
+        return Err(perr(format!("bad header `{header}`")));
+    }
+    let nums: Vec<usize> = parts[1..]
+        .iter()
+        .map(|p| p.parse().map_err(|_| perr(format!("bad number `{p}`"))))
+        .collect::<Result<_, _>>()?;
+    let (_m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    if l != 0 {
+        return Err(perr("latches unsupported (combinational AIGs only)"));
+    }
+    let mut next = || -> Result<String, ParseAigerError> {
+        lines
+            .next()
+            .ok_or_else(|| perr("truncated file"))?
+            .map_err(|e| perr(e.to_string()))
+    };
+    // Input literal lines (must be 2, 4, ..., 2i in order).
+    for k in 0..i {
+        let line = next()?;
+        let lit: u32 = line.trim().parse().map_err(|_| perr("bad input literal"))?;
+        if lit != ((k as u32 + 1) << 1) {
+            return Err(perr(format!("non-canonical input literal {lit}")));
+        }
+    }
+    let mut pos_raw = Vec::with_capacity(o);
+    for _ in 0..o {
+        pos_raw.push(
+            next()?
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| perr("bad output literal"))?,
+        );
+    }
+    let mut aig = Aig::new(i);
+    for k in 0..a {
+        let line = next()?;
+        let fields: Vec<u32> = line
+            .split_whitespace()
+            .map(|f| f.parse().map_err(|_| perr(format!("bad gate line `{line}`"))))
+            .collect::<Result<_, _>>()?;
+        if fields.len() != 3 {
+            return Err(perr(format!("bad gate line `{line}`")));
+        }
+        let expect_lhs = ((i + 1 + k) as u32) << 1;
+        if fields[0] != expect_lhs {
+            return Err(perr(format!("non-canonical gate order: lhs {}", fields[0])));
+        }
+        let lit = aig
+            .and_raw(Lit::from_raw(fields[1]), Lit::from_raw(fields[2]))
+            .map_err(perr)?;
+        debug_assert_eq!(lit.raw(), expect_lhs);
+    }
+    for raw in pos_raw {
+        let po = Lit::from_raw(raw);
+        if po.node() as usize >= aig.num_nodes() {
+            return Err(perr(format!("output literal {raw} out of range")));
+        }
+        aig.add_po(po);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::probably_equivalent;
+
+    fn sample() -> Aig {
+        let mut g = Aig::new(4);
+        let (a, b, c, d) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2), g.pi_lit(3));
+        let x = g.xor(a, b);
+        let y = g.maj(b, c, d);
+        let z = g.and(x, !y);
+        g.add_po(z);
+        g.add_po(!x);
+        g.add_po(Lit::TRUE);
+        g
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_aiger(&g, &mut buf).expect("write");
+        let h = read_aiger(&buf[..]).expect("read");
+        assert_eq!(g.num_pis(), h.num_pis());
+        assert_eq!(g.num_ands(), h.num_ands());
+        assert_eq!(g.pos(), h.pos());
+        assert!(probably_equivalent(&g, &h, 4, 0));
+    }
+
+    #[test]
+    fn ascii_roundtrip_is_exact() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_ascii_aiger(&g, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("ascii");
+        assert!(text.starts_with("aag "));
+        let h = read_ascii_aiger(text.as_bytes()).expect("read");
+        assert!(probably_equivalent(&g, &h, 4, 1));
+    }
+
+    #[test]
+    fn binary_and_ascii_agree() {
+        let g = sample();
+        let mut bin = Vec::new();
+        write_aiger(&g, &mut bin).expect("write");
+        let mut asc = Vec::new();
+        write_ascii_aiger(&g, &mut asc).expect("write");
+        let gb = read_aiger(&bin[..]).expect("read bin");
+        let ga = read_ascii_aiger(&asc[..]).expect("read ascii");
+        assert!(probably_equivalent(&gb, &ga, 4, 2));
+    }
+
+    #[test]
+    fn rejects_latches_and_garbage() {
+        assert!(read_aiger(&b"aig 1 0 1 0 0\n"[..]).is_err());
+        assert!(read_aiger(&b"not an aiger file"[..]).is_err());
+        assert!(read_ascii_aiger(&b"aag 1 2\n"[..]).is_err());
+        assert!(read_aiger(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_binary_body() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_aiger(&g, &mut buf).expect("write");
+        let cut = buf.len() - 2;
+        assert!(read_aiger(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn delta_coding_roundtrips() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            write_delta(&mut buf, v).expect("write");
+            let got = read_delta(&mut &buf[..]).expect("read");
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn multiplier_roundtrip_through_aiger() {
+        // A realistically sized circuit survives the full cycle.
+        let mut g = Aig::new(8);
+        let mut acc = g.pi_lit(0);
+        for k in 1..8 {
+            let p = g.pi_lit(k);
+            let x = g.xor(acc, p);
+            acc = g.maj(acc, p, x);
+        }
+        g.add_po(acc);
+        let mut buf = Vec::new();
+        write_aiger(&g, &mut buf).expect("write");
+        let h = read_aiger(&buf[..]).expect("read");
+        assert!(probably_equivalent(&g, &h, 4, 3));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based invariants of the AIG substrate.
+
+use hoga_circuit::simulate::{exhaustive_truth_table, probably_equivalent, simulate_words};
+use hoga_circuit::{aiger, levels, Aig, Lit};
+use proptest::prelude::*;
+
+fn arb_aig() -> impl Strategy<Value = Aig> {
+    (2..6usize, proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()), 1..50))
+        .prop_map(|(pis, gates)| {
+            let mut aig = Aig::new(pis);
+            let mut pool: Vec<Lit> = (0..pis).map(|i| aig.pi_lit(i)).collect();
+            for (xa, xb, ca, cb) in gates {
+                let a = pool[xa as usize % pool.len()];
+                let b = pool[xb as usize % pool.len()];
+                let a = if ca { !a } else { a };
+                let b = if cb { !b } else { b };
+                let l = aig.and(a, b);
+                pool.push(l);
+            }
+            let take = pool.len().min(2);
+            for &l in &pool[pool.len() - take..] {
+                aig.add_po(l);
+            }
+            aig
+        })
+}
+
+proptest! {
+    #[test]
+    fn structural_invariants_always_hold(aig in arb_aig()) {
+        prop_assert!(aig.check().is_ok());
+        // Levels strictly increase along edges.
+        let lv = levels(&aig);
+        for (id, a, b) in aig.and_gates() {
+            prop_assert!(lv[id as usize] > lv[a.node() as usize]);
+            prop_assert!(lv[id as usize] > lv[b.node() as usize]);
+        }
+    }
+
+    #[test]
+    fn compact_is_idempotent(aig in arb_aig()) {
+        let mut once = aig.clone();
+        once.compact();
+        let mut twice = once.clone();
+        twice.compact();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(probably_equivalent(&aig, &once, 2, 0));
+    }
+
+    #[test]
+    fn strash_never_duplicates_structure(aig in arb_aig()) {
+        // Rebuilding the same gates through `and` yields the same node count.
+        let mut rebuilt = Aig::new(aig.num_pis());
+        let mut map: Vec<Lit> = (0..aig.num_nodes())
+            .map(|i| Lit::from_node(i as u32, false))
+            .collect();
+        for i in 0..aig.num_pis() {
+            map[aig.pi_lit(i).node() as usize] = rebuilt.pi_lit(i);
+        }
+        for (id, a, b) in aig.and_gates() {
+            let tr = |l: Lit, map: &[Lit]| {
+                let base = map[l.node() as usize];
+                if l.is_complemented() { !base } else { base }
+            };
+            let (na, nb) = (tr(a, &map), tr(b, &map));
+            map[id as usize] = rebuilt.and(na, nb);
+        }
+        prop_assert!(rebuilt.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn simulation_respects_complements(aig in arb_aig(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let words: Vec<u64> = (0..aig.num_pis()).map(|_| rng.gen()).collect();
+        let vals = simulate_words(&aig, &words);
+        for (id, a, b) in aig.and_gates() {
+            let va = if a.is_complemented() { !vals[a.node() as usize] } else { vals[a.node() as usize] };
+            let vb = if b.is_complemented() { !vals[b.node() as usize] } else { vals[b.node() as usize] };
+            prop_assert_eq!(vals[id as usize], va & vb);
+        }
+    }
+
+    #[test]
+    fn aiger_roundtrip_preserves_function(aig in arb_aig()) {
+        let mut bin = Vec::new();
+        aiger::write_aiger(&aig, &mut bin).expect("write");
+        let back = aiger::read_aiger(&bin[..]).expect("read");
+        prop_assert!(probably_equivalent(&aig, &back, 3, 1));
+        let mut asc = Vec::new();
+        aiger::write_ascii_aiger(&aig, &mut asc).expect("write");
+        let back2 = aiger::read_ascii_aiger(&asc[..]).expect("read");
+        prop_assert!(probably_equivalent(&aig, &back2, 3, 2));
+    }
+
+    #[test]
+    fn exhaustive_and_word_simulation_agree(aig in arb_aig()) {
+        if aig.num_pis() <= 6 && aig.num_pos() > 0 {
+            let tt = exhaustive_truth_table(&aig, 0);
+            // Check each pattern against single-pattern word simulation.
+            for p in 0..(1u64 << aig.num_pis()).min(16) {
+                let words: Vec<u64> = (0..aig.num_pis()).map(|i| (p >> i) & 1).collect();
+                let pos = hoga_circuit::simulate::simulate_pos(&aig, &words);
+                prop_assert_eq!((tt >> p) & 1, pos[0] & 1, "pattern {}", p);
+            }
+        }
+    }
+}

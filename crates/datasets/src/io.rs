@@ -1,0 +1,315 @@
+//! Compact binary serialization for generated artifacts.
+//!
+//! Dataset generation (synthesis labels in particular) is the slowest part
+//! of the pipeline, so the experiment drivers cache what they build. The
+//! codec here is a small, versioned, explicit binary format built on
+//! [`bytes`] — no external format crate needed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hoga_circuit::{Aig, Lit};
+use hoga_tensor::Matrix;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u32 = 0x484F_4741; // "HOGA"
+const VERSION: u16 = 1;
+
+/// Error returned when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn err(msg: impl Into<String>) -> DecodeError {
+    DecodeError(msg.into())
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(err(format!("truncated input reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes an AIG.
+pub fn encode_aig(aig: &Aig) -> Bytes {
+    let mut out = BytesMut::with_capacity(16 + aig.num_nodes() * 8);
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+    out.put_u8(b'A');
+    out.put_u64(aig.num_pis() as u64);
+    out.put_u64(aig.num_ands() as u64);
+    for (_, a, b) in aig.and_gates() {
+        out.put_u32(a.raw());
+        out.put_u32(b.raw());
+    }
+    out.put_u64(aig.num_pos() as u64);
+    for po in aig.pos() {
+        out.put_u32(po.raw());
+    }
+    out.freeze()
+}
+
+/// Deserializes an AIG produced by [`encode_aig`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, bad magic, or invalid structure.
+pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
+    need(&buf, 7, "header")?;
+    if buf.get_u32() != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if buf.get_u8() != b'A' {
+        return Err(err("not an AIG record"));
+    }
+    need(&buf, 16, "counts")?;
+    let num_pis = buf.get_u64() as usize;
+    let num_ands = buf.get_u64() as usize;
+    let mut aig = Aig::new(num_pis);
+    need(&buf, num_ands * 8, "gates")?;
+    for i in 0..num_ands {
+        let a = Lit::from_raw(buf.get_u32());
+        let b = Lit::from_raw(buf.get_u32());
+        let expected_node = (1 + num_pis + i) as u32;
+        if a.node() >= expected_node || b.node() >= expected_node {
+            return Err(err(format!("gate {i} has forward fanin")));
+        }
+        let lit = aig.and(a, b);
+        // Strash may deduplicate, which would desynchronize literal ids, so
+        // encoded AIGs must already be strash-canonical (ours are, by
+        // construction). Detect rather than corrupt:
+        if lit.node() != expected_node {
+            return Err(err(format!("gate {i} deduplicated on decode; input not canonical")));
+        }
+    }
+    need(&buf, 8, "po count")?;
+    let num_pos = buf.get_u64() as usize;
+    need(&buf, num_pos * 4, "pos")?;
+    for _ in 0..num_pos {
+        let po = Lit::from_raw(buf.get_u32());
+        if po.node() as usize >= aig.num_nodes() {
+            return Err(err("PO out of range"));
+        }
+        aig.add_po(po);
+    }
+    Ok(aig)
+}
+
+/// Serializes a matrix (shape + little-endian f32 payload).
+pub fn encode_matrix(m: &Matrix) -> Bytes {
+    let mut out = BytesMut::with_capacity(16 + m.len() * 4);
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+    out.put_u8(b'M');
+    out.put_u64(m.rows() as u64);
+    out.put_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        out.put_f32(v);
+    }
+    out.freeze()
+}
+
+/// Deserializes a matrix produced by [`encode_matrix`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation or bad headers.
+pub fn decode_matrix(mut buf: impl Buf) -> Result<Matrix, DecodeError> {
+    need(&buf, 7, "header")?;
+    if buf.get_u32() != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if buf.get_u8() != b'M' {
+        return Err(err("not a matrix record"));
+    }
+    need(&buf, 16, "shape")?;
+    let rows = buf.get_u64() as usize;
+    let cols = buf.get_u64() as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| err("shape overflow"))?;
+    need(&buf, n * 4, "payload")?;
+    let data: Vec<f32> = (0..n).map(|_| buf.get_f32()).collect();
+    Matrix::try_from_vec(rows, cols, data).map_err(|e| err(e.to_string()))
+}
+
+/// Serializes a trained parameter set (names + values) — a model
+/// checkpoint. Restore with [`decode_params`].
+pub fn encode_params(params: &hoga_autograd::ParamSet) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+    out.put_u8(b'P');
+    out.put_u64(params.len() as u64);
+    for (_, name, value) in params.iter() {
+        out.put_u32(name.len() as u32);
+        out.put_slice(name.as_bytes());
+        let m = encode_matrix(value);
+        out.put_u32(m.len() as u32);
+        out.put_slice(&m);
+    }
+    out.freeze()
+}
+
+/// Deserializes a checkpoint produced by [`encode_params`].
+///
+/// Parameter ids are assigned in the stored order, so a checkpoint is
+/// compatible with any model constructed the same way (same architecture
+/// and registration order).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation or malformed records.
+pub fn decode_params(mut buf: impl Buf) -> Result<hoga_autograd::ParamSet, DecodeError> {
+    need(&buf, 7, "header")?;
+    if buf.get_u32() != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if buf.get_u8() != b'P' {
+        return Err(err("not a checkpoint record"));
+    }
+    need(&buf, 8, "count")?;
+    let count = buf.get_u64() as usize;
+    let mut params = hoga_autograd::ParamSet::new();
+    for k in 0..count {
+        need(&buf, 4, "name length")?;
+        let nlen = buf.get_u32() as usize;
+        need(&buf, nlen, "name")?;
+        let mut name_bytes = vec![0u8; nlen];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| err("name not UTF-8"))?;
+        need(&buf, 4, "matrix length")?;
+        let mlen = buf.get_u32() as usize;
+        need(&buf, mlen, "matrix payload")?;
+        let mut payload = vec![0u8; mlen];
+        buf.copy_to_slice(&mut payload);
+        let value = decode_matrix(&payload[..])
+            .map_err(|e| err(format!("param {k} (`{name}`): {e}")))?;
+        params.add(name, value);
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2));
+        let x = g.xor(a, b);
+        let y = g.maj(a, b, c);
+        g.add_po(x);
+        g.add_po(!y);
+        g
+    }
+
+    #[test]
+    fn aig_roundtrip() {
+        let g = sample_aig();
+        let bytes = encode_aig(&g);
+        let h = decode_aig(bytes).expect("decode");
+        assert_eq!(g, h);
+        assert!(hoga_circuit::simulate::probably_equivalent(&g, &h, 2, 0));
+    }
+
+    #[test]
+    fn aig_decode_rejects_truncation() {
+        let g = sample_aig();
+        let bytes = encode_aig(&g);
+        for cut in [0, 3, 8, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert!(decode_aig(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn aig_decode_rejects_bad_magic() {
+        let g = sample_aig();
+        let mut raw = encode_aig(&g).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(decode_aig(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r as f32 - c as f32) * 0.25);
+        let bytes = encode_matrix(&m);
+        let n = decode_matrix(bytes).expect("decode");
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn matrix_decode_rejects_garbage() {
+        assert!(decode_matrix(&b"nonsense"[..]).is_err());
+        assert!(decode_matrix(&[][..]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = Matrix::zeros(0, 4);
+        let n = decode_matrix(encode_matrix(&m)).expect("decode");
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_names_and_values() {
+        let mut p = hoga_autograd::ParamSet::new();
+        p.add("layer0.w", Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32));
+        p.add("layer0.b", Matrix::zeros(1, 4));
+        p.add("readout.alpha", Matrix::full(8, 1, -0.25));
+        let bytes = encode_params(&p);
+        let q = decode_params(bytes).expect("decode");
+        assert_eq!(q.len(), 3);
+        for ((_, n1, v1), (_, n2, v2)) in p.iter().zip(q.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_a_trained_hoga_model() {
+        use hoga_core::model::{HogaConfig, HogaModel};
+        let cfg = HogaConfig::new(5, 8, 3);
+        let model = HogaModel::new(&cfg, 9);
+        let bytes = encode_params(&model.params);
+        let restored = decode_params(bytes).expect("decode");
+        // Rebuild a model with the same architecture and swap parameters in.
+        let mut clone = HogaModel::new(&cfg, 123); // different init
+        assert_eq!(clone.params.len(), restored.len());
+        clone.params = restored;
+        // Identical outputs to the original.
+        let stack = hoga_tensor::Init::SmallUniform.matrix(2 * 4, 5, 1);
+        let a = model.attention_scores(&stack, 2);
+        let b = clone.attention_scores(&stack, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let mut p = hoga_autograd::ParamSet::new();
+        p.add("w", Matrix::identity(2));
+        let bytes = encode_params(&p).to_vec();
+        assert!(decode_params(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.clone();
+        bad[6] = b'X';
+        assert!(decode_params(&bad[..]).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Dataset builders for the HOGA experiments.
+//!
+//! * [`openabcd`] — the synthetic OpenABC-D QoR benchmark: 29 designs
+//!   (Table 1, scaled), `R` random synthesis recipes per design run through
+//!   the `hoga-synth` simulator, yielding `(design, recipe) → optimized
+//!   gate count` regression samples with the paper's 20-train / 9-test
+//!   design split.
+//! * [`gamora`] — the functional-reasoning benchmark: CSA/Booth multipliers
+//!   (optionally technology-mapped) with 4-class node labels from the
+//!   `hoga-gen` labeler; train on the 8-bit design, evaluate on larger
+//!   bitwidths, exactly the paper's hardest setting.
+//! * [`splits`] — seeded minibatch iteration helpers.
+//! * [`io`] — compact binary (de)serialization so generated datasets can be
+//!   cached on disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gamora;
+pub mod io;
+pub mod openabcd;
+pub mod splits;

@@ -1,0 +1,286 @@
+//! The synthetic OpenABC-D QoR-prediction benchmark.
+//!
+//! Mirrors the paper's setup (§IV-A): for each of the 29 Table-1 designs we
+//! generate the (scaled) circuit, run `R` random synthesis recipes through
+//! the `hoga-synth` simulator, and label each `(design, recipe)` pair with
+//! the optimized gate count. Models are trained on the first 20 designs and
+//! evaluated on the remaining 9 — an *unseen-design* generalization task.
+//!
+//! Labels are stored as gate-count *reduction ratios*
+//! (`final / initial ∈ (0, 1]`), which are size-independent; MAPE over gate
+//! counts equals relative error over ratios, so the paper's metric is
+//! computed exactly (see [`hoga_eval`-side metrics]).
+
+use hoga_circuit::{adjacency, features, Aig};
+use hoga_gen::ipgen::{generate_ip, IpSpec, OPENABCD_DESIGNS};
+use hoga_synth::{random_recipe, run_recipe, Recipe};
+use hoga_tensor::{CsrMatrix, Matrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Width of the encoded recipe vector fed to the regression head.
+pub const RECIPE_ENCODING_WIDTH: usize = 20;
+
+/// Configuration for [`build_qor_dataset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QorDatasetConfig {
+    /// Divide Table-1 node counts by this factor (default 8; 1 = full size).
+    pub scale_divisor: usize,
+    /// Random recipes per design (paper: 1500; CPU default: 24).
+    pub recipes_per_design: usize,
+    /// Steps per random recipe (OpenABC-D uses 20).
+    pub recipe_len: usize,
+    /// Hops `K` for hop-feature precomputation (paper: 5).
+    pub num_hops: usize,
+    /// Nodes sampled per graph for graph-level pooling (keeps CPU training
+    /// tractable; 0 = all nodes).
+    pub nodes_per_graph: usize,
+    /// Ignore designs whose *scaled* node count exceeds this (0 = no limit).
+    pub max_scaled_nodes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for QorDatasetConfig {
+    fn default() -> Self {
+        Self {
+            scale_divisor: 8,
+            recipes_per_design: 24,
+            recipe_len: 20,
+            num_hops: 5,
+            nodes_per_graph: 256,
+            max_scaled_nodes: 0,
+            seed: 0xABC0,
+        }
+    }
+}
+
+impl QorDatasetConfig {
+    /// A miniature configuration for unit tests and doc examples.
+    ///
+    /// The node cap is chosen so at least a few *test-split* designs
+    /// survive (the smallest held-out design, `aes_secworks`, is ~637
+    /// nodes at 1/64 scale).
+    pub fn tiny() -> Self {
+        Self {
+            scale_divisor: 64,
+            recipes_per_design: 3,
+            recipe_len: 6,
+            num_hops: 3,
+            nodes_per_graph: 64,
+            max_scaled_nodes: 800,
+            seed: 0xABC0,
+        }
+    }
+}
+
+/// One prepared design: circuit, graph matrices, hop features, node sample.
+pub struct QorDesign {
+    /// The Table-1 row this design reproduces.
+    pub spec: IpSpec,
+    /// The generated (unoptimized) circuit.
+    pub aig: Aig,
+    /// Symmetric normalized adjacency `Â` (shared with models).
+    pub adj: Arc<CsrMatrix>,
+    /// Raw node features `X`.
+    pub features: Matrix,
+    /// Precomputed hop features `X^(0..K)` (Eq. 3).
+    pub hops: Vec<Matrix>,
+    /// Node indices used for graph-level pooling.
+    pub pooled_nodes: Vec<usize>,
+}
+
+/// One regression sample.
+#[derive(Debug, Clone)]
+pub struct QorSample {
+    /// Index into [`QorDataset::designs`].
+    pub design: usize,
+    /// The synthesis recipe that was run.
+    pub recipe: Recipe,
+    /// Encoded recipe vector (width [`RECIPE_ENCODING_WIDTH`]).
+    pub recipe_encoding: Vec<f32>,
+    /// Gate count before synthesis.
+    pub initial_ands: usize,
+    /// Gate count after the recipe (the paper's QoR ground truth).
+    pub final_ands: usize,
+    /// Circuit depth (AND levels) before synthesis.
+    pub initial_depth: u32,
+    /// Circuit depth after the recipe — a second QoR metric this
+    /// reproduction supports beyond the paper (delay-oriented flows).
+    pub final_depth: u32,
+}
+
+impl QorSample {
+    /// The normalized gate-count label `final / initial ∈ (0, 1]`.
+    pub fn ratio(&self) -> f32 {
+        if self.initial_ands == 0 {
+            1.0
+        } else {
+            self.final_ands as f32 / self.initial_ands as f32
+        }
+    }
+
+    /// The normalized depth label `final / initial` (can exceed 1: area
+    /// optimization sometimes deepens the circuit).
+    pub fn depth_ratio(&self) -> f32 {
+        if self.initial_depth == 0 {
+            1.0
+        } else {
+            self.final_depth as f32 / self.initial_depth as f32
+        }
+    }
+}
+
+/// The full benchmark: prepared designs plus train/test samples.
+pub struct QorDataset {
+    /// All prepared designs, in Table-1 order (possibly filtered by size).
+    pub designs: Vec<QorDesign>,
+    /// Samples over training designs (upper 20 rows of Table 1).
+    pub train: Vec<QorSample>,
+    /// Samples over held-out designs (lower 9 rows).
+    pub test: Vec<QorSample>,
+    /// The configuration used.
+    pub config: QorDatasetConfig,
+}
+
+/// Builds the benchmark.
+///
+/// Deterministic in `config.seed`. Runtime scales with
+/// `recipes_per_design × scaled design sizes`; the default configuration
+/// targets minutes on a laptop-class CPU.
+pub fn build_qor_dataset(config: &QorDatasetConfig) -> QorDataset {
+    let mut designs = Vec::new();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    let mut design_specs: Vec<&IpSpec> = OPENABCD_DESIGNS.iter().collect();
+    if config.max_scaled_nodes > 0 {
+        design_specs.retain(|s| s.nodes / config.scale_divisor <= config.max_scaled_nodes);
+    }
+    for spec in design_specs {
+        let aig = generate_ip(spec, config.scale_divisor);
+        let adj = Arc::new(adjacency::normalized_symmetric(&aig));
+        let feats = features::node_features(&aig);
+        let hops = hoga_core::hopfeat::hop_features(&adj, &feats, config.num_hops);
+        let pooled_nodes = sample_nodes(
+            aig.num_nodes(),
+            config.nodes_per_graph,
+            config.seed ^ hash_name(spec.name),
+        );
+        let design_idx = designs.len();
+        for r in 0..config.recipes_per_design {
+            let recipe = random_recipe(
+                config.recipe_len,
+                config
+                    .seed
+                    .wrapping_add(hash_name(spec.name))
+                    .wrapping_add(r as u64),
+            );
+            let result = run_recipe(&aig, &recipe);
+            let sample = QorSample {
+                design: design_idx,
+                recipe_encoding: recipe.encode(RECIPE_ENCODING_WIDTH),
+                recipe,
+                initial_ands: result.initial_ands,
+                final_ands: result.final_ands,
+                initial_depth: hoga_circuit::depth(&aig),
+                final_depth: hoga_circuit::depth(&result.aig),
+            };
+            if spec.train {
+                train.push(sample);
+            } else {
+                test.push(sample);
+            }
+        }
+        designs.push(QorDesign { spec: *spec, aig, adj, features: feats, hops, pooled_nodes });
+    }
+    QorDataset { designs, train, test, config: *config }
+}
+
+/// Deterministically samples `count` distinct node indices (all nodes if
+/// `count == 0` or `count >= n`).
+fn sample_nodes(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    if count == 0 || count >= n {
+        return (0..n).collect();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Partial Fisher-Yates.
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(count);
+    idx.sort_unstable();
+    idx
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_builds_with_split() {
+        let ds = build_qor_dataset(&QorDatasetConfig::tiny());
+        assert!(!ds.designs.is_empty());
+        assert!(!ds.train.is_empty());
+        // Tiny config keeps only small designs; at least some train samples.
+        for s in ds.train.iter().chain(&ds.test) {
+            assert!(s.final_ands <= s.initial_ands, "synthesis grew the circuit");
+            assert!(s.ratio() > 0.0 && s.ratio() <= 1.0);
+            assert_eq!(s.recipe_encoding.len(), RECIPE_ENCODING_WIDTH);
+        }
+    }
+
+    #[test]
+    fn labels_vary_across_recipes() {
+        let mut cfg = QorDatasetConfig::tiny();
+        cfg.recipes_per_design = 6;
+        let ds = build_qor_dataset(&cfg);
+        // Across all designs and recipes there must be label diversity,
+        // otherwise QoR prediction is vacuous.
+        let mut ratios: Vec<f32> = ds.train.iter().map(QorSample::ratio).collect();
+        ratios.dedup();
+        assert!(ratios.len() > 1, "all ratios identical");
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let cfg = QorDatasetConfig::tiny();
+        let a = build_qor_dataset(&cfg);
+        let b = build_qor_dataset(&cfg);
+        assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.final_ands, y.final_ands);
+            assert_eq!(x.recipe, y.recipe);
+        }
+    }
+
+    #[test]
+    fn pooled_nodes_are_valid_and_sorted() {
+        let ds = build_qor_dataset(&QorDatasetConfig::tiny());
+        for d in &ds.designs {
+            assert!(!d.pooled_nodes.is_empty());
+            assert!(d.pooled_nodes.windows(2).all(|w| w[0] < w[1]));
+            assert!(*d.pooled_nodes.last().expect("non-empty") < d.aig.num_nodes());
+        }
+    }
+
+    #[test]
+    fn hop_features_have_expected_count() {
+        let cfg = QorDatasetConfig::tiny();
+        let ds = build_qor_dataset(&cfg);
+        for d in &ds.designs {
+            assert_eq!(d.hops.len(), cfg.num_hops + 1);
+        }
+    }
+}

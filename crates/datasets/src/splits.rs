@@ -1,0 +1,95 @@
+//! Seeded shuffling and minibatch iteration.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Yields index minibatches of size `batch_size` over `n` items, shuffled
+/// deterministically per `(seed, epoch)`.
+///
+/// The final batch may be smaller. `batch_size == 0` yields a single batch
+/// with everything.
+///
+/// # Examples
+///
+/// ```
+/// use hoga_datasets::splits::minibatches;
+///
+/// let batches = minibatches(10, 4, 7, 0);
+/// assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 10);
+/// assert_eq!(batches.len(), 3);
+/// // Same epoch, same order; next epoch differs.
+/// assert_eq!(batches, minibatches(10, 4, 7, 0));
+/// assert_ne!(batches, minibatches(10, 4, 7, 1));
+/// ```
+pub fn minibatches(n: usize, batch_size: usize, seed: u64, epoch: u64) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    idx.shuffle(&mut rng);
+    if batch_size == 0 || batch_size >= n {
+        return vec![idx];
+    }
+    idx.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+/// Splits `n` items into `parts` nearly equal contiguous shards (for
+/// data-parallel workers). Earlier shards get the remainder.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn shard_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "need at least one shard");
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let batches = minibatches(23, 5, 1, 3);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_batch_size_is_full_batch() {
+        let batches = minibatches(9, 0, 1, 0);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 9);
+    }
+
+    #[test]
+    fn shards_partition_range() {
+        for (n, parts) in [(10, 3), (7, 7), (5, 8), (0, 2)] {
+            let shards = shard_ranges(n, parts);
+            assert_eq!(shards.len(), parts);
+            let total: usize = shards.iter().map(|(a, b)| b - a).sum();
+            assert_eq!(total, n);
+            for w in shards.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_differ_by_at_most_one() {
+        let shards = shard_ranges(11, 4);
+        let sizes: Vec<usize> = shards.iter().map(|(a, b)| b - a).collect();
+        let max = sizes.iter().max().expect("non-empty");
+        let min = sizes.iter().min().expect("non-empty");
+        assert!(max - min <= 1);
+    }
+}

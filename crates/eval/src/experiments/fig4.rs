@@ -1,0 +1,109 @@
+//! Figure 4 — QoR predictions vs ground truth.
+//!
+//! For the GCN baseline and the strongest HOGA variant, dumps the
+//! `(ground truth, prediction)` series per test design. The paper plots
+//! these as scatter panels; we emit the same series as CSV so any plotting
+//! tool reproduces the figure. Expected shape: HOGA points hug the
+//! diagonal, GCN points scatter away from it.
+
+use crate::experiments::table2::{run as run_table2, Table2, Table2Config};
+use crate::trainer::QorEval;
+
+/// One model's scatter data.
+#[derive(Debug, Clone)]
+pub struct ScatterSeries {
+    /// Model label.
+    pub model: String,
+    /// Per-design `(truth, prediction)` pairs.
+    pub designs: Vec<QorEval>,
+}
+
+/// The figure's data: one series per plotted model.
+pub struct Fig4 {
+    /// GCN and best-HOGA series.
+    pub series: Vec<ScatterSeries>,
+}
+
+/// Runs Table 2 and extracts the scatter series for GCN and the deepest
+/// HOGA variant (the two panels of the paper's figure).
+pub fn run(cfg: &Table2Config) -> Fig4 {
+    let table2 = run_table2(cfg);
+    from_table2(&table2)
+}
+
+/// Builds the figure from an existing Table-2 result (avoids retraining).
+pub fn from_table2(table2: &Table2) -> Fig4 {
+    let mut series = Vec::new();
+    for row in &table2.rows {
+        if row.model == "GCN" || row.model.starts_with("HOGA-") {
+            series.push(ScatterSeries { model: row.model.clone(), designs: row.evals.clone() });
+        }
+    }
+    // Keep GCN and the last (deepest) HOGA, like the paper's two panels.
+    if series.len() > 2 {
+        let gcn = series.iter().position(|s| s.model == "GCN").unwrap_or(0);
+        let hoga = series.len() - 1;
+        series = vec![series[gcn].clone(), series[hoga].clone()];
+    }
+    Fig4 { series }
+}
+
+impl Fig4 {
+    /// Renders the scatter data as CSV: `model,design,truth,pred`.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("model,design,truth,pred\n");
+        for s in &self.series {
+            for d in &s.designs {
+                for (&t, &p) in d.truth.iter().zip(&d.pred) {
+                    out.push_str(&format!("{},{},{t},{p}\n", s.model, d.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pearson correlation between truth and prediction for a series
+    /// (quantifies the paper's "highly correlated with the ground truth").
+    pub fn correlation(&self, model: &str) -> Option<f32> {
+        let s = self.series.iter().find(|s| s.model == model)?;
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for d in &s.designs {
+            xs.extend_from_slice(&d.truth);
+            ys.extend_from_slice(&d.pred);
+        }
+        if xs.len() < 2 {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let my = ys.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            cov += (x as f64 - mx) * (y as f64 - my);
+            vx += (x as f64 - mx).powi(2);
+            vy += (y as f64 - my).powi(2);
+        }
+        if vx == 0.0 || vy == 0.0 {
+            return None;
+        }
+        Some((cov / (vx * vy).sqrt()) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig4_produces_two_series() {
+        let f = run(&Table2Config::tiny());
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].model, "GCN");
+        assert!(f.series[1].model.starts_with("HOGA-"));
+        let csv = f.render_csv();
+        assert!(csv.starts_with("model,design,truth,pred"));
+        assert!(csv.lines().count() > 1);
+    }
+}

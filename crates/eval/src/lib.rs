@@ -1,0 +1,35 @@
+//! Training, metrics and paper-experiment drivers.
+//!
+//! * [`metrics`] — MAPE (Table 2), accuracy and confusion matrices
+//!   (Figure 6).
+//! * [`trainer`] — task training loops for HOGA and every baseline, with
+//!   identical task pipelines (Figure 3's controlled swap).
+//! * [`parallel_train`] — thread-based data-parallel HOGA training
+//!   reproducing the DDP scaling experiment (Figure 5).
+//! * [`experiments`] — one driver per paper artifact (Table 1, Table 2,
+//!   Figures 4–7 and the §III-B ablation); each returns typed results and
+//!   renders the same rows/series the paper reports. The Criterion harness
+//!   in `hoga-bench` wraps these drivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod parallel_train;
+pub mod trainer;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixtures: dataset construction dominates test runtime,
+    //! so the tiny QoR dataset is built once per test binary.
+
+    use hoga_datasets::openabcd::{build_qor_dataset, QorDataset, QorDatasetConfig};
+    use std::sync::OnceLock;
+
+    /// The tiny QoR dataset, built on first use.
+    pub fn tiny_qor_dataset() -> &'static QorDataset {
+        static DS: OnceLock<QorDataset> = OnceLock::new();
+        DS.get_or_init(|| build_qor_dataset(&QorDatasetConfig::tiny()))
+    }
+}

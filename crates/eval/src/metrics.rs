@@ -1,0 +1,183 @@
+//! Evaluation metrics: MAPE (Table 2) and classification accuracy
+//! (Figure 6), plus a confusion matrix for per-class diagnostics.
+
+use hoga_gen::reason::NodeClass;
+
+/// Mean absolute percentage error, as defined in §IV-B:
+/// `MAPE = (1/g) Σ |yᵢ - ŷᵢ| / |yᵢ| × 100`.
+///
+/// Samples with `y == 0` are skipped (undefined relative error).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use hoga_eval::metrics::mape;
+///
+/// let m = mape(&[100.0, 200.0], &[90.0, 220.0]);
+/// assert!((m - 10.0).abs() < 1e-4); // (10% + 10%) / 2
+/// ```
+pub fn mape(truth: &[f32], pred: &[f32]) -> f32 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (&y, &yh) in truth.iter().zip(pred) {
+        if y != 0.0 {
+            total += ((y - yh) / y).abs() as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (total / count as f64 * 100.0) as f32
+    }
+}
+
+/// Fraction of exact matches between predicted and true class indices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f32 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty evaluation set");
+    let hits = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
+    hits as f32 / truth.len() as f32
+}
+
+/// A `C × C` confusion matrix over class indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix; entry `(t, p)` counts samples of true class `t`
+    /// predicted as `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any index is `>= num_classes`.
+    pub fn new(num_classes: usize, truth: &[usize], pred: &[usize]) -> Self {
+        assert_eq!(truth.len(), pred.len(), "length mismatch");
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            counts[t][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Count of true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Per-class recall (`None` for classes absent from the truth).
+    pub fn recalls(&self) -> Vec<Option<f32>> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(t, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    None
+                } else {
+                    Some(row[t] as f32 / total as f32)
+                }
+            })
+            .collect()
+    }
+
+    /// Renders a compact table with [`NodeClass`] names when `C == 4`.
+    pub fn render(&self) -> String {
+        let names: Vec<String> = if self.counts.len() == NodeClass::COUNT {
+            (0..NodeClass::COUNT)
+                .map(|i| format!("{:?}", NodeClass::from_index(i)))
+                .collect()
+        } else {
+            (0..self.counts.len()).map(|i| format!("c{i}")).collect()
+        };
+        let mut out = String::from("true\\pred");
+        for n in &names {
+            out.push_str(&format!("\t{n}"));
+        }
+        out.push('\n');
+        for (t, row) in self.counts.iter().enumerate() {
+            out.push_str(&names[t]);
+            for &v in row {
+                out.push_str(&format!("\t{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Argmax over each row of a logits matrix → predicted class indices.
+pub fn argmax_rows(logits: &hoga_tensor::Matrix) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_tensor::Matrix;
+
+    #[test]
+    fn mape_basic_and_zero_skip() {
+        assert_eq!(mape(&[10.0], &[10.0]), 0.0);
+        let m = mape(&[0.0, 100.0], &[5.0, 50.0]);
+        assert!((m - 50.0).abs() < 1e-4, "zero-truth sample must be skipped");
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 3], &[0, 1, 0, 3]), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_rejects_empty() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_recalls() {
+        let cm = ConfusionMatrix::new(3, &[0, 0, 1, 2], &[0, 1, 1, 1]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(2, 1), 1);
+        let rec = cm.recalls();
+        assert_eq!(rec[0], Some(0.5));
+        assert_eq!(rec[1], Some(1.0));
+        assert_eq!(rec[2], Some(0.0));
+    }
+
+    #[test]
+    fn confusion_render_contains_class_names() {
+        let cm = ConfusionMatrix::new(4, &[0, 1, 2, 3], &[0, 1, 2, 3]);
+        let s = cm.render();
+        assert!(s.contains("Maj"));
+        assert!(s.contains("Plain"));
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_rows(&[&[0.1, 0.9], &[2.0, -1.0]]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+}

@@ -1,0 +1,720 @@
+//! Training loops for both EDA tasks.
+//!
+//! Mirrors the paper's controlled setup (Figure 3): the task pipeline is
+//! fixed and only the representation model varies — HOGA vs the baselines
+//! of `hoga-baselines`. All loops use Adam (§IV-A) and are deterministic in
+//! their seed.
+
+use hoga_autograd::optim::{Adam, Optimizer};
+use hoga_autograd::{Gradients, Tape};
+use hoga_baselines::gcn::Gcn;
+use hoga_baselines::sage::GraphSage;
+use hoga_baselines::saint::random_walk_sample;
+use hoga_baselines::sign::Sign;
+use hoga_core::heads::{GraphRegressor, NodeClassifier};
+use hoga_core::hopfeat::hop_stack;
+use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
+use hoga_datasets::gamora::ReasoningGraph;
+use hoga_datasets::openabcd::{QorDataset, QorSample, RECIPE_ENCODING_WIDTH};
+use hoga_datasets::splits::minibatches;
+use hoga_gen::reason::NodeClass;
+use hoga_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::{accuracy, argmax_rows, mape};
+
+/// Common hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Hidden width `d` (paper: 256; CPU default 64).
+    pub hidden_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate (paper: 1e-4; our smaller models tolerate more).
+    pub lr: f32,
+    /// Node minibatch size for hop-based models.
+    pub batch_nodes: usize,
+    /// Sample minibatch size for QoR training.
+    pub batch_samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 64,
+            epochs: 30,
+            lr: 1e-3,
+            batch_nodes: 512,
+            batch_samples: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// Wall-clock statistics of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Total optimization time (excludes dataset construction).
+    pub train_time: Duration,
+    /// Final training loss.
+    pub final_loss: f32,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Functional reasoning (Figure 6)
+// ---------------------------------------------------------------------------
+
+/// Model selection for the reasoning task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReasonModelKind {
+    /// HOGA with the given aggregator ([`Aggregator::GatedSelfAttention`]
+    /// is the paper's model; others are the §III-B ablations).
+    Hoga(Aggregator),
+    /// SIGN: MLP over hop features.
+    Sign,
+    /// GraphSAGE trained full-graph (the Gamora baseline).
+    Sage,
+    /// GraphSAGE trained on GraphSAINT random-walk subgraphs.
+    Saint,
+}
+
+/// A trained reasoning model.
+pub enum ReasonModel {
+    /// HOGA + linear classifier.
+    Hoga(Box<HogaModel>, NodeClassifier),
+    /// SIGN + linear classifier.
+    Sign(Box<Sign>, NodeClassifier),
+    /// GraphSAGE + linear classifier (used for both Sage and Saint).
+    Sage(Box<GraphSage>, NodeClassifier),
+}
+
+/// Square-root inverse-frequency class weights
+/// `w_c = sqrt(n / (C · count_c))`, capped at 4 — functional classes are
+/// heavily imbalanced (plain nodes dominate) and an unweighted loss lets
+/// small models collapse to the majority class, while full inverse
+/// frequency over-corrects and collapses the majority instead. The square
+/// root is the standard middle ground.
+pub(crate) fn reasoning_class_weights(labels: &[usize]) -> Vec<f32> {
+    class_weights(labels, NodeClass::COUNT)
+}
+
+fn class_weights(labels: &[usize], num_classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; num_classes];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let n = labels.len() as f32;
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                1.0
+            } else {
+                (n / (num_classes as f32 * c as f32)).sqrt().min(4.0)
+            }
+        })
+        .collect()
+}
+
+/// Trains a reasoning model on one labeled graph (the paper trains on the
+/// 8-bit multiplier only).
+pub fn train_reasoning(
+    graph: &ReasoningGraph,
+    kind: ReasonModelKind,
+    cfg: &TrainConfig,
+) -> (ReasonModel, TrainStats) {
+    let labels = graph.label_indices();
+    let weights = class_weights(&labels, NodeClass::COUNT);
+    let n = graph.aig.num_nodes();
+    let start = Instant::now();
+    let mut steps = 0usize;
+    let mut final_loss = 0.0f32;
+    let model = match kind {
+        ReasonModelKind::Hoga(aggregator) => {
+            let hcfg = HogaConfig::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1)
+                .with_aggregator(aggregator);
+            let mut model = HogaModel::new(&hcfg, cfg.seed);
+            let cls = NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+            let mut opt = Adam::new(cfg.lr);
+            for epoch in 0..cfg.epochs {
+                for batch in minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64) {
+                    let stack = hop_stack(&graph.hops, &batch);
+                    let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+                    let mut tape = Tape::new();
+                    let out = model.forward(&mut tape, &stack, batch.len());
+                    let logits = cls.logits(&mut tape, &model.params, out.representations);
+                    let loss = tape.cross_entropy_weighted(logits, &batch_labels, &weights);
+                    final_loss = tape.value(loss)[(0, 0)];
+                    let grads = tape.backward(loss);
+                    opt.step(&mut model.params, &grads);
+                    steps += 1;
+                }
+            }
+            ReasonModel::Hoga(Box::new(model), cls)
+        }
+        ReasonModelKind::Sign => {
+            let mut model = Sign::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1, cfg.seed);
+            let cls = {
+                let mut p = std::mem::take(&mut model.params);
+                let cls = NodeClassifier::new(&mut p, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+                model.params = p;
+                cls
+            };
+            let mut opt = Adam::new(cfg.lr);
+            for epoch in 0..cfg.epochs {
+                for batch in minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64) {
+                    let stack = hop_stack(&graph.hops, &batch);
+                    let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+                    let mut tape = Tape::new();
+                    let reps = model.forward(&mut tape, &stack, batch.len());
+                    let logits = cls.logits(&mut tape, &model.params, reps);
+                    let loss = tape.cross_entropy_weighted(logits, &batch_labels, &weights);
+                    final_loss = tape.value(loss)[(0, 0)];
+                    let grads = tape.backward(loss);
+                    opt.step(&mut model.params, &grads);
+                    steps += 1;
+                }
+            }
+            ReasonModel::Sign(Box::new(model), cls)
+        }
+        ReasonModelKind::Sage | ReasonModelKind::Saint => {
+            let mean_adj = Arc::new(hoga_circuit::adjacency::normalized_mean(&graph.aig));
+            let mean_adj_t = Arc::new(mean_adj.transpose());
+            let undirected = hoga_circuit::adjacency::undirected(&graph.aig);
+            let layers = graph.hops.len() - 1; // match receptive field K
+            let mut model = GraphSage::new(graph.features.cols(), cfg.hidden_dim, layers, cfg.seed);
+            let cls = {
+                let mut p = std::mem::take(&mut model.params);
+                let cls = NodeClassifier::new(&mut p, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+                model.params = p;
+                cls
+            };
+            let mut opt = Adam::new(cfg.lr);
+            // Match the hop-based models' optimizer-step budget: they take
+            // ceil(n / batch_nodes) steps per epoch, full-graph SAGE takes
+            // the same number of (full-batch) steps.
+            let steps_per_epoch = if cfg.batch_nodes == 0 {
+                1
+            } else {
+                n.div_ceil(cfg.batch_nodes)
+            };
+            for epoch in 0..cfg.epochs {
+                match kind {
+                    ReasonModelKind::Sage => {
+                        for _ in 0..steps_per_epoch {
+                            let mut tape = Tape::new();
+                            let reps =
+                                model.forward(&mut tape, &mean_adj, &mean_adj_t, &graph.features);
+                            let logits = cls.logits(&mut tape, &model.params, reps);
+                            let loss = tape.cross_entropy_weighted(logits, &labels, &weights);
+                            final_loss = tape.value(loss)[(0, 0)];
+                            let grads = tape.backward(loss);
+                            opt.step(&mut model.params, &grads);
+                            steps += 1;
+                        }
+                    }
+                    ReasonModelKind::Saint => {
+                        // One sampled subgraph per step; functionality-severing
+                        // by construction (§II-A).
+                        for step in 0..steps_per_epoch {
+                            let sub = random_walk_sample(
+                                &undirected,
+                                (cfg.batch_nodes / 8).max(8),
+                                4,
+                                cfg.seed ^ ((epoch * steps_per_epoch + step) as u64) << 16,
+                            );
+                            let sub_adj = Arc::new(sub.mean_adj.clone());
+                            let sub_adj_t = Arc::new(sub.mean_adj_t.clone());
+                            let feats = graph.features.select_rows(&sub.nodes);
+                            let sub_labels: Vec<usize> =
+                                sub.nodes.iter().map(|&i| labels[i]).collect();
+                            let mut tape = Tape::new();
+                            let reps = model.forward(&mut tape, &sub_adj, &sub_adj_t, &feats);
+                            let logits = cls.logits(&mut tape, &model.params, reps);
+                            let loss = tape.cross_entropy_weighted(logits, &sub_labels, &weights);
+                            final_loss = tape.value(loss)[(0, 0)];
+                            let grads = tape.backward(loss);
+                            opt.step(&mut model.params, &grads);
+                            steps += 1;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            ReasonModel::Sage(Box::new(model), cls)
+        }
+    };
+    let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+    (model, stats)
+}
+
+/// Evaluates node-classification accuracy on a graph (full-graph inference,
+/// chunked for the hop-based models to bound memory).
+pub fn eval_reasoning(model: &ReasonModel, graph: &ReasoningGraph) -> f32 {
+    let labels = graph.label_indices();
+    let pred = predict_reasoning(model, graph);
+    accuracy(&labels, &pred)
+}
+
+/// Predicted class index per node.
+pub fn predict_reasoning(model: &ReasonModel, graph: &ReasoningGraph) -> Vec<usize> {
+    let n = graph.aig.num_nodes();
+    match model {
+        ReasonModel::Hoga(m, cls) => {
+            let mut pred = Vec::with_capacity(n);
+            for chunk in (0..n).collect::<Vec<_>>().chunks(4096) {
+                let stack = hop_stack(&graph.hops, chunk);
+                let mut tape = Tape::new();
+                let out = m.forward(&mut tape, &stack, chunk.len());
+                let logits = cls.logits(&mut tape, &m.params, out.representations);
+                pred.extend(argmax_rows(tape.value(logits)));
+            }
+            pred
+        }
+        ReasonModel::Sign(m, cls) => {
+            let mut pred = Vec::with_capacity(n);
+            for chunk in (0..n).collect::<Vec<_>>().chunks(4096) {
+                let stack = hop_stack(&graph.hops, chunk);
+                let mut tape = Tape::new();
+                let reps = m.forward(&mut tape, &stack, chunk.len());
+                let logits = cls.logits(&mut tape, &m.params, reps);
+                pred.extend(argmax_rows(tape.value(logits)));
+            }
+            pred
+        }
+        ReasonModel::Sage(m, cls) => {
+            let mean_adj = Arc::new(hoga_circuit::adjacency::normalized_mean(&graph.aig));
+            let mean_adj_t = Arc::new(mean_adj.transpose());
+            let mut tape = Tape::new();
+            let reps = m.forward(&mut tape, &mean_adj, &mean_adj_t, &graph.features);
+            let logits = cls.logits(&mut tape, &m.params, reps);
+            argmax_rows(tape.value(logits))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QoR prediction (Table 2 / Figure 4)
+// ---------------------------------------------------------------------------
+
+/// Which QoR metric to learn. The paper predicts optimized gate count;
+/// depth (delay) is this reproduction's extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QorTarget {
+    /// Optimized AND-gate count (the paper's target).
+    #[default]
+    GateCount,
+    /// Optimized circuit depth in AND levels.
+    Depth,
+}
+
+impl QorTarget {
+    fn ratio(self, s: &QorSample) -> f32 {
+        match self {
+            QorTarget::GateCount => s.ratio(),
+            QorTarget::Depth => s.depth_ratio(),
+        }
+    }
+
+    fn initial(self, s: &QorSample) -> f32 {
+        match self {
+            QorTarget::GateCount => s.initial_ands as f32,
+            QorTarget::Depth => s.initial_depth as f32,
+        }
+    }
+
+    fn truth(self, s: &QorSample) -> f32 {
+        match self {
+            QorTarget::GateCount => s.final_ands as f32,
+            QorTarget::Depth => s.final_depth as f32,
+        }
+    }
+}
+
+/// Model selection for QoR prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QorModelKind {
+    /// The OpenABC-D baseline: a GCN with the given layer count (paper: 5).
+    Gcn {
+        /// Message-passing depth.
+        layers: usize,
+    },
+    /// HOGA with the given hop count (2 and 5 in Table 2).
+    Hoga {
+        /// Number of hops `K`.
+        num_hops: usize,
+    },
+}
+
+/// A trained QoR model.
+pub enum QorModel {
+    /// GCN + pooled regressor.
+    Gcn(Box<Gcn>, GraphRegressor),
+    /// HOGA + pooled regressor.
+    Hoga(Box<HogaModel>, GraphRegressor),
+}
+
+/// Trains a QoR model on the dataset's training split for the paper's
+/// gate-count target. See [`train_qor_with_target`] for depth prediction.
+///
+/// # Panics
+///
+/// Panics if a HOGA hop count exceeds the dataset's precomputed hops.
+pub fn train_qor(ds: &QorDataset, kind: QorModelKind, cfg: &TrainConfig) -> (QorModel, TrainStats) {
+    train_qor_with_target(ds, kind, cfg, QorTarget::GateCount)
+}
+
+/// Trains a QoR model for an explicit [`QorTarget`].
+///
+/// # Panics
+///
+/// Panics if a HOGA hop count exceeds the dataset's precomputed hops.
+pub fn train_qor_with_target(
+    ds: &QorDataset,
+    kind: QorModelKind,
+    cfg: &TrainConfig,
+    target: QorTarget,
+) -> (QorModel, TrainStats) {
+    let feat_dim = ds.designs[0].features.cols();
+    let start = Instant::now();
+    let mut steps = 0usize;
+    let mut final_loss = 0.0f32;
+    match kind {
+        QorModelKind::Hoga { num_hops } => {
+            assert!(
+                num_hops + 1 <= ds.designs[0].hops.len(),
+                "dataset precomputed only {} hops",
+                ds.designs[0].hops.len() - 1
+            );
+            let hcfg = HogaConfig::new(feat_dim, cfg.hidden_dim, num_hops);
+            let mut model = HogaModel::new(&hcfg, cfg.seed);
+            let reg = GraphRegressor::new(
+                &mut model.params,
+                cfg.hidden_dim + RECIPE_ENCODING_WIDTH,
+                cfg.hidden_dim,
+                cfg.seed ^ 0xD,
+            );
+            let mut opt = Adam::new(cfg.lr);
+            for epoch in 0..cfg.epochs {
+                for batch in minibatches(ds.train.len(), cfg.batch_samples, cfg.seed, epoch as u64)
+                {
+                    let samples: Vec<&QorSample> = batch.iter().map(|&i| &ds.train[i]).collect();
+                    let (loss_val, grads) =
+                        hoga_qor_step(ds, &model, &reg, num_hops, &samples, target);
+                    final_loss = loss_val;
+                    opt.step(&mut model.params, &grads);
+                    steps += 1;
+                }
+            }
+            let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+            (QorModel::Hoga(Box::new(model), reg), stats)
+        }
+        QorModelKind::Gcn { layers } => {
+            let mut model = Gcn::new(feat_dim, cfg.hidden_dim, layers, cfg.seed);
+            let reg = {
+                let mut p = std::mem::take(&mut model.params);
+                let reg = GraphRegressor::new(
+                    &mut p,
+                    cfg.hidden_dim + RECIPE_ENCODING_WIDTH,
+                    cfg.hidden_dim,
+                    cfg.seed ^ 0xD,
+                );
+                model.params = p;
+                reg
+            };
+            let mut opt = Adam::new(cfg.lr);
+            for epoch in 0..cfg.epochs {
+                for batch in minibatches(ds.train.len(), cfg.batch_samples, cfg.seed, epoch as u64)
+                {
+                    let samples: Vec<&QorSample> = batch.iter().map(|&i| &ds.train[i]).collect();
+                    let (loss_val, grads) = gcn_qor_step(ds, &model, &reg, &samples, target);
+                    final_loss = loss_val;
+                    opt.step(&mut model.params, &grads);
+                    steps += 1;
+                }
+            }
+            let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+            (QorModel::Gcn(Box::new(model), reg), stats)
+        }
+    }
+}
+
+/// One HOGA QoR step over a sample minibatch: one tape per involved design,
+/// gradients summed (identical math to a single joint tape).
+fn hoga_qor_step(
+    ds: &QorDataset,
+    model: &HogaModel,
+    reg: &GraphRegressor,
+    num_hops: usize,
+    samples: &[&QorSample],
+    target: QorTarget,
+) -> (f32, Gradients) {
+    let mut by_design: BTreeMap<usize, Vec<&QorSample>> = BTreeMap::new();
+    for s in samples {
+        by_design.entry(s.design).or_default().push(s);
+    }
+    let mut total_grads = Gradients::new();
+    let mut total_loss = 0.0f32;
+    let weight = 1.0 / by_design.len() as f32;
+    for (design_idx, group) in by_design {
+        let design = &ds.designs[design_idx];
+        let stack = hop_stack(&design.hops[..=num_hops], &design.pooled_nodes);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &stack, design.pooled_nodes.len());
+        let n = design.pooled_nodes.len();
+        // All samples of the group share the node representations; each gets
+        // its own recipe vector via identical pooling segments.
+        let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
+        let extra = Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| {
+            group[r].recipe_encoding[c]
+        });
+        let pred = reg.predict_with_extra(&mut tape, &model.params, out.representations, segments, &extra);
+        let target_m = Matrix::from_fn(group.len(), 1, |r, _| target.ratio(group[r]));
+        let loss = tape.mse_loss(pred, &target_m);
+        let scaled = tape.scale(loss, weight);
+        total_loss += tape.value(scaled)[(0, 0)];
+        let grads = tape.backward(scaled);
+        total_grads.accumulate(&grads);
+    }
+    (total_loss, total_grads)
+}
+
+/// One GCN QoR step (full-graph message passing per involved design).
+fn gcn_qor_step(
+    ds: &QorDataset,
+    model: &Gcn,
+    reg: &GraphRegressor,
+    samples: &[&QorSample],
+    target: QorTarget,
+) -> (f32, Gradients) {
+    let mut by_design: BTreeMap<usize, Vec<&QorSample>> = BTreeMap::new();
+    for s in samples {
+        by_design.entry(s.design).or_default().push(s);
+    }
+    let mut total_grads = Gradients::new();
+    let mut total_loss = 0.0f32;
+    let weight = 1.0 / by_design.len() as f32;
+    for (design_idx, group) in by_design {
+        let design = &ds.designs[design_idx];
+        let mut tape = Tape::new();
+        let reps = model.forward(&mut tape, &design.adj, &design.features);
+        let n = design.aig.num_nodes();
+        let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
+        let extra = Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| {
+            group[r].recipe_encoding[c]
+        });
+        let pred = reg.predict_with_extra(&mut tape, &model.params, reps, segments, &extra);
+        let target_m = Matrix::from_fn(group.len(), 1, |r, _| target.ratio(group[r]));
+        let loss = tape.mse_loss(pred, &target_m);
+        let scaled = tape.scale(loss, weight);
+        total_loss += tape.value(scaled)[(0, 0)];
+        let grads = tape.backward(scaled);
+        total_grads.accumulate(&grads);
+    }
+    (total_loss, total_grads)
+}
+
+/// Per-design evaluation record: `(design name, truths, predictions)` in
+/// gate counts (used for both Table 2 MAPE and the Figure 4 scatter).
+#[derive(Debug, Clone)]
+pub struct QorEval {
+    /// Design name.
+    pub name: String,
+    /// Ground-truth optimized gate counts.
+    pub truth: Vec<f32>,
+    /// Predicted optimized gate counts.
+    pub pred: Vec<f32>,
+}
+
+impl QorEval {
+    /// MAPE over this design's samples.
+    pub fn mape(&self) -> f32 {
+        mape(&self.truth, &self.pred)
+    }
+}
+
+/// Evaluates a QoR model over the dataset's test designs (or train designs
+/// with `use_train = true`), grouped per design.
+pub fn eval_qor(ds: &QorDataset, model: &QorModel, use_train: bool) -> Vec<QorEval> {
+    eval_qor_with_target(ds, model, use_train, QorTarget::GateCount)
+}
+
+/// Evaluates a QoR model for an explicit [`QorTarget`].
+pub fn eval_qor_with_target(
+    ds: &QorDataset,
+    model: &QorModel,
+    use_train: bool,
+    target: QorTarget,
+) -> Vec<QorEval> {
+    let samples = if use_train { &ds.train } else { &ds.test };
+    let mut by_design: BTreeMap<usize, Vec<&QorSample>> = BTreeMap::new();
+    for s in samples {
+        by_design.entry(s.design).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (design_idx, group) in by_design {
+        let design = &ds.designs[design_idx];
+        let extra = Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| {
+            group[r].recipe_encoding[c]
+        });
+        let pred_ratios: Matrix = match model {
+            QorModel::Hoga(m, reg) => {
+                let num_hops = m.config().num_hops;
+                let stack = hop_stack(&design.hops[..=num_hops], &design.pooled_nodes);
+                let mut tape = Tape::new();
+                let o = m.forward(&mut tape, &stack, design.pooled_nodes.len());
+                let n = design.pooled_nodes.len();
+                let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
+                let pred = reg.predict_with_extra(&mut tape, &m.params, o.representations, segments, &extra);
+                tape.value(pred).clone()
+            }
+            QorModel::Gcn(m, reg) => {
+                let mut tape = Tape::new();
+                let reps = m.forward(&mut tape, &design.adj, &design.features);
+                let n = design.aig.num_nodes();
+                let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
+                let pred = reg.predict_with_extra(&mut tape, &m.params, reps, segments, &extra);
+                tape.value(pred).clone()
+            }
+        };
+        let truth: Vec<f32> = group.iter().map(|s| target.truth(s)).collect();
+        let pred: Vec<f32> = group
+            .iter()
+            .enumerate()
+            .map(|(i, s)| pred_ratios[(i, 0)].clamp(0.0, 1.5) * target.initial(s))
+            .collect();
+        out.push(QorEval { name: design.spec.name.to_string(), truth, pred });
+    }
+    out
+}
+
+/// Average MAPE across designs (the paper's "Average" column).
+pub fn average_mape(evals: &[QorEval]) -> f32 {
+    if evals.is_empty() {
+        return 0.0;
+    }
+    evals.iter().map(QorEval::mape).sum::<f32>() / evals.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
+    
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig { hidden_dim: 16, epochs: 4, lr: 3e-3, batch_nodes: 128, batch_samples: 4, seed: 5 }
+    }
+
+    fn tiny_graph() -> ReasoningGraph {
+        build_reasoning_graph(
+            MultiplierKind::Csa,
+            4,
+            &ReasoningConfig { tech_map: false, lut_k: 4, num_hops: 4, label_k: 3 },
+        )
+    }
+
+    #[test]
+    fn hoga_reasoning_beats_majority_class_on_train_graph() {
+        let g = tiny_graph();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 30;
+        let (model, stats) =
+            train_reasoning(&g, ReasonModelKind::Hoga(Aggregator::GatedSelfAttention), &cfg);
+        assert!(stats.steps > 0);
+        let acc = eval_reasoning(&model, &g);
+        // Majority-class (plain) baseline on this graph:
+        let labels = g.label_indices();
+        let plain = labels.iter().filter(|&&l| l == 3).count() as f32 / labels.len() as f32;
+        assert!(acc > plain, "accuracy {acc} <= majority baseline {plain}");
+    }
+
+    #[test]
+    fn all_reasoning_models_train_and_eval() {
+        let g = tiny_graph();
+        let cfg = tiny_cfg();
+        for kind in [
+            ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
+            ReasonModelKind::Hoga(Aggregator::Sum),
+            ReasonModelKind::Sign,
+            ReasonModelKind::Sage,
+            ReasonModelKind::Saint,
+        ] {
+            let (model, _) = train_reasoning(&g, kind, &cfg);
+            let acc = eval_reasoning(&model, &g);
+            assert!((0.0..=1.0).contains(&acc), "{kind:?}: bad accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn qor_models_train_and_eval_on_tiny_dataset() {
+        let ds = crate::testutil::tiny_qor_dataset();
+        if ds.train.is_empty() || ds.test.is_empty() {
+            // Tiny config may filter out all test designs on some scale.
+            return;
+        }
+        let cfg = tiny_cfg();
+        for kind in [QorModelKind::Hoga { num_hops: 2 }, QorModelKind::Gcn { layers: 2 }] {
+            let (model, stats) = train_qor(ds, kind, &cfg);
+            assert!(stats.steps > 0);
+            let evals = eval_qor(ds, &model, false);
+            assert!(!evals.is_empty());
+            for e in &evals {
+                assert_eq!(e.truth.len(), e.pred.len());
+                assert!(e.mape().is_finite());
+            }
+            let avg = average_mape(&evals);
+            assert!(avg >= 0.0);
+        }
+    }
+
+    #[test]
+    fn depth_target_trains_and_evaluates() {
+        let ds = crate::testutil::tiny_qor_dataset();
+        if ds.train.is_empty() || ds.test.is_empty() {
+            return;
+        }
+        let cfg = tiny_cfg();
+        let (model, stats) = train_qor_with_target(
+            ds,
+            QorModelKind::Hoga { num_hops: 2 },
+            &cfg,
+            QorTarget::Depth,
+        );
+        assert!(stats.final_loss.is_finite());
+        let evals = eval_qor_with_target(ds, &model, false, QorTarget::Depth);
+        assert!(!evals.is_empty());
+        for e in &evals {
+            assert!(e.truth.iter().all(|&t| t >= 0.0), "depths are non-negative");
+            assert!(e.mape().is_finite());
+        }
+        // Depth labels genuinely differ from gate-count labels.
+        let gc = eval_qor(ds, &model, false);
+        assert_ne!(gc[0].truth, evals[0].truth);
+    }
+
+    #[test]
+    fn hoga_qor_training_reduces_loss() {
+        let ds = crate::testutil::tiny_qor_dataset();
+        if ds.train.len() < 4 {
+            return;
+        }
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 1;
+        let (_, stats1) = train_qor(ds, QorModelKind::Hoga { num_hops: 2 }, &cfg);
+        cfg.epochs = 12;
+        let (_, stats2) = train_qor(ds, QorModelKind::Hoga { num_hops: 2 }, &cfg);
+        assert!(
+            stats2.final_loss <= stats1.final_loss * 1.5,
+            "loss diverged: {} -> {}",
+            stats1.final_loss,
+            stats2.final_loss
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Phase 1 of HOGA: hop-wise feature generation (Eq. 3 of the paper).
+//!
+//! Given the normalized adjacency `Â` and node features `X`, the hop
+//! features are `X^(0) = X` and `X^(k) = Â X^(k-1)` for `k = 1..K`. This is
+//! a pure precomputation — it runs once per graph, before training, and the
+//! paper reports it takes minutes against hours of training (§IV-B; our
+//! Figure-5 bench reproduces the ratio).
+
+use hoga_tensor::{CsrMatrix, Matrix};
+
+/// Computes the `K + 1` hop-wise feature matrices `X^(0), ..., X^(K)`.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square with side `x.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use hoga_core::hopfeat::hop_features;
+/// use hoga_tensor::{CsrMatrix, Matrix};
+///
+/// let adj = CsrMatrix::from_coo(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+/// let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+/// let hops = hop_features(&adj, &x, 2);
+/// assert_eq!(hops.len(), 3);
+/// assert_eq!(hops[1].as_slice(), &[2.0, 1.0]); // one swap per hop
+/// assert_eq!(hops[2].as_slice(), &[1.0, 2.0]);
+/// ```
+pub fn hop_features(adj: &CsrMatrix, x: &Matrix, k: usize) -> Vec<Matrix> {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    assert_eq!(adj.rows(), x.rows(), "adjacency/features size mismatch");
+    let mut hops = Vec::with_capacity(k + 1);
+    hops.push(x.clone());
+    for _ in 0..k {
+        let prev = hops.last().expect("non-empty");
+        hops.push(adj.spmm(prev));
+    }
+    hops
+}
+
+/// Assembles the batched hop stack for the given nodes.
+///
+/// Returns a `(nodes.len() · (K+1)) × d` matrix whose block `i` is
+/// `Xᵢ = [X^(0)_i; X^(1)_i; ...; X^(K)_i]` — the third-order tensor `X` of
+/// the paper, flattened for the batched attention kernels.
+///
+/// # Panics
+///
+/// Panics if `hops` is empty, the hop matrices disagree in shape, or an
+/// index is out of bounds.
+pub fn hop_stack(hops: &[Matrix], nodes: &[usize]) -> Matrix {
+    assert!(!hops.is_empty(), "need at least X^(0)");
+    let d = hops[0].cols();
+    let n = hops[0].rows();
+    for h in hops {
+        assert_eq!(h.shape(), (n, d), "hop matrices must share a shape");
+    }
+    let k1 = hops.len();
+    let mut out = Matrix::zeros(nodes.len() * k1, d);
+    for (bi, &node) in nodes.iter().enumerate() {
+        for (ki, h) in hops.iter().enumerate() {
+            out.row_mut(bi * k1 + ki).copy_from_slice(h.row(node));
+        }
+    }
+    out
+}
+
+/// Brute-force reference for [`hop_features`] used by tests: explicit
+/// neighbor accumulation instead of SpMM.
+pub fn hop_features_reference(adj: &CsrMatrix, x: &Matrix, k: usize) -> Vec<Matrix> {
+    let mut hops = vec![x.clone()];
+    for _ in 0..k {
+        let prev = hops.last().expect("non-empty");
+        let mut next = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..adj.rows() {
+            for (c, w) in adj.row_entries(r) {
+                for col in 0..x.cols() {
+                    next[(r, col)] += w * prev[(c, col)];
+                }
+            }
+        }
+        hops.push(next);
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_circuit::{adjacency, features, Aig};
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new(4);
+        let (a, b, c, d) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2), g.pi_lit(3));
+        let x = g.xor(a, b);
+        let y = g.maj(b, c, d);
+        let z = g.and(x, y);
+        g.add_po(z);
+        g
+    }
+
+    #[test]
+    fn matches_reference_on_circuit() {
+        let aig = sample_aig();
+        let adj = adjacency::normalized_symmetric(&aig);
+        let x = features::node_features(&aig);
+        let fast = hop_features(&adj, &x, 4);
+        let slow = hop_features_reference(&adj, &x, 4);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!(f.max_abs_diff(s) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hop_zero_is_input() {
+        let aig = sample_aig();
+        let adj = adjacency::normalized_symmetric(&aig);
+        let x = features::node_features(&aig);
+        let hops = hop_features(&adj, &x, 2);
+        assert_eq!(hops[0], x);
+    }
+
+    #[test]
+    fn features_stay_bounded_under_normalization() {
+        // Â has spectral radius ≤ 1, so hop features cannot blow up.
+        let aig = sample_aig();
+        let adj = adjacency::normalized_symmetric(&aig);
+        let x = features::node_features(&aig);
+        let hops = hop_features(&adj, &x, 16);
+        for (k, h) in hops.iter().enumerate() {
+            assert!(h.max_abs() <= x.max_abs() * 2.0, "hop {k} exploded: {}", h.max_abs());
+            assert!(h.is_finite());
+        }
+    }
+
+    #[test]
+    fn stack_layout_is_node_major() {
+        let aig = sample_aig();
+        let adj = adjacency::normalized_symmetric(&aig);
+        let x = features::node_features(&aig);
+        let hops = hop_features(&adj, &x, 2);
+        let nodes = vec![3usize, 0usize];
+        let stack = hop_stack(&hops, &nodes);
+        assert_eq!(stack.shape(), (2 * 3, x.cols()));
+        assert_eq!(stack.row(0), hops[0].row(3));
+        assert_eq!(stack.row(1), hops[1].row(3));
+        assert_eq!(stack.row(2), hops[2].row(3));
+        assert_eq!(stack.row(3), hops[0].row(0));
+    }
+
+    #[test]
+    fn isolated_node_keeps_only_self_information() {
+        // A node with no edges: symmetric normalization gives it a self-loop
+        // of weight 1, so all its hop features equal its input feature.
+        let mut g = Aig::new(2);
+        let a = g.pi_lit(0);
+        g.add_po(a);
+        // PI 1 is isolated (referenced by nothing).
+        let adj = adjacency::normalized_symmetric(&g);
+        let x = features::node_features(&g);
+        let hops = hop_features(&adj, &x, 3);
+        let iso = g.pi_lit(1).node() as usize;
+        for h in &hops {
+            assert_eq!(h.row(iso), x.row(iso), "isolated node drifted");
+        }
+    }
+}

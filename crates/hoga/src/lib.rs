@@ -1,0 +1,57 @@
+//! HOGA: Hop-wise Graph Attention for circuits (Deng et al., DAC 2024).
+//!
+//! This crate is the paper's primary contribution, reproduced from scratch:
+//!
+//! * [`hopfeat`] — Phase 1 (Eq. 3): precompute hop-wise features
+//!   `X^(k) = Â X^(k-1)` with the normalized adjacency from
+//!   [`hoga_circuit::adjacency`], and assemble per-node hop stacks
+//!   `Xᵢ ∈ R^{(K+1)×d}`.
+//! * [`model`] — Phase 2: the gated self-attention module (Eqs. 5–9), the
+//!   attentive readout (Eq. 10), and the full [`model::HogaModel`] with an
+//!   input projection and configurable aggregator (the §III-B ablations —
+//!   plain sum and gate-without-attention — are selectable via
+//!   [`model::Aggregator`]).
+//! * [`heads`] — task heads: node classification (functional reasoning) and
+//!   graph-level regression (QoR prediction).
+//!
+//! Because node representations depend only on each node's own hop stack,
+//! training parallelizes over nodes with *no* graph dependencies — the
+//! property behind the paper's near-linear multi-GPU scaling (Figure 5),
+//! reproduced thread-wise in `hoga-eval`.
+//!
+//! # Examples
+//!
+//! End-to-end node representations for a tiny circuit:
+//!
+//! ```
+//! use hoga_autograd::Tape;
+//! use hoga_circuit::{adjacency, features, Aig};
+//! use hoga_core::hopfeat::{hop_features, hop_stack};
+//! use hoga_core::model::{HogaConfig, HogaModel};
+//!
+//! let mut aig = Aig::new(2);
+//! let x = {
+//!     let (a, b) = (aig.pi_lit(0), aig.pi_lit(1));
+//!     aig.xor(a, b)
+//! };
+//! aig.add_po(x);
+//!
+//! let adj = adjacency::normalized_symmetric(&aig);
+//! let feats = features::node_features(&aig);
+//! let hops = hop_features(&adj, &feats, 3);
+//! let all_nodes: Vec<usize> = (0..aig.num_nodes()).collect();
+//! let stack = hop_stack(&hops, &all_nodes);
+//!
+//! let config = HogaConfig::new(feats.cols(), 16, 3);
+//! let model = HogaModel::new(&config, 42);
+//! let mut tape = Tape::new();
+//! let reps = model.forward(&mut tape, &stack, all_nodes.len());
+//! assert_eq!(tape.value(reps.representations).shape(), (aig.num_nodes(), 16));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heads;
+pub mod hopfeat;
+pub mod model;

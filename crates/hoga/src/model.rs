@@ -1,0 +1,499 @@
+//! Phase 2 of HOGA: gated self-attention over hop-wise features.
+//!
+//! Implements Eqs. 5–10 of the paper:
+//!
+//! * linear input projection to the hidden dimension,
+//! * `L` gated self-attention layers —
+//!   `Ĥ = ReLU(LayerNorm(U ⊙ (softmax(QKᵀ) V)))` with
+//!   `Q = HW_Q, K = HW_K, U = HW_U, V = HW_V` (Eq. 9),
+//! * the attentive readout `y = Ĥ₀ + Σₖ cₖ Ĥₖ` with
+//!   `cₖ = softmax_k(αᵀ [Ĥ₀ ‖ Ĥₖ])` (Eq. 10).
+//!
+//! The §III-B ablations are first-class: [`Aggregator::GateOnly`] drops the
+//! attention matrix (Eq. 6 only) and [`Aggregator::Sum`] drops the module
+//! entirely (`y = Σₖ Hₖ`), which the paper argues cannot capture high-order
+//! interactions.
+
+use hoga_autograd::{ParamId, ParamSet, Tape, Var};
+use hoga_tensor::{Init, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Hop-aggregation strategy (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregator {
+    /// The full gated self-attention module (Eqs. 7–9) — HOGA proper.
+    GatedSelfAttention,
+    /// The plain gated layer of Eq. 6 (`U ⊙ V`, no cross-hop interactions).
+    GateOnly,
+    /// Uniform summation `y = Σₖ Hₖ` (no trainable aggregation at all).
+    Sum,
+}
+
+/// Hyperparameters of a [`HogaModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HogaConfig {
+    /// Width of the raw node features.
+    pub input_dim: usize,
+    /// Hidden dimension `d` (the paper uses 256; our CPU default is 64).
+    pub hidden_dim: usize,
+    /// Number of hops `K` (5 for QoR prediction, 8 for reasoning in the
+    /// paper).
+    pub num_hops: usize,
+    /// Number of stacked gated self-attention layers (paper: 1).
+    pub num_layers: usize,
+    /// Attention heads per layer (paper: 1; multi-head is this
+    /// reproduction's extension of Eqs. 7–9, splitting the hidden width).
+    pub num_heads: usize,
+    /// Aggregation strategy; [`Aggregator::GatedSelfAttention`] is HOGA.
+    pub aggregator: Aggregator,
+}
+
+impl HogaConfig {
+    /// Creates the paper's configuration (one gated self-attention layer)
+    /// with the given feature width, hidden width and hop count.
+    pub fn new(input_dim: usize, hidden_dim: usize, num_hops: usize) -> Self {
+        Self {
+            input_dim,
+            hidden_dim,
+            num_hops,
+            num_layers: 1,
+            num_heads: 1,
+            aggregator: Aggregator::GatedSelfAttention,
+        }
+    }
+
+    /// Replaces the attention head count.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`HogaModel::new`]) if `hidden_dim` is not divisible by
+    /// the head count.
+    pub fn with_heads(mut self, num_heads: usize) -> Self {
+        self.num_heads = num_heads;
+        self
+    }
+
+    /// Replaces the aggregator (for the §III-B ablations).
+    pub fn with_aggregator(mut self, aggregator: Aggregator) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Replaces the layer count.
+    pub fn with_layers(mut self, num_layers: usize) -> Self {
+        self.num_layers = num_layers;
+        self
+    }
+}
+
+struct AttnHead {
+    wq: ParamId,
+    wk: ParamId,
+    wu: ParamId,
+    wv: ParamId,
+}
+
+struct AttnLayer {
+    heads: Vec<AttnHead>,
+    gamma: ParamId,
+    beta: ParamId,
+}
+
+/// The HOGA model: input projection, gated self-attention stack, attentive
+/// readout. See the [crate-level example](crate).
+pub struct HogaModel {
+    /// All trainable parameters (optimizers operate on this set).
+    pub params: ParamSet,
+    config: HogaConfig,
+    w_in: ParamId,
+    b_in: ParamId,
+    layers: Vec<AttnLayer>,
+    alpha: ParamId,
+}
+
+/// Forward-pass outputs.
+#[derive(Debug, Clone, Copy)]
+pub struct HogaOutput {
+    /// Final node representations `Y`, shape `(batch, hidden_dim)`.
+    pub representations: Var,
+    /// Readout attention scores `cₖ`, shape `(batch, K)` — the quantity
+    /// visualized in Figure 7. `None` for the [`Aggregator::Sum`] ablation.
+    pub readout_scores: Option<Var>,
+}
+
+impl HogaModel {
+    /// Initializes a model with Xavier weights derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension in `config` is zero.
+    pub fn new(config: &HogaConfig, seed: u64) -> Self {
+        assert!(config.input_dim > 0 && config.hidden_dim > 0, "dims must be positive");
+        assert!(config.num_hops > 0, "need at least one hop");
+        assert!(config.num_heads > 0, "need at least one attention head");
+        assert_eq!(
+            config.hidden_dim % config.num_heads,
+            0,
+            "hidden_dim {} not divisible by num_heads {}",
+            config.hidden_dim,
+            config.num_heads
+        );
+        let d = config.hidden_dim;
+        let dh = d / config.num_heads;
+        let mut params = ParamSet::new();
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            s
+        };
+        let w_in = params.add("input.w", Init::XavierUniform.matrix(config.input_dim, d, next()));
+        let b_in = params.add("input.b", Init::Zeros.matrix(1, d, next()));
+        let mut layers = Vec::with_capacity(config.num_layers);
+        for l in 0..config.num_layers {
+            let heads = (0..config.num_heads)
+                .map(|h| AttnHead {
+                    wq: params
+                        .add(format!("layer{l}.h{h}.wq"), Init::XavierUniform.matrix(d, dh, next())),
+                    wk: params
+                        .add(format!("layer{l}.h{h}.wk"), Init::XavierUniform.matrix(d, dh, next())),
+                    wu: params
+                        .add(format!("layer{l}.h{h}.wu"), Init::XavierUniform.matrix(d, dh, next())),
+                    wv: params
+                        .add(format!("layer{l}.h{h}.wv"), Init::XavierUniform.matrix(d, dh, next())),
+                })
+                .collect();
+            layers.push(AttnLayer {
+                heads,
+                gamma: params.add(format!("layer{l}.gamma"), Init::Ones.matrix(1, d, next())),
+                beta: params.add(format!("layer{l}.beta"), Init::Zeros.matrix(1, d, next())),
+            });
+        }
+        let alpha = params.add("readout.alpha", Init::SmallUniform.matrix(2 * d, 1, next()));
+        Self { params, config: *config, w_in, b_in, layers, alpha }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &HogaConfig {
+        &self.config
+    }
+
+    /// Runs the forward pass on a batched hop stack (from
+    /// [`crate::hopfeat::hop_stack`]) of `batch` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_stack.rows() != batch * (num_hops + 1)` or the feature
+    /// width differs from the configuration.
+    pub fn forward(&self, tape: &mut Tape, hop_stack: &Matrix, batch: usize) -> HogaOutput {
+        let k1 = self.config.num_hops + 1;
+        assert_eq!(hop_stack.rows(), batch * k1, "hop stack row mismatch");
+        assert_eq!(hop_stack.cols(), self.config.input_dim, "feature width mismatch");
+        let x = tape.constant(hop_stack.clone());
+        self.forward_var(tape, x, batch)
+    }
+
+    /// Like [`HogaModel::forward`] but over an existing tape variable.
+    pub fn forward_var(&self, tape: &mut Tape, x: Var, batch: usize) -> HogaOutput {
+        let k1 = self.config.num_hops + 1;
+        let k = self.config.num_hops;
+
+        // Input projection H = X W_in + b_in.
+        let w_in = tape.param(&self.params, self.w_in);
+        let b_in = tape.param(&self.params, self.b_in);
+        let mut h = tape.matmul(x, w_in);
+        h = tape.add_bias(h, b_in);
+
+        // Gated self-attention stack (Eqs. 5-9).
+        if self.config.aggregator != Aggregator::Sum {
+            for layer in &self.layers {
+                // Per-head gated (self-attention) transform; heads are
+                // concatenated back to the full width before LayerNorm.
+                let mut head_outputs = Vec::with_capacity(layer.heads.len());
+                for head in &layer.heads {
+                    let wu = tape.param(&self.params, head.wu);
+                    let wv = tape.param(&self.params, head.wv);
+                    let u = tape.matmul(h, wu);
+                    let v = tape.matmul(h, wv);
+                    let gated = match self.config.aggregator {
+                        Aggregator::GatedSelfAttention => {
+                            let wq = tape.param(&self.params, head.wq);
+                            let wk = tape.param(&self.params, head.wk);
+                            let q = tape.matmul(h, wq);
+                            let kk = tape.matmul(h, wk);
+                            let logits = tape.batched_matmul_nt(q, kk, batch);
+                            let s = tape.softmax_rows(logits);
+                            let sv = tape.batched_matmul(s, v, batch);
+                            tape.hadamard(u, sv)
+                        }
+                        Aggregator::GateOnly => tape.hadamard(u, v),
+                        Aggregator::Sum => unreachable!(),
+                    };
+                    head_outputs.push(gated);
+                }
+                let mut cat = head_outputs[0];
+                for &ho in &head_outputs[1..] {
+                    cat = tape.concat_cols(cat, ho);
+                }
+                let gamma = tape.param(&self.params, layer.gamma);
+                let beta = tape.param(&self.params, layer.beta);
+                let normed = tape.layer_norm(cat, gamma, beta);
+                h = tape.relu(normed);
+            }
+        }
+
+        // Readout (Eq. 10).
+        let idx0: Vec<usize> = (0..batch).map(|b| b * k1).collect();
+        let h0 = tape.select_rows(h, idx0.clone());
+        if self.config.aggregator == Aggregator::Sum {
+            // y = Σₖ Hₖ (uniform combination, the paper's strawman).
+            let mut y = h0;
+            for hop in 1..k1 {
+                let idx: Vec<usize> = (0..batch).map(|b| b * k1 + hop).collect();
+                let hk = tape.select_rows(h, idx);
+                y = tape.add(y, hk);
+            }
+            return HogaOutput { representations: y, readout_scores: None };
+        }
+
+        // Gather Ĥ₀ repeated K times alongside Ĥ₁..Ĥ_K.
+        let idx0_rep: Vec<usize> = (0..batch)
+            .flat_map(|b| std::iter::repeat_n(b * k1, k))
+            .collect();
+        let idx_rest: Vec<usize> = (0..batch)
+            .flat_map(|b| (1..k1).map(move |hop| b * k1 + hop))
+            .collect();
+        let h0_rep = tape.select_rows(h, idx0_rep);
+        let h_rest = tape.select_rows(h, idx_rest);
+        let cat = tape.concat_cols(h0_rep, h_rest);
+        let alpha = tape.param(&self.params, self.alpha);
+        let logits_flat = tape.matmul(cat, alpha); // (B*K, 1)
+        let logits = tape.reshape(logits_flat, batch, k);
+        let scores = tape.softmax_rows(logits); // (B, K) — the cₖ of Eq. 10.
+        // y = Ĥ₀ + Σₖ cₖ Ĥₖ  as a batched (1,K)·(K,d) product.
+        let weighted = tape.batched_matmul(scores, h_rest, batch); // (B, d)
+        let y = tape.add(h0, weighted);
+        HogaOutput { representations: y, readout_scores: Some(scores) }
+    }
+
+    /// Extracts the readout attention scores `cₖ` for the given nodes
+    /// without tracking gradients — the data behind Figure 7.
+    ///
+    /// Returns a `(batch, K)` matrix of per-hop scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`HogaModel::forward`], or if the
+    /// aggregator is [`Aggregator::Sum`] (which has no scores).
+    pub fn attention_scores(&self, hop_stack: &Matrix, batch: usize) -> Matrix {
+        let mut tape = Tape::new();
+        let out = self.forward(&mut tape, hop_stack, batch);
+        let scores = out.readout_scores.expect("Sum aggregator has no attention scores");
+        tape.value(scores).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_autograd::optim::{Adam, Optimizer};
+    use hoga_tensor::Init;
+
+    fn toy_stack(batch: usize, k1: usize, d: usize, seed: u64) -> Matrix {
+        Init::SmallUniform.matrix(batch * k1, d, seed)
+    }
+
+    #[test]
+    fn forward_shapes_are_correct() {
+        let cfg = HogaConfig::new(7, 16, 5);
+        let model = HogaModel::new(&cfg, 1);
+        let stack = toy_stack(4, 6, 7, 2);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &stack, 4);
+        assert_eq!(tape.value(out.representations).shape(), (4, 16));
+        let scores = out.readout_scores.expect("scores");
+        assert_eq!(tape.value(scores).shape(), (4, 5));
+    }
+
+    #[test]
+    fn readout_scores_sum_to_one() {
+        let cfg = HogaConfig::new(5, 8, 4);
+        let model = HogaModel::new(&cfg, 3);
+        let stack = toy_stack(3, 5, 5, 4);
+        let scores = model.attention_scores(&stack, 3);
+        for r in 0..3 {
+            let s: f32 = scores.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        // The paper's central claim: a node's representation depends only on
+        // its own hop stack. Changing node 1's features must not affect
+        // node 0's output.
+        let cfg = HogaConfig::new(6, 12, 3);
+        let model = HogaModel::new(&cfg, 5);
+        let stack_a = toy_stack(2, 4, 6, 6);
+        let mut stack_b = stack_a.clone();
+        for r in 4..8 {
+            // Perturb node 1's block only.
+            for c in 0..6 {
+                stack_b[(r, c)] += 0.5;
+            }
+        }
+        let mut t1 = Tape::new();
+        let o1 = model.forward(&mut t1, &stack_a, 2);
+        let mut t2 = Tape::new();
+        let o2 = model.forward(&mut t2, &stack_b, 2);
+        let r1 = t1.value(o1.representations);
+        let r2 = t2.value(o2.representations);
+        assert_eq!(r1.row(0), r2.row(0), "node 0 changed");
+        assert_ne!(r1.row(1), r2.row(1), "node 1 should change");
+    }
+
+    #[test]
+    fn batch_composition_is_irrelevant() {
+        // Running nodes separately or together gives identical outputs.
+        let cfg = HogaConfig::new(4, 8, 2);
+        let model = HogaModel::new(&cfg, 7);
+        let stack = toy_stack(3, 3, 4, 8);
+        let mut t_all = Tape::new();
+        let all = model.forward(&mut t_all, &stack, 3);
+        let all_reps = t_all.value(all.representations).clone();
+        for b in 0..3 {
+            let single = stack.select_rows(&(b * 3..(b + 1) * 3).collect::<Vec<_>>());
+            let mut t = Tape::new();
+            let one = model.forward(&mut t, &single, 1);
+            assert!(
+                t.value(one.representations)
+                    .max_abs_diff(&all_reps.select_rows(&[b]))
+                    < 1e-5,
+                "node {b} differs when batched"
+            );
+        }
+    }
+
+    #[test]
+    fn all_aggregators_run_and_differ() {
+        let stack = toy_stack(2, 4, 5, 9);
+        let reps: Vec<Matrix> = [Aggregator::GatedSelfAttention, Aggregator::GateOnly, Aggregator::Sum]
+            .iter()
+            .map(|&agg| {
+                let cfg = HogaConfig::new(5, 8, 3).with_aggregator(agg);
+                let model = HogaModel::new(&cfg, 11);
+                let mut tape = Tape::new();
+                let out = model.forward(&mut tape, &stack, 2);
+                assert_eq!(out.readout_scores.is_none(), agg == Aggregator::Sum);
+                tape.value(out.representations).clone()
+            })
+            .collect();
+        assert!(reps[0].max_abs_diff(&reps[1]) > 1e-7);
+        assert!(reps[1].max_abs_diff(&reps[2]) > 1e-7);
+    }
+
+    #[test]
+    fn multi_head_attention_runs_and_differs_from_single_head() {
+        let stack = toy_stack(3, 4, 5, 21);
+        let single = {
+            let cfg = HogaConfig::new(5, 16, 3);
+            let model = HogaModel::new(&cfg, 22);
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &stack, 3);
+            tape.value(out.representations).clone()
+        };
+        let multi = {
+            let cfg = HogaConfig::new(5, 16, 3).with_heads(4);
+            let model = HogaModel::new(&cfg, 22);
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &stack, 3);
+            tape.value(out.representations).clone()
+        };
+        assert_eq!(single.shape(), multi.shape());
+        assert!(single.max_abs_diff(&multi) > 1e-7);
+        assert!(multi.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_head_count_panics() {
+        let cfg = HogaConfig::new(5, 10, 3).with_heads(4);
+        let _ = HogaModel::new(&cfg, 0);
+    }
+
+    #[test]
+    fn multi_head_model_trains() {
+        let cfg = HogaConfig::new(3, 12, 3).with_heads(3);
+        let mut model = HogaModel::new(&cfg, 30);
+        let batch = 6;
+        let stack = Matrix::from_fn(batch * 4, 3, |r, c| ((r * 3 + c) as f32 * 0.31).sin());
+        let target = Matrix::from_fn(batch, 1, |r, _| if r % 2 == 0 { 0.5 } else { -0.5 });
+        let w_out = model.params.add("head.w", Init::XavierUniform.matrix(12, 1, 31));
+        let mut opt = Adam::new(5e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..50 {
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &stack, batch);
+            let w = tape.param(&model.params, w_out);
+            let pred = tape.matmul(out.representations, w);
+            let loss = tape.mse_loss(pred, &target);
+            last = tape.value(loss)[(0, 0)];
+            first.get_or_insert(last);
+            let grads = tape.backward(loss);
+            opt.step(&mut model.params, &grads);
+        }
+        assert!(last < first.expect("ran"), "multi-head training failed");
+    }
+
+    #[test]
+    fn two_layer_stack_runs() {
+        let cfg = HogaConfig::new(5, 8, 3).with_layers(2);
+        let model = HogaModel::new(&cfg, 13);
+        let stack = toy_stack(2, 4, 5, 14);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &stack, 2);
+        assert!(tape.value(out.representations).is_finite());
+    }
+
+    #[test]
+    fn model_trains_on_toy_regression() {
+        // Distinguish two synthetic node populations by their hop profiles.
+        let cfg = HogaConfig::new(3, 8, 3);
+        let mut model = HogaModel::new(&cfg, 17);
+        let batch = 8;
+        let k1 = 4;
+        let stack = Matrix::from_fn(batch * k1, 3, |r, c| {
+            let node = r / k1;
+            let hop = r % k1;
+            if node % 2 == 0 {
+                ((hop * 3 + c) as f32 * 0.2).sin()
+            } else {
+                ((hop + c) as f32 * 0.4).cos()
+            }
+        });
+        let target = Matrix::from_fn(batch, 1, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 });
+        let mut head = ParamSet::new();
+        // Tiny linear head folded into the model params for the test.
+        let w_out = model.params.add("head.w", Init::XavierUniform.matrix(8, 1, 18));
+        let _ = &mut head;
+        let mut opt = Adam::new(5e-3);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &stack, batch);
+            let w = tape.param(&model.params, w_out);
+            let pred = tape.matmul(out.representations, w);
+            let loss = tape.mse_loss(pred, &target);
+            last_loss = tape.value(loss)[(0, 0)];
+            first_loss.get_or_insert(last_loss);
+            let grads = tape.backward(loss);
+            opt.step(&mut model.params, &grads);
+        }
+        let first = first_loss.expect("ran");
+        assert!(
+            last_loss < first * 0.2,
+            "training failed to reduce loss: {first} -> {last_loss}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based invariants of the HOGA model and hop-feature pipeline.
+
+use hoga_autograd::Tape;
+use hoga_core::hopfeat::{hop_features, hop_stack};
+use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
+use hoga_tensor::{CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+fn arb_graph_features() -> impl Strategy<Value = (CsrMatrix, Matrix)> {
+    (3..10usize, 2..5usize).prop_flat_map(|(n, d)| {
+        let edges = proptest::collection::vec((0..n, 0..n), 1..2 * n);
+        let feats = proptest::collection::vec(-2.0f32..2.0, n * d);
+        (edges, feats).prop_map(move |(edges, feats)| {
+            let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+            for (a, b) in edges {
+                if a != b {
+                    triplets.push((a, b, 1.0));
+                    triplets.push((b, a, 1.0));
+                }
+            }
+            for i in 0..n {
+                triplets.push((i, i, 1.0));
+            }
+            // Row-normalize so hop features stay bounded.
+            let raw = CsrMatrix::from_coo(n, n, &triplets);
+            let deg: Vec<f32> = raw
+                .row_nnz()
+                .iter()
+                .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
+                .collect();
+            (raw.scale_rows(&deg), Matrix::from_vec(n, d, feats))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hop-feature generation is linear in the input features:
+    /// hops(A, X + Y) == hops(A, X) + hops(A, Y).
+    #[test]
+    fn hop_features_are_linear((adj, x) in arb_graph_features(), scale in 0.5f32..2.0) {
+        let y = x.map(|v| v * scale - 0.3);
+        let sum = &x + &y;
+        let hx = hop_features(&adj, &x, 3);
+        let hy = hop_features(&adj, &y, 3);
+        let hsum = hop_features(&adj, &sum, 3);
+        for k in 0..4 {
+            let combined = &hx[k] + &hy[k];
+            prop_assert!(hsum[k].max_abs_diff(&combined) < 1e-3, "hop {k} not linear");
+        }
+    }
+
+    /// Readout attention scores are a distribution for every node, for any
+    /// aggregator that produces them, any config, any input.
+    #[test]
+    fn readout_scores_always_sum_to_one(
+        (adj, x) in arb_graph_features(),
+        hops in 2..5usize,
+        hidden in 1..3usize,
+        seed in 0..500u64,
+    ) {
+        let hidden_dim = hidden * 8;
+        let hf = hop_features(&adj, &x, hops);
+        let nodes: Vec<usize> = (0..x.rows()).collect();
+        let stack = hop_stack(&hf, &nodes);
+        let cfg = HogaConfig::new(x.cols(), hidden_dim, hops);
+        let model = HogaModel::new(&cfg, seed);
+        let scores = model.attention_scores(&stack, nodes.len());
+        prop_assert_eq!(scores.shape(), (nodes.len(), hops));
+        for r in 0..scores.rows() {
+            let s: f32 = scores.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", r, s);
+        }
+    }
+
+    /// The Sum aggregator's output equals the explicit projected hop sum.
+    #[test]
+    fn sum_aggregator_is_projected_hop_sum(
+        (adj, x) in arb_graph_features(),
+        seed in 0..500u64,
+    ) {
+        let hops = 3;
+        let hf = hop_features(&adj, &x, hops);
+        let nodes: Vec<usize> = (0..x.rows()).collect();
+        let stack = hop_stack(&hf, &nodes);
+        let cfg = HogaConfig::new(x.cols(), 8, hops).with_aggregator(Aggregator::Sum);
+        let model = HogaModel::new(&cfg, seed);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &stack, nodes.len());
+        let reps = tape.value(out.representations).clone();
+        prop_assert!(out.readout_scores.is_none());
+
+        // Reference: project each node's summed hop features through the
+        // same input projection (the Sum path has no attention layers).
+        let w_in = model.params.value(model.params.find("input.w").expect("param"));
+        let b_in = model.params.value(model.params.find("input.b").expect("param"));
+        for (bi, &node) in nodes.iter().enumerate() {
+            let mut summed = vec![0.0f32; x.cols()];
+            for h in &hf {
+                for (acc, &v) in summed.iter_mut().zip(h.row(node)) {
+                    *acc += v;
+                }
+            }
+            // y = Σ_k (X^k W + b) = (Σ_k X^k) W + (K+1)·b.
+            let projected: Vec<f32> = (0..8)
+                .map(|c| {
+                    b_in[(0, c)] * (hops + 1) as f32
+                        + (0..x.cols()).map(|i| summed[i] * w_in[(i, c)]).sum::<f32>()
+                })
+                .collect();
+            for (c, &p) in projected.iter().enumerate() {
+                prop_assert!(
+                    (reps[(bi, c)] - p).abs() < 1e-3,
+                    "node {} dim {}: {} vs {}", node, c, reps[(bi, c)], p
+                );
+            }
+        }
+    }
+
+    /// Permuting the batch permutes the outputs identically (full
+    /// node-independence, beyond the fixed-case unit test).
+    #[test]
+    fn batch_permutation_equivariance(
+        (adj, x) in arb_graph_features(),
+        seed in 0..500u64,
+    ) {
+        let hops = 2;
+        let hf = hop_features(&adj, &x, hops);
+        let n = x.rows();
+        let forward_order: Vec<usize> = (0..n).collect();
+        let reverse_order: Vec<usize> = (0..n).rev().collect();
+        let cfg = HogaConfig::new(x.cols(), 8, hops);
+        let model = HogaModel::new(&cfg, seed);
+        let run = |order: &[usize]| {
+            let stack = hop_stack(&hf, order);
+            let mut tape = Tape::new();
+            let out = model.forward(&mut tape, &stack, order.len());
+            tape.value(out.representations).clone()
+        };
+        let fwd = run(&forward_order);
+        let rev = run(&reverse_order);
+        for i in 0..n {
+            let a = fwd.row(i);
+            let b = rev.row(n - 1 - i);
+            for (x1, x2) in a.iter().zip(b) {
+                prop_assert!((x1 - x2).abs() < 1e-5, "node {} not equivariant", i);
+            }
+        }
+    }
+}

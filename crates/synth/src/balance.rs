@@ -1,0 +1,217 @@
+//! AND-tree balancing (ABC `balance`).
+//!
+//! Collapses maximal conjunction trees (chains of non-complemented AND
+//! edges) into flat multi-input ANDs, then rebuilds each as a depth-balanced
+//! binary tree, pairing the two shallowest operands first (Huffman order).
+//! Rebuilding through the structural hash also merges duplicated subtrees,
+//! so `balance` usually reduces both depth and gate count.
+
+use hoga_circuit::{Aig, Lit, NodeKind};
+use std::collections::HashMap;
+
+/// Returns a balanced copy of `aig` (PI/PO interface preserved).
+pub fn balance(aig: &Aig) -> Aig {
+    let mut out = Aig::new(aig.num_pis());
+    // Map from old literal (raw) to new literal for non-complemented node
+    // outputs; complements are applied on lookup.
+    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    map[0] = Some(Lit::FALSE);
+    for i in 0..aig.num_pis() {
+        map[aig.pi_lit(i).node() as usize] = Some(out.pi_lit(i));
+    }
+
+    // Gate fanout counts decide tree-collapse boundaries: expanding through
+    // a multi-fanout node would duplicate logic, so such nodes stay roots.
+    let fanout = hoga_circuit::fanout_counts(aig);
+    let mut po_fanout = vec![0u32; aig.num_nodes()];
+    for po in aig.pos() {
+        po_fanout[po.node() as usize] += 1;
+    }
+
+    // Memoized balanced construction per old node. Levels of the output AIG
+    // are maintained incrementally (nodes are append-only).
+    let mut cache: HashMap<u32, Lit> = HashMap::new();
+    let mut out_levels: Vec<u32> = vec![0; out.num_nodes()];
+    for (id, _, _) in aig.and_gates() {
+        let lit = build_balanced(
+            aig,
+            id,
+            &fanout,
+            &po_fanout,
+            &mut out,
+            &mut cache,
+            &map,
+            &mut out_levels,
+        );
+        map[id as usize] = Some(lit);
+        // `map` feeds leaf lookups for later roots.
+        let _ = &map;
+    }
+    for &po in aig.pos() {
+        let mapped = map[po.node() as usize].expect("PO driver mapped");
+        out.add_po(if po.is_complemented() { !mapped } else { mapped });
+    }
+    // Interior tree gates were rebuilt speculatively for every chain prefix;
+    // only the trees reachable from the POs are kept.
+    out.compact();
+    out
+}
+
+/// Collects the leaves of the maximal AND tree rooted at `root` and rebuilds
+/// it balanced in `out`.
+#[allow(clippy::too_many_arguments)]
+fn build_balanced(
+    aig: &Aig,
+    root: u32,
+    fanout: &[u32],
+    po_fanout: &[u32],
+    out: &mut Aig,
+    cache: &mut HashMap<u32, Lit>,
+    map: &[Option<Lit>],
+    out_levels: &mut Vec<u32>,
+) -> Lit {
+    if let Some(&l) = cache.get(&root) {
+        return l;
+    }
+    // Gather leaves: DFS through non-complemented, single-fanout AND fanins.
+    let mut leaves: Vec<Lit> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        let NodeKind::And(a, b) = aig.node(n) else { unreachable!("AND expected") };
+        for f in [a, b] {
+            let fn_id = f.node();
+            let expandable = !f.is_complemented()
+                && matches!(aig.node(fn_id), NodeKind::And(_, _))
+                && fanout[fn_id as usize] + po_fanout[fn_id as usize] == 1;
+            if expandable {
+                stack.push(fn_id);
+            } else {
+                // Translate the leaf into the new AIG.
+                let base = map[fn_id as usize].expect("leaf mapped before root");
+                leaves.push(if f.is_complemented() { !base } else { base });
+            }
+        }
+    }
+    // Balanced reconstruction: repeatedly AND the two shallowest operands.
+    // Output-AIG levels are tracked incrementally: nodes are append-only, so
+    // any node index below `out_levels.len()` already has its level.
+    let sync_levels = |out: &Aig, levels: &mut Vec<u32>| {
+        for id in levels.len()..out.num_nodes() {
+            let lv = match out.node(id as u32) {
+                NodeKind::And(a, b) => {
+                    1 + levels[a.node() as usize].max(levels[b.node() as usize])
+                }
+                _ => 0,
+            };
+            levels.push(lv);
+        }
+    };
+    sync_levels(out, out_levels);
+    leaves.sort_by_key(|&l| std::cmp::Reverse(out_levels[l.node() as usize]));
+    while leaves.len() > 1 {
+        let a = leaves.pop().expect("len > 1");
+        let b = leaves.pop().expect("len > 1");
+        let joined = out.and(a, b);
+        sync_levels(out, out_levels);
+        // Insert keeping the deepest-first ordering.
+        let jl = out_levels[joined.node() as usize];
+        let pos = leaves
+            .binary_search_by(|&x| out_levels[x.node() as usize].cmp(&jl).reverse())
+            .unwrap_or_else(|e| e);
+        leaves.insert(pos, joined);
+    }
+    let result = leaves.pop().unwrap_or(Lit::TRUE);
+    cache.insert(root, result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_circuit::simulate::probably_equivalent;
+    use hoga_circuit::{depth, Aig};
+
+    /// A maximally skewed 8-input AND chain.
+    fn chain(n: usize) -> Aig {
+        let mut g = Aig::new(n);
+        let mut acc = g.pi_lit(0);
+        for i in 1..n {
+            let p = g.pi_lit(i);
+            acc = g.and(acc, p);
+        }
+        g.add_po(acc);
+        g
+    }
+
+    #[test]
+    fn balances_and_chain_to_log_depth() {
+        let g = chain(8);
+        assert_eq!(depth(&g), 7);
+        let b = balance(&g);
+        assert_eq!(depth(&b), 3);
+        assert_eq!(b.num_ands(), 7);
+        assert!(probably_equivalent(&g, &b, 4, 0));
+    }
+
+    #[test]
+    fn preserves_multi_fanout_boundaries() {
+        // x = a&b used twice: the shared node must not be duplicated.
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2));
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        let z = g.and(x, !c);
+        g.add_po(y);
+        g.add_po(z);
+        let bl = balance(&g);
+        assert!(probably_equivalent(&g, &bl, 4, 1));
+        assert!(bl.num_ands() <= g.num_ands());
+    }
+
+    #[test]
+    fn preserves_complement_boundaries() {
+        // OR trees are AND trees behind complemented edges; leaves must keep
+        // their complements.
+        let mut g = Aig::new(4);
+        let lits: Vec<_> = (0..4).map(|i| g.pi_lit(i)).collect();
+        let mut acc = lits[0];
+        for &l in &lits[1..] {
+            acc = g.or(acc, l);
+        }
+        g.add_po(acc);
+        let b = balance(&g);
+        assert!(probably_equivalent(&g, &b, 4, 2));
+    }
+
+    #[test]
+    fn balance_of_balanced_is_stable() {
+        let g = chain(16);
+        let b1 = balance(&g);
+        let b2 = balance(&b1);
+        assert_eq!(depth(&b1), depth(&b2));
+        assert_eq!(b1.num_ands(), b2.num_ands());
+        assert!(probably_equivalent(&g, &b2, 4, 3));
+    }
+
+    #[test]
+    fn dedups_repeated_leaves() {
+        // (a & b) & (b & a) collapses to a & b through strash.
+        let mut g = Aig::new(2);
+        let (a, b) = (g.pi_lit(0), g.pi_lit(1));
+        let x = g.and(a, b);
+        g.add_po(x);
+        let bl = balance(&g);
+        assert_eq!(bl.num_ands(), 1);
+        assert!(probably_equivalent(&g, &bl, 2, 4));
+    }
+
+    #[test]
+    fn empty_and_trivial_aigs() {
+        let mut g = Aig::new(1);
+        let a = g.pi_lit(0);
+        g.add_po(!a);
+        let b = balance(&g);
+        assert_eq!(b.num_ands(), 0);
+        assert!(probably_equivalent(&g, &b, 2, 5));
+    }
+}

@@ -1,0 +1,354 @@
+//! K-feasible cut computation and local truth tables.
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) such that every path from
+//! the PIs to `n` passes through a leaf. Cuts are the workhorse of cut-based
+//! resynthesis ([`crate::refactor`]), LUT technology mapping
+//! (`hoga_gen::techmap`), and cut-function reasoning (`hoga_gen::reason`).
+//!
+//! We compute one *priority cut set* per node by merging fanin cuts and
+//! keeping the `CUTS_PER_NODE` smallest, plus the trivial cut `{n}`.
+
+use hoga_circuit::{Aig, NodeId, NodeKind};
+
+/// Maximum number of non-trivial cuts kept per node. Sixteen keeps the
+/// small (2–3 leaf) cuts that functional detection needs from being crowded
+/// out on reconvergent structures like carry-save adders.
+const CUTS_PER_NODE: usize = 16;
+
+/// One cut: sorted leaf node ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+}
+
+impl Cut {
+    /// The trivial cut `{node}`.
+    pub fn trivial(node: NodeId) -> Self {
+        Self { leaves: vec![node] }
+    }
+
+    /// Builds a cut from explicit leaves (sorted and deduplicated).
+    pub fn from_leaves(mut leaves: Vec<NodeId>) -> Self {
+        leaves.sort_unstable();
+        leaves.dedup();
+        Self { leaves }
+    }
+
+    /// The sorted leaf node ids.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Merges two sorted leaf sets; `None` if the union exceeds `k`.
+    fn merge(a: &Cut, b: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while i < a.leaves.len() || j < b.leaves.len() {
+            let next = match (a.leaves.get(i), b.leaves.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            if leaves.len() == k {
+                return None;
+            }
+            leaves.push(next);
+        }
+        Some(Cut { leaves })
+    }
+
+    /// Whether `self`'s leaves are a subset of `other`'s (i.e. `self`
+    /// dominates `other` and `other` is redundant).
+    fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &l in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < l {
+                j += 1;
+            }
+            if j == other.leaves.len() || other.leaves[j] != l {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-node cut sets for the whole AIG.
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    /// `cuts[n]` holds the non-trivial cuts of node `n` (best first). The
+    /// trivial cut is implicit.
+    cuts: Vec<Vec<Cut>>,
+    k: usize,
+}
+
+impl CutSet {
+    /// The non-trivial cuts of `node`, best (smallest) first.
+    pub fn cuts_of(&self, node: NodeId) -> &[Cut] {
+        &self.cuts[node as usize]
+    }
+
+    /// The best (smallest non-trivial, else trivial) cut of `node`.
+    pub fn best_cut(&self, node: NodeId) -> Cut {
+        self.cuts[node as usize]
+            .first()
+            .cloned()
+            .unwrap_or_else(|| Cut::trivial(node))
+    }
+
+    /// The cut-size limit `k` this set was computed with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Computes k-feasible priority cuts for every node.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > 16`.
+pub fn enumerate_cuts(aig: &Aig, k: usize) -> CutSet {
+    assert!((2..=16).contains(&k), "cut size must be in 2..=16");
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    for (id, a, b) in aig.and_gates() {
+        let mut mine: Vec<Cut> = Vec::new();
+        let fanin_cuts = |n: NodeId| -> Vec<Cut> {
+            let mut v = cuts[n as usize].clone();
+            v.push(Cut::trivial(n));
+            v
+        };
+        let ca = fanin_cuts(a.node());
+        let cb = fanin_cuts(b.node());
+        for x in &ca {
+            for y in &cb {
+                if let Some(merged) = Cut::merge(x, y, k) {
+                    if !mine.iter().any(|c| c.dominates(&merged)) {
+                        mine.retain(|c| !merged.dominates(c));
+                        mine.push(merged);
+                    }
+                }
+            }
+        }
+        mine.sort_by_key(Cut::size);
+        mine.truncate(CUTS_PER_NODE);
+        cuts[id as usize] = mine;
+    }
+    CutSet { cuts, k }
+}
+
+/// Computes the truth table of `root` as a function of `cut` leaves
+/// (supports up to 6 leaves; bit `p` = output under leaf assignment `p`).
+///
+/// # Panics
+///
+/// Panics if the cut has more than 6 leaves or does not actually cut `root`
+/// off from the PIs.
+pub fn cut_truth_table(aig: &Aig, root: NodeId, cut: &Cut) -> u64 {
+    assert!(cut.size() <= 6, "truth tables support at most 6 leaves");
+    const MASKS: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    fn eval(
+        aig: &Aig,
+        n: NodeId,
+        cut: &Cut,
+        memo: &mut std::collections::HashMap<NodeId, u64>,
+        depth: usize,
+    ) -> u64 {
+        if let Some(pos) = cut.leaves().iter().position(|&l| l == n) {
+            return MASKS[pos];
+        }
+        if let Some(&v) = memo.get(&n) {
+            return v;
+        }
+        assert!(depth < 10_000, "cut does not cover node's fanin cone");
+        let v = match aig.node(n) {
+            NodeKind::Const0 => 0,
+            NodeKind::Pi(_) => panic!("reached PI {n} not in cut — invalid cut"),
+            NodeKind::And(a, b) => {
+                let va = eval(aig, a.node(), cut, memo, depth + 1);
+                let vb = eval(aig, b.node(), cut, memo, depth + 1);
+                let va = if a.is_complemented() { !va } else { va };
+                let vb = if b.is_complemented() { !vb } else { vb };
+                va & vb
+            }
+        };
+        memo.insert(n, v);
+        v
+    }
+    let mut memo = std::collections::HashMap::new();
+    let tt = eval(aig, root, cut, &mut memo, 0);
+    let bits = 1u32 << cut.size();
+    if bits == 64 {
+        tt
+    } else {
+        tt & ((1u64 << bits) - 1)
+    }
+}
+
+/// Size of the cone between `root` and `cut`, with traversal capped at
+/// `cap` nodes (cheap volume heuristic for cut selection).
+pub fn cone_size_capped(aig: &Aig, root: NodeId, cut: &Cut, cap: usize) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if cut.leaves().contains(&n) || !seen.insert(n) {
+            continue;
+        }
+        if seen.len() >= cap {
+            return cap;
+        }
+        if let NodeKind::And(a, b) = aig.node(n) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    seen.len()
+}
+
+/// The nodes strictly inside the cone between `root` and `cut` (excluding
+/// the leaves, including the root).
+pub fn cone_nodes(aig: &Aig, root: NodeId, cut: &Cut) -> Vec<NodeId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut order = Vec::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if cut.leaves().contains(&n) || !seen.insert(n) {
+            continue;
+        }
+        order.push(n);
+        if let NodeKind::And(a, b) = aig.node(n) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_circuit::Aig;
+
+    fn full_adder() -> (Aig, hoga_circuit::Lit, hoga_circuit::Lit) {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2));
+        let x = g.xor(a, b);
+        let s = g.xor(x, c);
+        let carry = g.maj(a, b, c);
+        g.add_po(s);
+        g.add_po(carry);
+        (g, s, carry)
+    }
+
+    #[test]
+    fn cut_merge_respects_k() {
+        let a = Cut { leaves: vec![1, 2, 3] };
+        let b = Cut { leaves: vec![3, 4, 5] };
+        assert_eq!(Cut::merge(&a, &b, 5).map(|c| c.leaves).as_deref(), Some(&[1, 2, 3, 4, 5][..]));
+        assert!(Cut::merge(&a, &b, 4).is_none());
+    }
+
+    #[test]
+    fn domination_filters_supersets() {
+        let small = Cut { leaves: vec![1, 3] };
+        let big = Cut { leaves: vec![1, 2, 3] };
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small));
+    }
+
+    #[test]
+    fn full_adder_sum_has_pi_cut_with_xor3_function() {
+        let (g, sum, carry) = full_adder();
+        let cuts = enumerate_cuts(&g, 4);
+        // The 3-PI cut must appear for both outputs and evaluate to XOR3/MAJ3
+        // (modulo output complementation of the PO literal).
+        let pi_nodes: Vec<NodeId> = (0..3).map(|i| g.pi_lit(i).node()).collect();
+        let find_pi_cut = |n: NodeId| {
+            cuts.cuts_of(n)
+                .iter()
+                .find(|c| c.leaves() == pi_nodes.as_slice())
+                .cloned()
+                .expect("3-PI cut present")
+        };
+        let output_tt = |lit: hoga_circuit::Lit| {
+            let tt = cut_truth_table(&g, lit.node(), &find_pi_cut(lit.node()));
+            if lit.is_complemented() {
+                !tt & 0xFF
+            } else {
+                tt & 0xFF
+            }
+        };
+        assert_eq!(output_tt(sum), 0x96, "sum must be XOR3");
+        assert_eq!(output_tt(carry), 0xE8, "carry must be MAJ3");
+    }
+
+    #[test]
+    fn trivial_cut_truth_table_is_identity() {
+        let (g, sum, _) = full_adder();
+        let cut = Cut::trivial(sum.node());
+        assert_eq!(cut_truth_table(&g, sum.node(), &cut), 0xAAAA_AAAA_AAAA_AAAA & 0x3);
+    }
+
+    #[test]
+    fn cone_nodes_counts_inner_gates() {
+        let (g, sum, _) = full_adder();
+        let pi_cut = Cut { leaves: (0..3).map(|i| g.pi_lit(i).node()).collect() };
+        let cone = cone_nodes(&g, sum.node(), &pi_cut);
+        // Sum cone: two stacked xors = 6 AND gates.
+        assert_eq!(cone.len(), 6);
+        assert!(cone.contains(&sum.node()));
+    }
+
+    #[test]
+    fn cut_sets_stay_bounded() {
+        // Deep chain: cut counts must stay <= CUTS_PER_NODE.
+        let mut g = Aig::new(10);
+        let mut acc = g.pi_lit(0);
+        for i in 1..10 {
+            let p = g.pi_lit(i);
+            acc = g.xor(acc, p);
+        }
+        g.add_po(acc);
+        let cuts = enumerate_cuts(&g, 4);
+        for n in 0..g.num_nodes() as NodeId {
+            assert!(cuts.cuts_of(n).len() <= CUTS_PER_NODE);
+            for c in cuts.cuts_of(n) {
+                assert!(c.size() <= 4);
+            }
+        }
+    }
+}

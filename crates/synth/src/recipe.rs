@@ -1,0 +1,229 @@
+//! The synthesis-recipe language.
+//!
+//! OpenABC-D runs 1500 random ABC scripts per design; each script is a
+//! semicolon-separated sequence drawn from `{balance, rewrite, rewrite -z,
+//! refactor, refactor -z, resub}`. This module parses and pretty-prints the
+//! same surface syntax (with ABC's short aliases) and generates random
+//! recipes with a seeded RNG.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a synthesis recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SynthStep {
+    /// AND-tree balancing (`b` / `balance`).
+    Balance,
+    /// Local rewriting (`rw` / `rewrite`); `zero_cost` mirrors `-z`.
+    Rewrite {
+        /// Apply structure-diversifying rewrites with no immediate gain.
+        zero_cost: bool,
+    },
+    /// Cone resynthesis (`rf` / `refactor`); `zero_cost` mirrors `-z`.
+    Refactor {
+        /// Accept resyntheses of equal size.
+        zero_cost: bool,
+    },
+    /// Signature-based resubstitution (`rs` / `resub`).
+    Resub,
+}
+
+impl fmt::Display for SynthStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthStep::Balance => write!(f, "b"),
+            SynthStep::Rewrite { zero_cost: false } => write!(f, "rw"),
+            SynthStep::Rewrite { zero_cost: true } => write!(f, "rw -z"),
+            SynthStep::Refactor { zero_cost: false } => write!(f, "rf"),
+            SynthStep::Refactor { zero_cost: true } => write!(f, "rf -z"),
+            SynthStep::Resub => write!(f, "rs"),
+        }
+    }
+}
+
+/// Error returned when a recipe string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRecipeError {
+    token: String,
+}
+
+impl fmt::Display for ParseRecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown synthesis step `{}`", self.token)
+    }
+}
+
+impl Error for ParseRecipeError {}
+
+/// An ordered sequence of synthesis steps.
+///
+/// # Examples
+///
+/// ```
+/// use hoga_synth::{Recipe, SynthStep};
+///
+/// let r: Recipe = "b; rw; rf -z; rs".parse()?;
+/// assert_eq!(r.steps().len(), 4);
+/// assert_eq!(r.steps()[2], SynthStep::Refactor { zero_cost: true });
+/// assert_eq!(r.to_string(), "b; rw; rf -z; rs");
+/// # Ok::<(), hoga_synth::ParseRecipeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Recipe {
+    steps: Vec<SynthStep>,
+}
+
+impl Recipe {
+    /// Creates a recipe from explicit steps.
+    pub fn new(steps: Vec<SynthStep>) -> Self {
+        Self { steps }
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[SynthStep] {
+        &self.steps
+    }
+
+    /// ABC's classic `resyn2` script (`b; rw; rf; b; rw; rw -z; b; rf -z;
+    /// rw -z; b`).
+    pub fn resyn2() -> Self {
+        use SynthStep::*;
+        Self::new(vec![
+            Balance,
+            Rewrite { zero_cost: false },
+            Refactor { zero_cost: false },
+            Balance,
+            Rewrite { zero_cost: false },
+            Rewrite { zero_cost: true },
+            Balance,
+            Refactor { zero_cost: true },
+            Rewrite { zero_cost: true },
+            Balance,
+        ])
+    }
+
+    /// A compact numeric encoding of the recipe (one value in `[0, 1]` per
+    /// step, padded/truncated to `width`) — the recipe conditioning vector
+    /// appended to node features for QoR prediction.
+    pub fn encode(&self, width: usize) -> Vec<f32> {
+        let code = |s: &SynthStep| -> f32 {
+            match s {
+                SynthStep::Balance => 1.0 / 6.0,
+                SynthStep::Rewrite { zero_cost: false } => 2.0 / 6.0,
+                SynthStep::Rewrite { zero_cost: true } => 3.0 / 6.0,
+                SynthStep::Refactor { zero_cost: false } => 4.0 / 6.0,
+                SynthStep::Refactor { zero_cost: true } => 5.0 / 6.0,
+                SynthStep::Resub => 1.0,
+            }
+        };
+        let mut out: Vec<f32> = self.steps.iter().map(code).collect();
+        out.resize(width, 0.0);
+        out.truncate(width);
+        out
+    }
+}
+
+impl fmt::Display for Recipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.steps.iter().map(SynthStep::to_string).collect();
+        write!(f, "{}", parts.join("; "))
+    }
+}
+
+impl FromStr for Recipe {
+    type Err = ParseRecipeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut steps = Vec::new();
+        for raw in s.split(';') {
+            let token = raw.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let step = match token {
+                "b" | "balance" => SynthStep::Balance,
+                "rw" | "rewrite" => SynthStep::Rewrite { zero_cost: false },
+                "rw -z" | "rewrite -z" => SynthStep::Rewrite { zero_cost: true },
+                "rf" | "refactor" => SynthStep::Refactor { zero_cost: false },
+                "rf -z" | "refactor -z" => SynthStep::Refactor { zero_cost: true },
+                "rs" | "resub" => SynthStep::Resub,
+                other => return Err(ParseRecipeError { token: other.to_string() }),
+            };
+            steps.push(step);
+        }
+        Ok(Recipe { steps })
+    }
+}
+
+/// Generates a random recipe of `len` steps (OpenABC-D uses length 20).
+///
+/// Deterministic in `seed`.
+pub fn random_recipe(len: usize, seed: u64) -> Recipe {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let steps = (0..len)
+        .map(|_| match rng.gen_range(0..6) {
+            0 => SynthStep::Balance,
+            1 => SynthStep::Rewrite { zero_cost: false },
+            2 => SynthStep::Rewrite { zero_cost: true },
+            3 => SynthStep::Refactor { zero_cost: false },
+            4 => SynthStep::Refactor { zero_cost: true },
+            _ => SynthStep::Resub,
+        })
+        .collect();
+    Recipe { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["b", "b; rw; rf; rs", "rw -z; rf -z", "balance; rewrite; resub"] {
+            let r: Recipe = s.parse().expect("valid recipe");
+            let r2: Recipe = r.to_string().parse().expect("roundtrip");
+            assert_eq!(r, r2);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_step() {
+        let err = "b; frobnicate".parse::<Recipe>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn empty_segments_ignored() {
+        let r: Recipe = "b;; rw; ".parse().expect("valid");
+        assert_eq!(r.steps().len(), 2);
+    }
+
+    #[test]
+    fn resyn2_has_ten_steps() {
+        assert_eq!(Recipe::resyn2().steps().len(), 10);
+        assert_eq!(Recipe::resyn2().to_string(), "b; rw; rf; b; rw; rw -z; b; rf -z; rw -z; b");
+    }
+
+    #[test]
+    fn random_recipe_deterministic_and_varied() {
+        let a = random_recipe(20, 1);
+        let b = random_recipe(20, 1);
+        let c = random_recipe(20, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.steps().len(), 20);
+    }
+
+    #[test]
+    fn encode_pads_and_truncates() {
+        let r = Recipe::resyn2();
+        assert_eq!(r.encode(12).len(), 12);
+        assert_eq!(r.encode(12)[10], 0.0);
+        assert_eq!(r.encode(4).len(), 4);
+        assert!(r.encode(4).iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Applies a recipe to an AIG and records per-step gate counts.
+
+use crate::{balance, refactor, resub, rewrite, Recipe, SynthStep};
+use hoga_circuit::Aig;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running a [`Recipe`] on a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisResult {
+    /// Gate count of the (compacted) input.
+    pub initial_ands: usize,
+    /// Gate count after the full recipe.
+    pub final_ands: usize,
+    /// Gate count after each step, in order.
+    pub per_step_ands: Vec<usize>,
+    /// The optimized AIG.
+    pub aig: Aig,
+}
+
+impl SynthesisResult {
+    /// Fractional gate-count reduction in `[0, 1]`.
+    pub fn reduction(&self) -> f64 {
+        if self.initial_ands == 0 {
+            0.0
+        } else {
+            1.0 - self.final_ands as f64 / self.initial_ands as f64
+        }
+    }
+}
+
+/// Runs `recipe` on a copy of `aig`.
+///
+/// Resubstitution seeds are derived from the step index so the whole run is
+/// deterministic. In debug builds each step is verified against the step
+/// input by random simulation.
+pub fn run_recipe(aig: &Aig, recipe: &Recipe) -> SynthesisResult {
+    let mut current = aig.clone();
+    current.compact();
+    let initial_ands = current.num_ands();
+    let mut per_step_ands = Vec::with_capacity(recipe.steps().len());
+    for (idx, step) in recipe.steps().iter().enumerate() {
+        let next = match *step {
+            SynthStep::Balance => balance(&current),
+            SynthStep::Rewrite { zero_cost } => rewrite(&current, zero_cost),
+            SynthStep::Refactor { zero_cost } => refactor(&current, zero_cost),
+            SynthStep::Resub => resub(&current, 0x5EED_0000 + idx as u64),
+        };
+        let mut next = next;
+        next.compact();
+        debug_assert!(
+            hoga_circuit::simulate::probably_equivalent(&current, &next, 2, idx as u64),
+            "step {step} changed the circuit function"
+        );
+        per_step_ands.push(next.num_ands());
+        current = next;
+    }
+    SynthesisResult { initial_ands, final_ands: current.num_ands(), per_step_ands, aig: current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoga_circuit::simulate::probably_equivalent;
+    use hoga_circuit::{Aig, Lit};
+    use rand::{Rng, SeedableRng};
+
+    fn random_circuit(n_pis: usize, gates: usize, pos: usize, seed: u64) -> Aig {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut g = Aig::new(n_pis);
+        let mut pool: Vec<Lit> = (0..n_pis).map(|i| g.pi_lit(i)).collect();
+        for _ in 0..gates {
+            let x = pool[rng.gen_range(0..pool.len())];
+            let y = pool[rng.gen_range(0..pool.len())];
+            let x = if rng.gen() { !x } else { x };
+            let y = if rng.gen() { !y } else { y };
+            let l = g.and(x, y);
+            pool.push(l);
+        }
+        for _ in 0..pos {
+            let idx = rng.gen_range(n_pis..pool.len().max(n_pis + 1)).min(pool.len() - 1);
+            g.add_po(pool[idx]);
+        }
+        g
+    }
+
+    #[test]
+    fn resyn2_preserves_function_and_reduces_gates() {
+        let g = random_circuit(8, 120, 4, 99);
+        let result = run_recipe(&g, &Recipe::resyn2());
+        assert!(result.final_ands <= result.initial_ands);
+        assert!(probably_equivalent(&g, &result.aig, 4, 0));
+        assert_eq!(result.per_step_ands.len(), 10);
+        assert_eq!(*result.per_step_ands.last().expect("non-empty"), result.final_ands);
+    }
+
+    #[test]
+    fn different_recipes_give_different_qor() {
+        // The core premise of QoR prediction: recipe choice changes the
+        // final gate count on at least some circuits.
+        let g = random_circuit(10, 200, 6, 7);
+        let recipes = [
+            "b".parse::<Recipe>().expect("valid"),
+            Recipe::resyn2(),
+            "rs; rs; rf; rw".parse::<Recipe>().expect("valid"),
+        ];
+        let counts: Vec<usize> = recipes
+            .iter()
+            .map(|r| run_recipe(&g, r).final_ands)
+            .collect();
+        assert!(
+            counts.iter().any(|&c| c != counts[0]),
+            "all recipes gave identical QoR {counts:?}"
+        );
+    }
+
+    #[test]
+    fn empty_recipe_just_compacts() {
+        let g = random_circuit(5, 30, 2, 3);
+        let result = run_recipe(&g, &Recipe::default());
+        assert_eq!(result.per_step_ands.len(), 0);
+        assert_eq!(result.initial_ands, result.final_ands);
+    }
+
+    #[test]
+    fn reduction_is_in_unit_range() {
+        let g = random_circuit(8, 100, 3, 11);
+        let result = run_recipe(&g, &Recipe::resyn2());
+        let r = result.reduction();
+        assert!((0.0..=1.0).contains(&r), "reduction {r} out of range");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let g = random_circuit(8, 100, 3, 13);
+        let recipe: Recipe = "rs; b; rw; rs".parse().expect("valid");
+        let a = run_recipe(&g, &recipe);
+        let b = run_recipe(&g, &recipe);
+        assert_eq!(a.final_ands, b.final_ands);
+        assert_eq!(a.aig, b.aig);
+    }
+}

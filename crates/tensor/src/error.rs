@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when two operands have incompatible shapes.
+///
+/// Produced by the fallible `try_*` constructors and operations on
+/// [`Matrix`](crate::Matrix). The infallible counterparts panic with the same
+/// message instead.
+///
+/// # Examples
+///
+/// ```
+/// use hoga_tensor::Matrix;
+///
+/// let err = Matrix::try_from_vec(2, 3, vec![0.0; 5]).unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    expected: String,
+    found: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with human-readable
+    /// `expected` / `found` shape descriptions.
+    pub fn new(op: &'static str, expected: impl Into<String>, found: impl Into<String>) -> Self {
+        Self { op, expected: expected.into(), found: found.into() }
+    }
+
+    /// The operation that failed (e.g. `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}, found {}",
+            self.op, self.expected, self.found
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op_and_shapes() {
+        let e = ShapeError::new("matmul", "(2, 3)", "(4, 5)");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("(2, 3)"));
+        assert!(s.contains("(4, 5)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

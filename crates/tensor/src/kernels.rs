@@ -1,0 +1,302 @@
+//! Row-wise neural-network kernels: softmax and LayerNorm, with exact
+//! backward passes for the autograd layer.
+
+use crate::Matrix;
+
+const LN_EPS: f32 = 1e-5;
+
+/// Row-wise numerically stable softmax.
+///
+/// Each row of the result sums to 1. Used for the attention matrix
+/// `S = softmax(QKᵀ)` (Eq. 7 of the paper) and the readout scores `c_k`
+/// (Eq. 10).
+///
+/// # Examples
+///
+/// ```
+/// use hoga_tensor::{softmax_rows, Matrix};
+///
+/// let s = softmax_rows(&Matrix::from_rows(&[&[0.0, 0.0], &[100.0, 0.0]]));
+/// assert!((s[(0, 0)] - 0.5).abs() < 1e-6);
+/// assert!(s[(1, 0)] > 0.999);
+/// ```
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+    out
+}
+
+/// Row-wise numerically stable log-softmax, used by the cross-entropy loss.
+pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`softmax_rows`].
+///
+/// Given the forward output `y` and the upstream gradient `dy`, returns the
+/// gradient with respect to the logits:
+/// `dx_i = y_i * (dy_i - Σ_j dy_j y_j)` per row.
+///
+/// # Panics
+///
+/// Panics if the shapes of `y` and `dy` differ.
+pub fn softmax_backward_rows(y: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "softmax backward shape mismatch");
+    let mut out = Matrix::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let yr = y.row(r);
+        let dyr = dy.row(r);
+        let dot: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
+        let orow = out.row_mut(r);
+        for ((o, &yv), &dyv) in orow.iter_mut().zip(yr).zip(dyr) {
+            *o = yv * (dyv - dot);
+        }
+    }
+    out
+}
+
+/// Saved statistics from [`layernorm_forward`] needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Per-row inverse standard deviation `1 / sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+    /// The normalized activations `x̂ = (x - mean) * inv_std`.
+    pub normalized: Matrix,
+}
+
+/// Row-wise LayerNorm with learnable `gamma` (scale) and `beta` (shift).
+///
+/// Normalizes each row to zero mean / unit variance, then applies the affine
+/// transform. Returns the output and a [`LayerNormCache`] for the backward
+/// pass. This implements the `LayerNorm` of Eq. 9 in the paper.
+///
+/// # Panics
+///
+/// Panics if `gamma` or `beta` length differs from `x.cols()`.
+pub fn layernorm_forward(x: &Matrix, gamma: &[f32], beta: &[f32]) -> (Matrix, LayerNormCache) {
+    let d = x.cols();
+    assert_eq!(gamma.len(), d, "gamma length mismatch");
+    assert_eq!(beta.len(), d, "beta length mismatch");
+    let mut out = Matrix::zeros(x.rows(), d);
+    let mut normalized = Matrix::zeros(x.rows(), d);
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let is = 1.0 / (var + LN_EPS).sqrt();
+        inv_std.push(is);
+        let nrow = normalized.row_mut(r);
+        for (n, &v) in nrow.iter_mut().zip(row) {
+            *n = (v - mean) * is;
+        }
+        let orow = out.row_mut(r);
+        for c in 0..d {
+            orow[c] = normalized[(r, c)] * gamma[c] + beta[c];
+        }
+    }
+    (out, LayerNormCache { inv_std, normalized })
+}
+
+/// Backward pass of [`layernorm_forward`].
+///
+/// Returns `(dx, dgamma, dbeta)` given the upstream gradient `dy` and the
+/// forward cache.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the cached forward pass.
+pub fn layernorm_backward(
+    dy: &Matrix,
+    gamma: &[f32],
+    cache: &LayerNormCache,
+) -> (Matrix, Vec<f32>, Vec<f32>) {
+    let d = dy.cols();
+    assert_eq!(gamma.len(), d, "gamma length mismatch");
+    assert_eq!(cache.normalized.shape(), dy.shape(), "cache shape mismatch");
+    let n_rows = dy.rows();
+    let mut dx = Matrix::zeros(n_rows, d);
+    let mut dgamma = vec![0.0f32; d];
+    let mut dbeta = vec![0.0f32; d];
+    for r in 0..n_rows {
+        let dyr = dy.row(r);
+        let xhat = cache.normalized.row(r);
+        let is = cache.inv_std[r];
+        // dL/dxhat_c = dy_c * gamma_c
+        // dx = (1/D) * inv_std * (D*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_xhat = 0.0f32;
+        for c in 0..d {
+            let dxhat = dyr[c] * gamma[c];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat[c];
+            dgamma[c] += dyr[c] * xhat[c];
+            dbeta[c] += dyr[c];
+        }
+        let drow = dx.row_mut(r);
+        let inv_d = 1.0 / d as f32;
+        for c in 0..d {
+            let dxhat = dyr[c] * gamma[c];
+            drow[c] = is * (dxhat - inv_d * sum_dxhat - inv_d * xhat[c] * sum_dxhat_xhat);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32).sin() * 3.0);
+        let y = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            assert!(y.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let x = Matrix::from_rows(&[&[1000.0, -1000.0], &[-1000.0, -1000.0]]);
+        let y = softmax_rows(&x);
+        assert!(y.is_finite());
+        assert!((y[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((y[(1, 0)] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = Matrix::from_fn(3, 5, |r, c| (r as f32 - c as f32) * 0.7);
+        let y = softmax_rows(&x);
+        let ly = log_softmax_rows(&x);
+        assert!(y.map(|v| v.ln()).max_abs_diff(&ly) < 1e-5);
+    }
+
+    /// Finite-difference check of the softmax Jacobian.
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Matrix::from_fn(2, 4, |r, c| (r as f32 + c as f32 * 0.3).cos());
+        let dy = Matrix::from_fn(2, 4, |r, c| ((r + 2 * c) as f32 * 0.17).sin());
+        let y = softmax_rows(&x);
+        let dx = softmax_backward_rows(&y, &dy);
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let lp: f32 = softmax_rows(&xp)
+                    .as_slice()
+                    .iter()
+                    .zip(dy.as_slice())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let lm: f32 = softmax_rows(&xm)
+                    .as_slice()
+                    .iter()
+                    .zip(dy.as_slice())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 1e-3,
+                    "({r},{c}): fd={fd} analytic={}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let x = Matrix::from_fn(3, 8, |r, c| (r * 8 + c) as f32 * 1.5 + 2.0);
+        let gamma = vec![1.0; 8];
+        let beta = vec![0.0; 8];
+        let (y, _) = layernorm_forward(&x, &gamma, &beta);
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_affine_applies_gamma_beta() {
+        let x = Matrix::from_fn(2, 4, |r, c| (r + c) as f32);
+        let gamma = vec![2.0; 4];
+        let beta = vec![5.0; 4];
+        let (y, _) = layernorm_forward(&x, &gamma, &beta);
+        let (y0, _) = layernorm_forward(&x, &[1.0; 4], &[0.0; 4]);
+        assert!(y.max_abs_diff(&y0.map(|v| v * 2.0 + 5.0)) < 1e-5);
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_difference() {
+        let x = Matrix::from_fn(2, 5, |r, c| ((r * 5 + c) as f32 * 0.37).sin() * 2.0);
+        let gamma: Vec<f32> = (0..5).map(|i| 0.5 + 0.2 * i as f32).collect();
+        let beta: Vec<f32> = (0..5).map(|i| 0.1 * i as f32).collect();
+        let dy = Matrix::from_fn(2, 5, |r, c| ((r + c) as f32 * 0.23).cos());
+        let (_, cache) = layernorm_forward(&x, &gamma, &beta);
+        let (dx, dgamma, dbeta) = layernorm_backward(&dy, &gamma, &cache);
+
+        let loss = |xx: &Matrix, gg: &[f32], bb: &[f32]| -> f32 {
+            let (y, _) = layernorm_forward(xx, gg, bb);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        for r in 0..2 {
+            for c in 0..5 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 2e-2,
+                    "dx({r},{c}): fd={fd} analytic={}",
+                    dx[(r, c)]
+                );
+            }
+        }
+        for c in 0..5 {
+            let mut gp = gamma.clone();
+            gp[c] += eps;
+            let mut gm = gamma.clone();
+            gm[c] -= eps;
+            let fd = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((fd - dgamma[c]).abs() < 2e-2, "dgamma[{c}]: fd={fd} vs {}", dgamma[c]);
+            let mut bp = beta.clone();
+            bp[c] += eps;
+            let mut bm = beta.clone();
+            bm[c] -= eps;
+            let fd = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((fd - dbeta[c]).abs() < 2e-2, "dbeta[{c}]: fd={fd} vs {}", dbeta[c]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense `f32` tensor kernels for the HOGA reproduction.
+//!
+//! This crate is the lowest layer of the stack: a small, safe, CPU-only
+//! linear-algebra library providing exactly the operations the HOGA model
+//! ([Deng et al., DAC 2024]) and its baselines need:
+//!
+//! * a row-major [`Matrix`] type with shape-checked constructors,
+//! * blocked, multi-threaded matrix multiplication ([`Matrix::matmul`]),
+//! * batched (block-diagonal) matrix products used by per-node attention,
+//! * row-wise `softmax` and `LayerNorm` kernels with their exact Jacobians
+//!   exposed for the autograd layer,
+//! * deterministic random initializers (Xavier/Glorot, Kaiming/He).
+//!
+//! Parallelism uses `crossbeam::scope` over disjoint row chunks; there is no
+//! unsafe code in this crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use hoga_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+//!
+//! [Deng et al., DAC 2024]: https://arxiv.org/abs/2403.01317
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod kernels;
+mod matrix;
+mod parallel;
+mod sparse;
+
+pub use error::ShapeError;
+pub use init::{Init, SeedRng};
+pub use kernels::{
+    layernorm_backward, layernorm_forward, log_softmax_rows, softmax_backward_rows,
+    softmax_rows, LayerNormCache,
+};
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+pub use parallel::{available_threads, parallel_chunks, parallel_chunks_with, set_threads};

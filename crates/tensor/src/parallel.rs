@@ -1,0 +1,167 @@
+//! Minimal structured-parallelism helpers built on `crossbeam::scope`.
+//!
+//! The kernels in this crate parallelize over disjoint row chunks of an
+//! output buffer. [`parallel_chunks`] splits a mutable slice into per-thread
+//! chunks aligned to a row width and runs a closure on each chunk inside a
+//! scoped thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads kernels will use.
+///
+/// Defaults to `std::thread::available_parallelism()` capped at 16; can be
+/// overridden (e.g. by the data-parallel trainer, which wants its *own*
+/// thread-level parallelism) via [`set_threads`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(hoga_tensor::available_threads() >= 1);
+/// ```
+pub fn available_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(1)
+    })
+}
+
+/// Overrides the kernel thread count; `0` restores auto-detection.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Splits `out` into contiguous chunks aligned to `row_width` and invokes
+/// `f(start_row, chunk)` on each chunk, in parallel.
+///
+/// The closure receives the starting *row* index of its chunk (not the
+/// element index) so it can read corresponding rows of the inputs.
+///
+/// # Panics
+///
+/// Panics if `row_width` is zero or does not divide `out.len()`.
+pub fn parallel_chunks<F>(out: &mut [f32], row_width: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "row_width must be positive");
+    assert_eq!(out.len() % row_width, 0, "buffer not aligned to row width");
+    let total_rows = out.len() / row_width;
+    let threads = available_threads().min(total_rows.max(1));
+    if threads <= 1 || total_rows == 0 {
+        f(0, out);
+        return;
+    }
+    let rows_per = total_rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out;
+        let mut row = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_width).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let start_row = row;
+            let fref = &f;
+            s.spawn(move |_| fref(start_row, chunk));
+            row += take / row_width;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Like [`parallel_chunks`] but the closure also receives a zero-based chunk
+/// index, useful for writing into per-chunk scratch areas.
+///
+/// # Panics
+///
+/// Panics if `row_width` is zero or does not divide `out.len()`.
+pub fn parallel_chunks_with<F>(out: &mut [f32], row_width: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "row_width must be positive");
+    assert_eq!(out.len() % row_width, 0, "buffer not aligned to row width");
+    let total_rows = out.len() / row_width;
+    let threads = available_threads().min(total_rows.max(1));
+    if threads <= 1 || total_rows == 0 {
+        f(0, 0, out);
+        return;
+    }
+    let rows_per = total_rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out;
+        let mut row = 0;
+        let mut chunk_idx = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_width).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let start_row = row;
+            let ci = chunk_idx;
+            let fref = &f;
+            s.spawn(move |_| fref(ci, start_row, chunk));
+            row += take / row_width;
+            chunk_idx += 1;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_rows_exactly_once() {
+        let mut buf = vec![0.0f32; 97 * 3];
+        parallel_chunks(&mut buf, 3, |start_row, chunk| {
+            for (i, row) in chunk.chunks_mut(3).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (start_row + i) as f32;
+                }
+            }
+        });
+        for (r, row) in buf.chunks(3).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r} wrong: {row:?}");
+        }
+    }
+
+    #[test]
+    fn single_row_buffer_works() {
+        let mut buf = vec![0.0f32; 4];
+        parallel_chunks(&mut buf, 4, |start, chunk| {
+            assert_eq!(start, 0);
+            chunk.fill(1.0);
+        });
+        assert!(buf.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn chunk_index_variant_labels_chunks() {
+        let mut buf = vec![0.0f32; 64];
+        parallel_chunks_with(&mut buf, 1, |ci, _start, chunk| {
+            chunk.fill(ci as f32);
+        });
+        // Chunk ids must be non-decreasing across the buffer.
+        let mut last = 0.0;
+        for &v in &buf {
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_buffer_panics() {
+        let mut buf = vec![0.0f32; 7];
+        parallel_chunks(&mut buf, 3, |_, _| {});
+    }
+}

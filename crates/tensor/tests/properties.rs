@@ -1,0 +1,130 @@
+//! Property-based tests of the tensor kernels: algebraic laws that must
+//! hold for arbitrary shapes and values.
+
+use hoga_tensor::{softmax_rows, CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with bounded dimensions and tame values.
+fn arb_matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a pair of matrices with a shared inner dimension.
+fn arb_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=6usize, 1..=6usize, 1..=6usize).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-3.0f32..3.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = proptest::collection::vec(-3.0f32..3.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in arb_matrix(8, 8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in arb_matmul_pair()) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_tn_consistency((a, b) in arb_matmul_pair()) {
+        let nt = a.matmul_nt(&b.transpose());
+        let direct = a.matmul(&b);
+        prop_assert!(nt.max_abs_diff(&direct) < 1e-4);
+        let tn = a.transpose().matmul_tn(&b);
+        prop_assert!(tn.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b) in arb_matmul_pair(), (c,) in (0..1usize,).prop_map(|x| x)) {
+        let _ = c;
+        let b2 = b.map(|v| v * 0.5 - 1.0);
+        let sum_first = a.matmul(&(&b + &b2));
+        let dist = &a.matmul(&b) + &a.matmul(&b2);
+        prop_assert!(sum_first.max_abs_diff(&dist) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in arb_matrix(6, 8)) {
+        let s = softmax_rows(&a);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in arb_matrix(4, 6), shift in -10.0f32..10.0) {
+        let s1 = softmax_rows(&a);
+        let s2 = softmax_rows(&a.map(|v| v + shift));
+        prop_assert!(s1.max_abs_diff(&s2) < 1e-4);
+    }
+
+    #[test]
+    fn select_rows_then_scatter_is_projection(a in arb_matrix(6, 4)) {
+        // Scatter of a full selection back into zeros reproduces selected rows.
+        let idx: Vec<usize> = (0..a.rows()).collect();
+        let sel = a.select_rows(&idx);
+        let mut out = Matrix::zeros(a.rows(), a.cols());
+        out.scatter_add_rows(&idx, &sel);
+        prop_assert!(out.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn batched_matmul_equals_per_block((a, b) in arb_matmul_pair(), batch in 1..4usize) {
+        // Tile the pair `batch` times and compare against the blockwise result.
+        let mut big_a = Vec::new();
+        let mut big_b = Vec::new();
+        for _ in 0..batch {
+            big_a.extend_from_slice(a.as_slice());
+            big_b.extend_from_slice(b.as_slice());
+        }
+        let ba = Matrix::from_vec(batch * a.rows(), a.cols(), big_a);
+        let bb = Matrix::from_vec(batch * b.rows(), b.cols(), big_b);
+        let out = ba.batched_matmul(&bb, batch);
+        let single = a.matmul(&b);
+        for bi in 0..batch {
+            let rows: Vec<usize> = (bi * a.rows()..(bi + 1) * a.rows()).collect();
+            prop_assert!(out.select_rows(&rows).max_abs_diff(&single) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrips_through_dense(a in arb_matrix(6, 6)) {
+        // Sparsify (threshold), convert to CSR, and check spmm == dense matmul.
+        let sparse_src = a.map(|v| if v.abs() < 2.0 { 0.0 } else { v });
+        let mut triplets = Vec::new();
+        for r in 0..sparse_src.rows() {
+            for c in 0..sparse_src.cols() {
+                if sparse_src[(r, c)] != 0.0 {
+                    triplets.push((r, c, sparse_src[(r, c)]));
+                }
+            }
+        }
+        let csr = CsrMatrix::from_coo(sparse_src.rows(), sparse_src.cols(), &triplets);
+        prop_assert!(csr.to_dense().max_abs_diff(&sparse_src) < 1e-6);
+        let x = Matrix::identity(sparse_src.cols());
+        prop_assert!(csr.spmm(&x).max_abs_diff(&sparse_src) < 1e-6);
+    }
+
+    #[test]
+    fn row_and_col_sums_agree_with_total(a in arb_matrix(7, 7)) {
+        let total = a.sum();
+        let via_rows: f32 = a.row_sums().as_slice().iter().sum();
+        let via_cols: f32 = a.col_sums().as_slice().iter().sum();
+        prop_assert!((total - via_rows).abs() < 1e-3);
+        prop_assert!((total - via_cols).abs() < 1e-3);
+    }
+}

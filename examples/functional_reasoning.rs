@@ -1,0 +1,60 @@
+//! Functional reasoning on technology-mapped multipliers (Figure 6, small).
+//!
+//! Trains HOGA and the baselines on an 8-bit multiplier and evaluates
+//! node-classification accuracy (MAJ / XOR / shared / plain) on larger
+//! multipliers the models never saw.
+//!
+//! ```text
+//! cargo run --release --example functional_reasoning
+//! ```
+
+use hoga_repro::datasets::gamora::ReasoningConfig;
+use hoga_repro::eval::experiments::fig6::{run_panel, Fig6Config};
+use hoga_repro::eval::metrics::ConfusionMatrix;
+use hoga_repro::eval::trainer::{
+    predict_reasoning, train_reasoning, ReasonModelKind, TrainConfig,
+};
+use hoga_repro::datasets::gamora::{build_reasoning_graph, MultiplierKind};
+use hoga_repro::gen::reason::NodeClass;
+use hoga_repro::hoga::model::Aggregator;
+
+fn main() {
+    let cfg = Fig6Config {
+        train_width: 8,
+        eval_widths: vec![12, 16, 24],
+        graph: ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 },
+        train: TrainConfig { hidden_dim: 32, epochs: 100, lr: 3e-3, ..TrainConfig::default() },
+    };
+
+    println!("=== CSA multipliers ===");
+    let csa = run_panel(MultiplierKind::Csa, &cfg);
+    print_panel(&csa);
+
+    println!("\n=== Booth multipliers ===");
+    let booth = run_panel(MultiplierKind::Booth, &cfg);
+    print_panel(&booth);
+
+    // Per-class detail for HOGA on the largest CSA multiplier.
+    println!("\n=== HOGA confusion matrix on {}-bit CSA ===", cfg.eval_widths[1]);
+    let train_graph = build_reasoning_graph(MultiplierKind::Csa, cfg.train_width, &cfg.graph);
+    let eval_graph = build_reasoning_graph(MultiplierKind::Csa, cfg.eval_widths[1], &cfg.graph);
+    let (model, _) = train_reasoning(
+        &train_graph,
+        ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
+        &cfg.train,
+    );
+    let pred = predict_reasoning(&model, &eval_graph);
+    let cm = ConfusionMatrix::new(NodeClass::COUNT, &eval_graph.label_indices(), &pred);
+    println!("{}", cm.render());
+}
+
+fn print_panel(panel: &hoga_repro::eval::experiments::fig6::Fig6Panel) {
+    for s in &panel.series {
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|(w, a)| format!("{w}-bit: {:.1}%", a * 100.0))
+            .collect();
+        println!("  {:<10} {}", s.model, pts.join("  "));
+    }
+}

@@ -1,0 +1,35 @@
+//! QoR prediction on the synthetic OpenABC-D benchmark (Table 2, small).
+//!
+//! Trains GCN, HOGA-2 and HOGA-5 to predict post-synthesis gate counts on
+//! unseen designs and prints the reproduced Table 2.
+//!
+//! ```text
+//! cargo run --release --example qor_prediction
+//! ```
+
+use hoga_repro::eval::experiments::table1;
+use hoga_repro::eval::experiments::table2::{run, Table2Config};
+use hoga_repro::eval::trainer::TrainConfig;
+
+fn main() {
+    // Dataset statistics first (Table 1 at example scale).
+    let t1 = table1::run(32, 1500);
+    println!("{}", t1.render());
+
+    let mut cfg = Table2Config::default();
+    cfg.dataset.scale_divisor = 32;
+    cfg.dataset.recipes_per_design = 8;
+    cfg.dataset.max_scaled_nodes = 1500;
+    cfg.train = TrainConfig { hidden_dim: 32, epochs: 60, lr: 3e-3, ..TrainConfig::default() };
+
+    println!("building dataset and training 3 models (a few minutes on CPU)...");
+    let result = run(&cfg);
+    println!("\n{}", result.render());
+
+    println!(
+        "designs: {} | train samples: {} | test samples: {}",
+        result.dataset.designs.len(),
+        result.dataset.train.len(),
+        result.dataset.test.len()
+    );
+}

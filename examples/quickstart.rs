@@ -1,0 +1,54 @@
+//! Quickstart: build a circuit, precompute hop features, and run HOGA.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hoga_repro::autograd::Tape;
+use hoga_repro::circuit::{adjacency, features, Aig};
+use hoga_repro::hoga::hopfeat::{hop_features, hop_stack};
+use hoga_repro::hoga::model::{HogaConfig, HogaModel};
+
+fn main() {
+    // 1. Build a circuit: a 1-bit full adder as an And-Inverter Graph.
+    let mut aig = Aig::new(3);
+    let (a, b, cin) = (aig.pi_lit(0), aig.pi_lit(1), aig.pi_lit(2));
+    let sum = {
+        let t = aig.xor(a, b);
+        aig.xor(t, cin)
+    };
+    let carry = aig.maj(a, b, cin);
+    aig.add_po(sum);
+    aig.add_po(carry);
+    println!(
+        "full adder: {} nodes, {} AND gates, depth {}",
+        aig.num_nodes(),
+        aig.num_ands(),
+        hoga_repro::circuit::depth(&aig)
+    );
+
+    // 2. Phase 1 (Eq. 3): normalized adjacency + hop-wise features.
+    let adj = adjacency::normalized_symmetric(&aig);
+    let x = features::node_features(&aig);
+    let num_hops = 4;
+    let hops = hop_features(&adj, &x, num_hops);
+    println!("precomputed {} hop matrices of shape {:?}", hops.len(), hops[0].shape());
+
+    // 3. Phase 2: gated self-attention over each node's hop stack.
+    let config = HogaConfig::new(x.cols(), 32, num_hops);
+    let model = HogaModel::new(&config, 42);
+    let all_nodes: Vec<usize> = (0..aig.num_nodes()).collect();
+    let stack = hop_stack(&hops, &all_nodes);
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, &stack, all_nodes.len());
+    let reps = tape.value(out.representations);
+    println!("node representations: {:?}", reps.shape());
+
+    // 4. The readout attention scores c_k (Eq. 10) — what Figure 7 plots.
+    let scores = model.attention_scores(&stack, all_nodes.len());
+    println!("\nper-node hop attention (rows = nodes, cols = hops 1..{num_hops}):");
+    for node in [sum.node() as usize, carry.node() as usize] {
+        let row: Vec<String> = scores.row(node).iter().map(|v| format!("{v:.3}")).collect();
+        println!("  node {node:>2}: [{}]", row.join(", "));
+    }
+}

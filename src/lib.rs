@@ -1,0 +1,27 @@
+//! Umbrella crate for the HOGA reproduction workspace.
+//!
+//! Re-exports every member crate under one namespace so examples and
+//! integration tests can use a single dependency. See the repository
+//! `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map.
+//!
+//! # Examples
+//!
+//! ```
+//! use hoga_repro::tensor::Matrix;
+//!
+//! let m = Matrix::identity(3);
+//! assert_eq!(m.sum(), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hoga_autograd as autograd;
+pub use hoga_baselines as baselines;
+pub use hoga_circuit as circuit;
+pub use hoga_core as hoga;
+pub use hoga_datasets as datasets;
+pub use hoga_eval as eval;
+pub use hoga_gen as gen;
+pub use hoga_synth as synth;
+pub use hoga_tensor as tensor;

@@ -1,0 +1,270 @@
+//! `hoga-repro` — command-line driver for every paper experiment.
+//!
+//! ```text
+//! hoga-repro table1   [--scale N] [--max-nodes N]
+//! hoga-repro table2   [--scale N] [--recipes N] [--epochs N] [--hidden N]
+//! hoga-repro fig4     [--scale N] [--recipes N] [--epochs N] [--hidden N]
+//! hoga-repro fig5     [--width N] [--epochs N]
+//! hoga-repro fig6     [--train-width N] [--widths a,b,c] [--epochs N]
+//! hoga-repro fig7     [--train-width N] [--vis-width N] [--epochs N]
+//! hoga-repro ablation [--train-width N] [--widths a,b,c] [--epochs N]
+//! hoga-repro synth    --design NAME [--scale N] [--recipe "b; rw; rf"]
+//! ```
+//!
+//! All commands print the reproduced table/series to stdout.
+
+use hoga_repro::datasets::gamora::ReasoningConfig;
+use hoga_repro::eval::experiments::{ablation, fig4, fig5, fig6, fig7, table1, table2};
+use hoga_repro::eval::trainer::TrainConfig;
+use hoga_repro::gen::ipgen::{generate_ip, OPENABCD_DESIGNS};
+use hoga_repro::synth::{run_recipe, Recipe};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.as_str() {
+        "table1" => cmd_table1(&flags),
+        "table2" => cmd_table2(&flags, false),
+        "fig4" => cmd_table2(&flags, true),
+        "fig5" => cmd_fig5(&flags),
+        "fig6" => cmd_fig6(&flags),
+        "fig7" => cmd_fig7(&flags),
+        "ablation" => cmd_ablation(&flags),
+        "synth" => return cmd_synth(&flags),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth> [flags]
+  --scale N        Table-1 size divisor (default 32)
+  --max-nodes N    skip designs above N scaled nodes (default 1500)
+  --recipes N      synthesis recipes per design (default 8)
+  --epochs N       training epochs (default 8/30 per task)
+  --hidden N       hidden width (default 32)
+  --width N        fig5 workload multiplier width (default 16)
+  --train-width N  reasoning training multiplier width (default 8)
+  --vis-width N    fig7 visualization multiplier width (default 16)
+  --widths a,b,c   reasoning evaluation widths (default 12,16,24)
+  --design NAME    synth: Table-1 design to synthesize
+  --recipe STR     synth: recipe string (default resyn2)
+  --target depth   table2: predict optimized depth instead of gate count";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected flag, found `{flag}`"))?;
+        let value = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn widths(flags: &HashMap<String, String>, default: &[usize]) -> Vec<usize> {
+    flags
+        .get("widths")
+        .map(|v| v.split(',').filter_map(|w| w.trim().parse().ok()).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn train_cfg(flags: &HashMap<String, String>, default_epochs: usize) -> TrainConfig {
+    TrainConfig {
+        hidden_dim: get(flags, "hidden", 32),
+        epochs: get(flags, "epochs", default_epochs),
+        ..TrainConfig::default()
+    }
+}
+
+fn reasoning_cfg() -> ReasoningConfig {
+    ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("valid flags")
+    }
+
+    #[test]
+    fn parse_flags_accepts_pairs() {
+        let f = flags_of(&["--scale", "16", "--epochs", "3"]);
+        assert_eq!(get(&f, "scale", 0usize), 16);
+        assert_eq!(get(&f, "epochs", 0usize), 3);
+        assert_eq!(get(&f, "missing", 42usize), 42);
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_dangling_flags() {
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+        assert!(parse_flags(&["--scale".to_string()]).is_err());
+    }
+
+    #[test]
+    fn widths_parse_comma_lists() {
+        let f = flags_of(&["--widths", "8, 16,24"]);
+        assert_eq!(widths(&f, &[1]), vec![8, 16, 24]);
+        assert_eq!(widths(&HashMap::new(), &[5, 6]), vec![5, 6]);
+    }
+
+    #[test]
+    fn bad_numbers_fall_back_to_defaults() {
+        let f = flags_of(&["--scale", "not-a-number"]);
+        assert_eq!(get(&f, "scale", 32usize), 32);
+    }
+}
+
+fn cmd_table1(flags: &HashMap<String, String>) {
+    let t = table1::run(get(flags, "scale", 32), get(flags, "max-nodes", 0));
+    println!("{}", t.render());
+}
+
+fn table2_cfg(flags: &HashMap<String, String>) -> table2::Table2Config {
+    let mut cfg = table2::Table2Config::default();
+    cfg.dataset.scale_divisor = get(flags, "scale", 32);
+    cfg.dataset.recipes_per_design = get(flags, "recipes", 8);
+    cfg.dataset.max_scaled_nodes = get(flags, "max-nodes", 1500);
+    cfg.train = train_cfg(flags, 60);
+    cfg
+}
+
+fn cmd_table2(flags: &HashMap<String, String>, with_fig4: bool) {
+    let cfg = table2_cfg(flags);
+    if flags.get("target").map(String::as_str) == Some("depth") {
+        // Depth-prediction variant (this reproduction's extension): train
+        // HOGA-K on the depth ratio and report per-design MAPE.
+        use hoga_repro::datasets::openabcd::build_qor_dataset;
+        use hoga_repro::eval::trainer::{
+            average_mape, eval_qor_with_target, train_qor_with_target, QorModelKind, QorTarget,
+        };
+        let ds = build_qor_dataset(&cfg.dataset);
+        let (model, stats) = train_qor_with_target(
+            &ds,
+            QorModelKind::Hoga { num_hops: cfg.dataset.num_hops },
+            &cfg.train,
+            QorTarget::Depth,
+        );
+        let evals = eval_qor_with_target(&ds, &model, false, QorTarget::Depth);
+        println!("Depth prediction (HOGA-{}):", cfg.dataset.num_hops);
+        for e in &evals {
+            println!("  {:<14} MAPE {:>6.2}%", e.name, e.mape());
+        }
+        println!("  average: {:.2}% ({:.1?})", average_mape(&evals), stats.train_time);
+        return;
+    }
+    let result = table2::run(&cfg);
+    println!("{}", result.render());
+    if with_fig4 {
+        let fig = fig4::from_table2(&result);
+        println!("{}", fig.render_csv());
+        for s in &fig.series {
+            if let Some(r) = fig.correlation(&s.model) {
+                println!("# correlation({}) = {r:.3}", s.model);
+            }
+        }
+    }
+}
+
+fn cmd_fig5(flags: &HashMap<String, String>) {
+    let cfg = fig5::Fig5Config {
+        width: get(flags, "width", 16),
+        graph: reasoning_cfg(),
+        train: train_cfg(flags, 3),
+        worker_counts: [1, 2, 4],
+    };
+    println!("{}", fig5::run(&cfg).render());
+}
+
+fn cmd_fig6(flags: &HashMap<String, String>) {
+    let cfg = fig6::Fig6Config {
+        train_width: get(flags, "train-width", 8),
+        eval_widths: widths(flags, &[12, 16, 24]),
+        graph: reasoning_cfg(),
+        train: train_cfg(flags, 100),
+    };
+    println!("{}", fig6::run(&cfg).render());
+}
+
+fn cmd_fig7(flags: &HashMap<String, String>) {
+    let cfg = fig7::Fig7Config {
+        train_width: get(flags, "train-width", 8),
+        vis_width: get(flags, "vis-width", 16),
+        nodes_per_class: 100,
+        graph: reasoning_cfg(),
+        train: train_cfg(flags, 100),
+    };
+    println!("{}", fig7::run(&cfg).render());
+}
+
+fn cmd_ablation(flags: &HashMap<String, String>) {
+    let cfg = ablation::AblationConfig {
+        train_width: get(flags, "train-width", 8),
+        eval_widths: widths(flags, &[12, 16]),
+        graph: reasoning_cfg(),
+        train: train_cfg(flags, 100),
+    };
+    println!("{}", ablation::run(&cfg).render());
+}
+
+fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(name) = flags.get("design") else {
+        eprintln!("error: synth requires --design NAME (see Table 1 names)");
+        return ExitCode::FAILURE;
+    };
+    let Some(spec) = OPENABCD_DESIGNS.iter().find(|d| d.name == name.as_str()) else {
+        let names: Vec<&str> = OPENABCD_DESIGNS.iter().map(|d| d.name).collect();
+        eprintln!("error: unknown design `{name}`; available: {}", names.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let recipe: Recipe = match flags
+        .get("recipe")
+        .map(|r| r.parse())
+        .unwrap_or_else(|| Ok(Recipe::resyn2()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let aig = generate_ip(spec, get(flags, "scale", 32));
+    println!("design `{}`: {} AND gates", spec.name, aig.num_ands());
+    let result = run_recipe(&aig, &recipe);
+    println!("recipe `{recipe}`:");
+    for (step, ands) in recipe.steps().iter().zip(&result.per_step_ands) {
+        println!("  after {step:<5} -> {ands} gates");
+    }
+    println!(
+        "total: {} -> {} gates ({:.1}% reduction)",
+        result.initial_ands,
+        result.final_ands,
+        result.reduction() * 100.0
+    );
+    ExitCode::SUCCESS
+}

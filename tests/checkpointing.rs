@@ -1,0 +1,55 @@
+//! Integration test of model checkpointing: train → serialize → restore
+//! into a freshly constructed model → identical predictions.
+
+use hoga_repro::datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
+use hoga_repro::datasets::io::{decode_params, encode_params};
+use hoga_repro::eval::trainer::{
+    predict_reasoning, train_reasoning, ReasonModel, ReasonModelKind, TrainConfig,
+};
+use hoga_repro::gen::reason::NodeClass;
+use hoga_repro::hoga::heads::NodeClassifier;
+use hoga_repro::hoga::model::{Aggregator, HogaConfig, HogaModel};
+
+#[test]
+fn trained_hoga_survives_checkpoint_roundtrip() {
+    let graph = build_reasoning_graph(
+        MultiplierKind::Csa,
+        4,
+        &ReasoningConfig { tech_map: false, lut_k: 4, num_hops: 4, label_k: 3 },
+    );
+    let cfg = TrainConfig {
+        hidden_dim: 16,
+        epochs: 10,
+        lr: 3e-3,
+        batch_nodes: 128,
+        batch_samples: 4,
+        seed: 77,
+    };
+    let (model, _) = train_reasoning(
+        &graph,
+        ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
+        &cfg,
+    );
+    let ReasonModel::Hoga(trained, _) = &model else { unreachable!() };
+
+    // Serialize the trained parameters.
+    let bytes = encode_params(&trained.params);
+    let restored_params = decode_params(bytes).expect("decode checkpoint");
+
+    // Rebuild the same architecture with a *different* seed, then install
+    // the checkpoint. Registration order must match, so rebuild exactly as
+    // the trainer does: model first, then the classifier head.
+    let hcfg = HogaConfig::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1);
+    let mut fresh = HogaModel::new(&hcfg, 999);
+    let head = NodeClassifier::new(&mut fresh.params, cfg.hidden_dim, NodeClass::COUNT, 999);
+    assert_eq!(fresh.params.len(), restored_params.len(), "architectures must align");
+    for ((_, n1, _), (_, n2, _)) in fresh.params.iter().zip(restored_params.iter()) {
+        assert_eq!(n1, n2, "parameter registration order changed");
+    }
+    fresh.params = restored_params;
+
+    let restored_model = ReasonModel::Hoga(Box::new(fresh), head);
+    let original = predict_reasoning(&model, &graph);
+    let roundtripped = predict_reasoning(&restored_model, &graph);
+    assert_eq!(original, roundtripped, "checkpoint changed predictions");
+}

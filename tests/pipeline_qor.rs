@@ -1,0 +1,80 @@
+//! End-to-end integration test of the QoR-prediction pipeline:
+//! IP generator → synthesis recipes → labels → hop features → models →
+//! MAPE, spanning every crate in the workspace.
+
+use hoga_repro::datasets::openabcd::{build_qor_dataset, QorDatasetConfig};
+use hoga_repro::eval::trainer::{average_mape, eval_qor, train_qor, QorModelKind, TrainConfig};
+
+fn dataset_cfg() -> QorDatasetConfig {
+    QorDatasetConfig {
+        scale_divisor: 32,
+        recipes_per_design: 4,
+        recipe_len: 10,
+        num_hops: 4,
+        nodes_per_graph: 96,
+        // The smallest held-out design (aes_secworks) is ~1274 nodes at
+        // 1/32 scale; the cap must admit some test designs.
+        max_scaled_nodes: 1600,
+        seed: 0xEED,
+    }
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig { hidden_dim: 24, epochs: 40, lr: 2e-3, batch_nodes: 256, batch_samples: 6, seed: 2 }
+}
+
+#[test]
+fn qor_dataset_spans_train_and_test_designs() {
+    let ds = build_qor_dataset(&dataset_cfg());
+    assert!(ds.designs.len() >= 5, "too few designs survived the size filter");
+    assert!(!ds.train.is_empty());
+    assert!(!ds.test.is_empty(), "need held-out designs for generalization");
+    // Ratios must vary across (design, recipe) pairs for learning to exist.
+    let mut ratios: Vec<f32> = ds.train.iter().map(|s| s.ratio()).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    assert!(
+        ratios.last().expect("non-empty") - ratios.first().expect("non-empty") > 0.02,
+        "labels nearly constant: {:?}",
+        (&ratios.first(), &ratios.last())
+    );
+}
+
+#[test]
+fn hoga_trains_and_beats_trivial_predictor_on_unseen_designs() {
+    let ds = build_qor_dataset(&dataset_cfg());
+    let (model, _) = train_qor(&ds, QorModelKind::Hoga { num_hops: 4 }, &train_cfg());
+    let evals = eval_qor(&ds, &model, false);
+    let hoga_mape = average_mape(&evals);
+    // Trivial predictor: always predict the train-set mean ratio.
+    let mean_ratio: f32 =
+        ds.train.iter().map(|s| s.ratio()).sum::<f32>() / ds.train.len() as f32;
+    let trivial: Vec<f32> = ds
+        .test
+        .iter()
+        .map(|s| {
+            let pred = mean_ratio * s.initial_ands as f32;
+            ((s.final_ands as f32 - pred) / s.final_ands as f32).abs() * 100.0
+        })
+        .collect();
+    let trivial_mape = trivial.iter().sum::<f32>() / trivial.len() as f32;
+    assert!(
+        hoga_mape < trivial_mape * 1.8,
+        "HOGA MAPE {hoga_mape}% not in range of trivial predictor {trivial_mape}%"
+    );
+    assert!(hoga_mape.is_finite());
+}
+
+#[test]
+fn both_model_families_produce_comparable_outputs() {
+    let ds = build_qor_dataset(&dataset_cfg());
+    let cfg = train_cfg();
+    let (hoga, _) = train_qor(&ds, QorModelKind::Hoga { num_hops: 2 }, &cfg);
+    let (gcn, _) = train_qor(&ds, QorModelKind::Gcn { layers: 2 }, &cfg);
+    let he = eval_qor(&ds, &hoga, false);
+    let ge = eval_qor(&ds, &gcn, false);
+    assert_eq!(he.len(), ge.len(), "same test designs evaluated");
+    for (h, g) in he.iter().zip(&ge) {
+        assert_eq!(h.name, g.name);
+        assert_eq!(h.truth, g.truth, "ground truth must not depend on the model");
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end integration test of the functional-reasoning pipeline:
+//! generator → tech map → labeler → hop features → HOGA → accuracy,
+//! spanning `hoga-gen`, `hoga-synth`, `hoga-circuit`, `hoga-core`,
+//! `hoga-datasets` and `hoga-eval`.
+
+use hoga_repro::datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
+use hoga_repro::eval::metrics::ConfusionMatrix;
+use hoga_repro::eval::trainer::{
+    eval_reasoning, predict_reasoning, train_reasoning, ReasonModelKind, TrainConfig,
+};
+use hoga_repro::gen::reason::NodeClass;
+use hoga_repro::hoga::model::Aggregator;
+
+fn cfg() -> ReasoningConfig {
+    ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 6, label_k: 4 }
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig { hidden_dim: 32, epochs: 60, lr: 3e-3, batch_nodes: 512, batch_samples: 4, seed: 1 }
+}
+
+#[test]
+fn hoga_generalizes_from_small_to_larger_multiplier() {
+    let train = build_reasoning_graph(MultiplierKind::Csa, 6, &cfg());
+    let eval = build_reasoning_graph(MultiplierKind::Csa, 10, &cfg());
+    let (model, stats) = train_reasoning(
+        &train,
+        ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
+        &train_cfg(),
+    );
+    assert!(stats.final_loss.is_finite());
+    let train_acc = eval_reasoning(&model, &train);
+    let gen_acc = eval_reasoning(&model, &eval);
+    // Must clearly beat the majority-class baseline on the unseen size.
+    let labels = eval.label_indices();
+    let majority = (0..NodeClass::COUNT)
+        .map(|c| labels.iter().filter(|&&l| l == c).count())
+        .max()
+        .expect("classes") as f32
+        / labels.len() as f32;
+    assert!(
+        gen_acc > majority,
+        "generalization accuracy {gen_acc} <= majority baseline {majority}"
+    );
+    assert!(train_acc >= gen_acc * 0.8, "train acc {train_acc} far below eval acc {gen_acc}");
+}
+
+#[test]
+fn confusion_matrix_is_consistent_with_accuracy() {
+    let train = build_reasoning_graph(MultiplierKind::Booth, 4, &cfg());
+    let (model, _) = train_reasoning(
+        &train,
+        ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
+        &train_cfg(),
+    );
+    let pred = predict_reasoning(&model, &train);
+    let labels = train.label_indices();
+    let cm = ConfusionMatrix::new(NodeClass::COUNT, &labels, &pred);
+    let diag: usize = (0..NodeClass::COUNT).map(|c| cm.count(c, c)).sum();
+    let acc = eval_reasoning(&model, &train);
+    assert!((diag as f32 / labels.len() as f32 - acc).abs() < 1e-6);
+}
+
+#[test]
+fn labels_are_stable_across_rebuilds() {
+    let a = build_reasoning_graph(MultiplierKind::Csa, 6, &cfg());
+    let b = build_reasoning_graph(MultiplierKind::Csa, 6, &cfg());
+    assert_eq!(a.labels, b.labels, "pipeline must be deterministic");
+    assert_eq!(a.aig, b.aig);
+}
