@@ -2,6 +2,24 @@
 
 use crate::{Gradients, ParamSet};
 use hoga_tensor::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when restoring serialized optimizer state fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError(String);
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "optimizer state error: {}", self.0)
+    }
+}
+
+impl Error for StateError {}
+
+fn serr(msg: impl Into<String>) -> StateError {
+    StateError(msg.into())
+}
 
 /// Common interface for parameter-update rules.
 pub trait Optimizer {
@@ -13,6 +31,119 @@ pub trait Optimizer {
 
     /// Replaces the learning rate (used by schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Serializes the *complete* internal state — hyperparameters, step
+    /// count, and moment estimates — so a checkpoint can resume training
+    /// bitwise-identically. A restored optimizer continues exactly where
+    /// the serialized one stopped (same bias correction, same moments).
+    fn state_bytes(&self) -> Vec<u8>;
+
+    /// Restores state produced by [`Optimizer::state_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] if the bytes were produced by a different
+    /// optimizer type or are truncated/corrupt.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError>;
+}
+
+// --- tiny self-describing binary codec for optimizer state ----------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_slots(out: &mut Vec<u8>, slots: &[Option<Matrix>]) {
+    put_u64(out, slots.len() as u64);
+    for slot in slots {
+        match slot {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                put_u64(out, m.rows() as u64);
+                put_u64(out, m.cols() as u64);
+                for &v in m.as_slice() {
+                    put_f32(out, v);
+                }
+            }
+        }
+    }
+}
+
+struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StateError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| serr(format!("truncated state reading {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, StateError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StateError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, StateError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn slots(&mut self) -> Result<Vec<Option<Matrix>>, StateError> {
+        let n = self.u64("slot count")? as usize;
+        let mut out = Vec::new();
+        for k in 0..n {
+            match self.u8("slot flag")? {
+                0 => out.push(None),
+                1 => {
+                    let rows = self.u64("slot rows")? as usize;
+                    let cols = self.u64("slot cols")? as usize;
+                    let len = rows
+                        .checked_mul(cols)
+                        .and_then(|l| l.checked_mul(4))
+                        .ok_or_else(|| serr(format!("slot {k} shape overflow")))?;
+                    let raw = self.take(len, "slot payload")?;
+                    let data: Vec<f32> = raw
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .collect();
+                    let m = Matrix::try_from_vec(rows, cols, data)
+                        .map_err(|e| serr(format!("slot {k}: {e}")))?;
+                    out.push(Some(m));
+                }
+                f => return Err(serr(format!("bad slot flag {f}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), StateError> {
+        if self.pos != self.buf.len() {
+            Err(serr(format!("{} trailing bytes", self.buf.len() - self.pos)))
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// Adam (Kingma & Ba), the optimizer used for all HOGA experiments
@@ -106,6 +237,38 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"ADM1");
+        put_f32(&mut out, self.lr);
+        put_f32(&mut out, self.beta1);
+        put_f32(&mut out, self.beta2);
+        put_f32(&mut out, self.eps);
+        put_f32(&mut out, self.weight_decay);
+        put_u64(&mut out, self.t);
+        put_slots(&mut out, &self.m);
+        put_slots(&mut out, &self.v);
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        if r.take(4, "tag")? != b"ADM1" {
+            return Err(serr("not Adam state"));
+        }
+        let lr = r.f32("lr")?;
+        let beta1 = r.f32("beta1")?;
+        let beta2 = r.f32("beta2")?;
+        let eps = r.f32("eps")?;
+        let weight_decay = r.f32("weight_decay")?;
+        let t = r.u64("step count")?;
+        let m = r.slots()?;
+        let v = r.slots()?;
+        r.finish()?;
+        *self = Self { lr, beta1, beta2, eps, weight_decay, t, m, v };
+        Ok(())
     }
 }
 
@@ -211,6 +374,28 @@ impl Optimizer for Sgd {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SGD1");
+        put_f32(&mut out, self.lr);
+        put_f32(&mut out, self.momentum);
+        put_slots(&mut out, &self.velocity);
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        if r.take(4, "tag")? != b"SGD1" {
+            return Err(serr("not SGD state"));
+        }
+        let lr = r.f32("lr")?;
+        let momentum = r.f32("momentum")?;
+        let velocity = r.slots()?;
+        r.finish()?;
+        *self = Self { lr, momentum, velocity };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +496,82 @@ mod tests {
         let s = LrSchedule::Constant(0.25);
         s.apply(&mut opt, 3);
         assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    /// Runs `steps` optimization steps of f(w) = mse(w, target) and returns
+    /// the (params, opt) pair mid-descent.
+    fn partly_trained(opt: &mut dyn Optimizer, steps: usize) -> (ParamSet, ParamId) {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::from_fn(2, 2, |r, c| (r + 2 * c) as f32));
+        let target = Matrix::full(2, 2, 3.0);
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let wv = tape.param(&params, w);
+            let loss = tape.mse_loss(wv, &target);
+            let grads = tape.backward(loss);
+            opt.step(&mut params, &grads);
+        }
+        (params, w)
+    }
+
+    fn one_more_step(params: &mut ParamSet, w: ParamId, opt: &mut dyn Optimizer) {
+        let target = Matrix::full(2, 2, 3.0);
+        let mut tape = Tape::new();
+        let wv = tape.param(params, w);
+        let loss = tape.mse_loss(wv, &target);
+        let grads = tape.backward(loss);
+        opt.step(params, &grads);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bitwise_identical() {
+        let mut opt = Adam::new(0.05).with_weight_decay(0.01);
+        let (params, w) = partly_trained(&mut opt, 7);
+        let state = opt.state_bytes();
+
+        // Restore into a fresh optimizer with different hyperparameters;
+        // both must take the exact same next step.
+        let mut restored = Adam::new(123.0);
+        restored.restore_state(&state).expect("restore");
+        let mut a = params.clone();
+        let mut b = params.clone();
+        one_more_step(&mut a, w, &mut opt);
+        one_more_step(&mut b, w, &mut restored);
+        assert_eq!(a.value(w).as_slice(), b.value(w).as_slice());
+        assert_eq!(restored.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_is_bitwise_identical() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let (params, w) = partly_trained(&mut opt, 5);
+        let mut restored = Sgd::new(0.7);
+        restored.restore_state(&opt.state_bytes()).expect("restore");
+        let mut a = params.clone();
+        let mut b = params.clone();
+        one_more_step(&mut a, w, &mut opt);
+        one_more_step(&mut b, w, &mut restored);
+        assert_eq!(a.value(w).as_slice(), b.value(w).as_slice());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_or_corrupt_state() {
+        let mut adam = Adam::new(0.1);
+        let mut sgd = Sgd::new(0.1);
+        // Cross-type restore fails.
+        assert!(adam.restore_state(&sgd.state_bytes()).is_err());
+        assert!(sgd.restore_state(&adam.state_bytes()).is_err());
+        // Truncation fails.
+        let (_, _) = partly_trained(&mut adam, 3);
+        let state = adam.state_bytes();
+        for cut in [0, 3, 10, state.len() - 1] {
+            assert!(adam.clone().restore_state(&state[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // Trailing garbage fails.
+        let mut long = state.clone();
+        long.push(0);
+        assert!(adam.clone().restore_state(&long).is_err());
+        // Arbitrary garbage fails.
+        assert!(adam.restore_state(b"garbage bytes here").is_err());
     }
 }

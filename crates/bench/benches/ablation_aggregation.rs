@@ -33,7 +33,7 @@ fn bench_ablation(c: &mut Criterion) {
     use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind};
     use hoga_eval::trainer::{train_reasoning, ReasonModelKind};
     let graph = build_reasoning_graph(MultiplierKind::Csa, cfg.train_width, &cfg.graph);
-    let mut short = cfg.train;
+    let mut short = cfg.train.clone();
     short.epochs = 2;
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);

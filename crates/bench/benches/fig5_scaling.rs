@@ -33,14 +33,15 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     for workers in cfg.worker_counts {
-        let mut tcfg = cfg.train;
+        let mut tcfg = cfg.train.clone();
         tcfg.epochs = 1;
         group.bench_with_input(
             BenchmarkId::new("one_epoch", workers),
             &workers,
             |b, &w| {
                 b.iter(|| {
-                    let (_, _, stats) = train_reasoning_parallel(&graph, &tcfg, w);
+                    let (_, _, stats) = train_reasoning_parallel(&graph, &tcfg, w)
+                        .expect("worker count is positive");
                     black_box(stats.final_loss)
                 });
             },

@@ -37,7 +37,7 @@ fn bench_fig6(c: &mut Criterion) {
     );
     // Time a light kernel: a short HOGA training run plus inference on the
     // first evaluation width.
-    let mut short = cfg.train;
+    let mut short = cfg.train.clone();
     short.epochs = 2;
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);

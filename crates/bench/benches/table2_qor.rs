@@ -35,7 +35,7 @@ fn bench_table2(c: &mut Criterion) {
     let dataset = result.dataset;
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
-    let mut one_epoch = cfg.train;
+    let mut one_epoch = cfg.train.clone();
     one_epoch.epochs = 1;
     group.bench_function("hoga2_training_epoch", |b| {
         b.iter(|| {

@@ -32,6 +32,19 @@ fn perr(msg: impl Into<String>) -> ParseAigerError {
     ParseAigerError(msg.into())
 }
 
+/// Upper bound on header counts accepted by the readers. AIGER headers
+/// carry free-form integers, so a corrupt or adversarial file could
+/// otherwise request a multi-gigabyte allocation up front (an abort, not a
+/// catchable error). Real circuits in this workspace are far smaller.
+const MAX_HEADER_ITEMS: usize = 1 << 26;
+
+fn check_header_counts(i: usize, o: usize, a: usize) -> Result<(), ParseAigerError> {
+    if i > MAX_HEADER_ITEMS || o > MAX_HEADER_ITEMS || a > MAX_HEADER_ITEMS {
+        return Err(perr(format!("implausible header counts I={i} O={o} A={a}")));
+    }
+    Ok(())
+}
+
 /// Writes the AIG in binary AIGER (`aig`) format.
 ///
 /// # Errors
@@ -141,8 +154,9 @@ pub fn read_aiger(mut r: impl BufRead) -> Result<Aig, ParseAigerError> {
     if l != 0 {
         return Err(perr("latches unsupported (combinational AIGs only)"));
     }
-    if m != i + a {
-        return Err(perr(format!("inconsistent header: M={m} != I+A={}", i + a)));
+    check_header_counts(i, o, a)?;
+    if Some(m) != i.checked_add(a) {
+        return Err(perr(format!("inconsistent header: M={m} != I+A")));
     }
     let mut pos_raw = Vec::with_capacity(o);
     for _ in 0..o {
@@ -199,6 +213,7 @@ pub fn read_ascii_aiger(r: impl BufRead) -> Result<Aig, ParseAigerError> {
     if l != 0 {
         return Err(perr("latches unsupported (combinational AIGs only)"));
     }
+    check_header_counts(i, o, a)?;
     let mut next = || -> Result<String, ParseAigerError> {
         lines
             .next()

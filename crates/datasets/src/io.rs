@@ -6,13 +6,23 @@
 //! [`bytes`] — no external format crate needed.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hoga_autograd::ParamSet;
 use hoga_circuit::{Aig, Lit};
 use hoga_tensor::Matrix;
 use std::error::Error;
 use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
 
 const MAGIC: u32 = 0x484F_4741; // "HOGA"
 const VERSION: u16 = 1;
+
+/// Upper bound on any single decoded count (PIs, gates, outputs). Decoding
+/// rejects anything larger *before* allocating, so corrupt or adversarial
+/// headers cannot trigger multi-gigabyte allocations (which abort rather
+/// than unwind).
+const MAX_DECODE_ITEMS: usize = 1 << 26;
 
 /// Error returned when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +86,9 @@ pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
     need(&buf, 16, "counts")?;
     let num_pis = buf.get_u64() as usize;
     let num_ands = buf.get_u64() as usize;
+    if num_pis > MAX_DECODE_ITEMS || num_ands > MAX_DECODE_ITEMS {
+        return Err(err("implausible node count"));
+    }
     let mut aig = Aig::new(num_pis);
     need(&buf, num_ands * 8, "gates")?;
     for i in 0..num_ands {
@@ -95,6 +108,9 @@ pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
     }
     need(&buf, 8, "po count")?;
     let num_pos = buf.get_u64() as usize;
+    if num_pos > MAX_DECODE_ITEMS {
+        return Err(err("implausible PO count"));
+    }
     need(&buf, num_pos * 4, "pos")?;
     for _ in 0..num_pos {
         let po = Lit::from_raw(buf.get_u32());
@@ -142,7 +158,8 @@ pub fn decode_matrix(mut buf: impl Buf) -> Result<Matrix, DecodeError> {
     let n = rows
         .checked_mul(cols)
         .ok_or_else(|| err("shape overflow"))?;
-    need(&buf, n * 4, "payload")?;
+    let nbytes = n.checked_mul(4).ok_or_else(|| err("payload size overflow"))?;
+    need(&buf, nbytes, "payload")?;
     let data: Vec<f32> = (0..n).map(|_| buf.get_f32()).collect();
     Matrix::try_from_vec(rows, cols, data).map_err(|e| err(e.to_string()))
 }
@@ -205,6 +222,206 @@ pub fn decode_params(mut buf: impl Buf) -> Result<hoga_autograd::ParamSet, Decod
         params.add(name, value);
     }
     Ok(params)
+}
+
+// ---------------------------------------------------------------------------
+// Full-state training checkpoints
+// ---------------------------------------------------------------------------
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`, as appended to checkpoint files.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// A *full* training checkpoint: model parameters plus opaque optimizer
+/// state (from [`Optimizer::state_bytes`](hoga_autograd::optim::Optimizer))
+/// and the training-loop cursors needed to resume a run bitwise-identically
+/// to one that never stopped.
+///
+/// The on-disk format is the workspace codec header (`HOGA`, version, tag
+/// `C`) followed by the payload and a trailing CRC-32 over everything
+/// before it; [`save_checkpoint`] writes it atomically
+/// (write-temp-then-rename), so a crash mid-write never corrupts the
+/// previous checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Next epoch to run: epochs `0..epoch` are complete in `params`.
+    pub epoch: u64,
+    /// Master seed of the run; validated on resume so a checkpoint is
+    /// never silently applied to a different data order.
+    pub seed: u64,
+    /// Multiplicative learning-rate backoff accumulated by divergence
+    /// recovery (`1.0` when the run never diverged). Applied on top of the
+    /// scheduled learning rate for the resumed epoch.
+    pub lr_scale: f32,
+    /// Model parameters (same registration order as the live model).
+    pub params: ParamSet,
+    /// Opaque optimizer state (Adam moments, step count, ...).
+    pub opt_state: Vec<u8>,
+}
+
+/// Serializes a checkpoint, appending a CRC-32 of all preceding bytes.
+pub fn encode_checkpoint(ck: &Checkpoint) -> Bytes {
+    let params = encode_params(&ck.params);
+    let mut out = BytesMut::with_capacity(64 + params.len() + ck.opt_state.len());
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+    out.put_u8(b'C');
+    out.put_u64(ck.epoch);
+    out.put_u64(ck.seed);
+    out.put_f32(ck.lr_scale);
+    out.put_u64(params.len() as u64);
+    out.put_slice(&params);
+    out.put_u64(ck.opt_state.len() as u64);
+    out.put_slice(&ck.opt_state);
+    let crc = crc32(&out);
+    out.put_u32(crc);
+    out.freeze()
+}
+
+/// Deserializes and CRC-verifies a checkpoint from [`encode_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, bad magic/version/tag, checksum
+/// mismatch, or malformed nested records.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, DecodeError> {
+    if bytes.len() < 4 {
+        return Err(err("truncated input reading checksum"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_be_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(err(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x} (file corrupt or truncated)"
+        )));
+    }
+    let mut buf = body;
+    need(&buf, 7, "header")?;
+    if buf.get_u32() != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if buf.get_u8() != b'C' {
+        return Err(err("not a checkpoint record"));
+    }
+    need(&buf, 20, "cursors")?;
+    let epoch = buf.get_u64();
+    let seed = buf.get_u64();
+    let lr_scale = buf.get_f32();
+    need(&buf, 8, "params length")?;
+    let plen = buf.get_u64() as usize;
+    need(&buf, plen, "params payload")?;
+    let params = decode_params(&buf[..plen]).map_err(|e| err(format!("params: {e}")))?;
+    buf.advance(plen);
+    need(&buf, 8, "optimizer state length")?;
+    let olen = buf.get_u64() as usize;
+    need(&buf, olen, "optimizer state")?;
+    let opt_state = buf[..olen].to_vec();
+    buf.advance(olen);
+    if buf.has_remaining() {
+        return Err(err(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(Checkpoint { epoch, seed, lr_scale, params, opt_state })
+}
+
+/// Error from [`load_checkpoint`]: either the file couldn't be read or its
+/// contents failed validation.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The bytes were read but are not a valid checkpoint.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Decode(e) => write!(f, "checkpoint {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> Self {
+        CheckpointError::Decode(e)
+    }
+}
+
+/// Atomically persists a checkpoint: the encoding is written to
+/// `<path>.tmp` in the same directory, synced, and renamed over `path`.
+/// A crash at any point leaves either the previous checkpoint or the new
+/// one — never a torn file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the temporary file is left behind only if
+/// the rename itself fails).
+pub fn save_checkpoint(path: &Path, ck: &Checkpoint) -> std::io::Result<()> {
+    let bytes = encode_checkpoint(ck);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and validates a checkpoint written by [`save_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] if the file can't be read and
+/// [`CheckpointError::Decode`] if it fails CRC or structural validation.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode_checkpoint(&bytes)?)
 }
 
 #[cfg(test)]
@@ -311,5 +528,80 @@ mod tests {
         let mut bad = bytes.clone();
         bad[6] = b'X';
         assert!(decode_params(&bad[..]).is_err());
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut p = hoga_autograd::ParamSet::new();
+        p.add("enc.w", Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5));
+        p.add("enc.b", Matrix::zeros(1, 4));
+        Checkpoint {
+            epoch: 17,
+            seed: 0xDEAD_BEEF,
+            lr_scale: 0.25,
+            params: p,
+            opt_state: vec![1, 2, 3, 4, 5, 6, 7],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrip() {
+        let ck = sample_checkpoint();
+        let bytes = encode_checkpoint(&ck);
+        let back = decode_checkpoint(&bytes).expect("decode");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_any_single_byte_flip() {
+        let ck = sample_checkpoint();
+        let bytes = encode_checkpoint(&ck).to_vec();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            assert!(decode_checkpoint(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_truncation() {
+        let bytes = encode_checkpoint(&sample_checkpoint());
+        for cut in [0, 3, 7, 20, bytes.len() - 1] {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn atomic_save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hoga-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.ckpt");
+        let ck = sample_checkpoint();
+        save_checkpoint(&path, &ck).expect("save");
+        // No temporary file left behind.
+        assert!(!dir.join("model.ckpt.tmp").exists());
+        let back = load_checkpoint(&path).expect("load");
+        assert_eq!(ck, back);
+        // Overwriting is atomic too: save a different checkpoint on top.
+        let mut ck2 = ck.clone();
+        ck2.epoch = 18;
+        save_checkpoint(&path, &ck2).expect("resave");
+        assert_eq!(load_checkpoint(&path).expect("reload").epoch, 18);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_checkpoint_is_io_error() {
+        let missing = std::env::temp_dir().join("hoga-ckpt-definitely-missing.ckpt");
+        match load_checkpoint(&missing) {
+            Err(CheckpointError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 }

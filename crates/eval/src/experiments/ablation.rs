@@ -48,6 +48,7 @@ impl AblationConfig {
                 batch_nodes: 256,
                 batch_samples: 4,
                 seed: 17,
+                ..TrainConfig::default()
             },
         }
     }

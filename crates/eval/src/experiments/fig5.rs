@@ -12,7 +12,7 @@ use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConf
 use std::time::Duration;
 
 /// Configuration for the scaling experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Fig5Config {
     /// Multiplier width of the training workload.
     pub width: usize,
@@ -48,6 +48,7 @@ impl Fig5Config {
                 batch_nodes: 128,
                 batch_samples: 4,
                 seed: 3,
+                ..TrainConfig::default()
             },
             worker_counts: [1, 2, 4],
         }
@@ -81,7 +82,8 @@ pub fn run(cfg: &Fig5Config) -> Fig5 {
     let mut base = None;
     let mut hop_feature_time = Duration::ZERO;
     for &w in &cfg.worker_counts {
-        let (_, _, stats) = train_reasoning_parallel(&graph, &cfg.train, w);
+        let (_, _, stats) =
+            train_reasoning_parallel(&graph, &cfg.train, w).expect("worker count is positive");
         hop_feature_time = stats.hop_feature_time;
         let base_time = *base.get_or_insert(stats.train_time);
         points.push(ScalingPoint {

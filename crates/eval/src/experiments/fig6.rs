@@ -50,6 +50,7 @@ impl Fig6Config {
                 batch_nodes: 256,
                 batch_samples: 4,
                 seed: 11,
+                ..TrainConfig::default()
             },
         }
     }

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Configuration for the attention-visualization experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Fig7Config {
     /// Multiplier width for both training and visualization (the paper
     /// trains on 8-bit and visualizes the 768-bit Booth multiplier; we
@@ -60,6 +60,7 @@ impl Fig7Config {
                 batch_nodes: 128,
                 batch_samples: 4,
                 seed: 13,
+                ..TrainConfig::default()
             },
         }
     }

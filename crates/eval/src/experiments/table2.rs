@@ -11,7 +11,7 @@ use hoga_datasets::openabcd::{build_qor_dataset, QorDataset, QorDatasetConfig};
 use std::time::Duration;
 
 /// Configuration for the Table-2 experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Table2Config {
     /// Dataset construction parameters.
     pub dataset: QorDatasetConfig,
@@ -48,6 +48,7 @@ impl Table2Config {
                 batch_nodes: 128,
                 batch_samples: 4,
                 seed: 5,
+                ..TrainConfig::default()
             },
             gcn_layers: 2,
         }

@@ -1,0 +1,419 @@
+//! Fault-tolerance vocabulary for the training stack.
+//!
+//! The paper's headline claim is *scalable* training (Figure 5's
+//! near-linear multi-worker speedup on OpenABC-D-scale data). At that
+//! scale a trainer that aborts on the first NaN loss or panicking worker
+//! loses hours of work, so the training entry points in this crate are
+//! fault-tolerant: they return a typed [`TrainError`] instead of
+//! panicking, recover from divergence by rolling back to the last good
+//! checkpoint (see [`crate::resilient`]), and supervise data-parallel
+//! workers so a dead or corrupted shard is recomputed rather than fatal
+//! (see [`crate::parallel_train`]).
+//!
+//! Everything here is deterministic: a [`FaultPlan`] injects the same
+//! faults at the same `(epoch, step, worker)` coordinates every run, which
+//! is what lets the tests assert that a faulted run converges to the
+//! *bitwise-identical* model of a fault-free run.
+
+use hoga_autograd::Gradients;
+use hoga_datasets::io::CheckpointError;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Typed error from the fault-tolerant training entry points.
+///
+/// Replaces the `assert!`/`panic!` exits the trainers used to have: a
+/// caller embedding training in a long-running service can match on the
+/// variant and decide to retry, rebuild, or surface the failure.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A parallel trainer was asked to run with zero workers.
+    NoWorkers,
+    /// A hyperparameter combination that can never train (e.g. more hops
+    /// requested than the dataset precomputed).
+    InvalidConfig(String),
+    /// Reading or writing a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A checkpoint was read successfully but does not belong to this run
+    /// (different seed, architecture, or optimizer type).
+    CheckpointMismatch(String),
+    /// Training kept diverging after exhausting the recovery budget.
+    Diverged {
+        /// Epoch at which the final divergence was detected.
+        epoch: usize,
+        /// Rollback retries consumed before giving up.
+        retries: usize,
+        /// The offending loss value (NaN/inf, or finite when the gradient
+        /// norm exploded instead).
+        last_loss: f32,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoWorkers => write!(f, "need at least one worker"),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::CheckpointMismatch(msg) => {
+                write!(f, "checkpoint does not match this run: {msg}")
+            }
+            TrainError::Diverged { epoch, retries, last_loss } => write!(
+                f,
+                "training diverged at epoch {epoch} (loss {last_loss}) after {retries} recovery retries"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// One injected fault at deterministic `(epoch, step[, worker])`
+/// coordinates. Each fault fires at most once per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The given worker panics before computing its gradient shard.
+    WorkerPanic {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Optimizer step within the epoch.
+        step: usize,
+        /// Worker (shard) index.
+        worker: usize,
+    },
+    /// The given worker stalls for `millis` before computing (a
+    /// straggler; the supervisor must tolerate it without changing the
+    /// result).
+    WorkerDelay {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Optimizer step within the epoch.
+        step: usize,
+        /// Worker (shard) index.
+        worker: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// The given worker's gradient shard is overwritten with NaNs after
+    /// computation (simulates a corrupted all-reduce input; detected by
+    /// the supervisor's finiteness check).
+    CorruptGradient {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Optimizer step within the epoch.
+        step: usize,
+        /// Worker (shard) index.
+        worker: usize,
+    },
+    /// The (sequential) training loss is replaced by NaN, exercising
+    /// divergence recovery.
+    NanLoss {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Optimizer step within the epoch.
+        step: usize,
+    },
+}
+
+/// A deterministic, seed-driven fault-injection plan.
+///
+/// Build one explicitly with [`FaultPlan::new`] or sample one with
+/// [`FaultPlan::random`]; pass it to
+/// [`train_reasoning_parallel_supervised`](crate::parallel_train::train_reasoning_parallel_supervised)
+/// or [`train_reasoning_resilient`](crate::resilient::train_reasoning_resilient).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects exactly `faults`.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// Samples `count` worker faults uniformly over
+    /// `epochs × steps × workers` coordinates, deterministically in
+    /// `seed`. Fault kinds cycle panic → delay → corrupt.
+    pub fn random(seed: u64, epochs: usize, steps: usize, workers: usize, count: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let faults = (0..count)
+            .map(|k| {
+                let epoch = rng.gen_range(0..epochs.max(1));
+                let step = rng.gen_range(0..steps.max(1));
+                let worker = rng.gen_range(0..workers.max(1));
+                match k % 3 {
+                    0 => Fault::WorkerPanic { epoch, step, worker },
+                    1 => Fault::WorkerDelay { epoch, step, worker, millis: 5 },
+                    _ => Fault::CorruptGradient { epoch, step, worker },
+                }
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+/// Arms a [`FaultPlan`] for one run: tracks which faults have fired so
+/// each fires at most once, even across rollback retries.
+#[derive(Debug)]
+pub struct FaultInjector {
+    faults: Vec<Fault>,
+    fired: Vec<AtomicBool>,
+}
+
+impl FaultInjector {
+    /// Arms `plan`.
+    pub fn new(plan: &FaultPlan) -> Self {
+        Self {
+            faults: plan.faults.clone(),
+            fired: plan.faults.iter().map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn claim(&self, matches: impl Fn(&Fault) -> bool) -> Vec<Fault> {
+        let mut out = Vec::new();
+        for (k, f) in self.faults.iter().enumerate() {
+            if matches(f) && !self.fired[k].swap(true, Ordering::SeqCst) {
+                out.push(*f);
+            }
+        }
+        out
+    }
+
+    /// Claims (at most once each) the worker faults scheduled for this
+    /// `(epoch, step, worker)` coordinate.
+    pub fn worker_faults(&self, epoch: usize, step: usize, worker: usize) -> Vec<Fault> {
+        self.claim(|f| match *f {
+            Fault::WorkerPanic { epoch: e, step: s, worker: w }
+            | Fault::WorkerDelay { epoch: e, step: s, worker: w, .. }
+            | Fault::CorruptGradient { epoch: e, step: s, worker: w } => {
+                e == epoch && s == step && w == worker
+            }
+            Fault::NanLoss { .. } => false,
+        })
+    }
+
+    /// Claims a NaN-loss fault scheduled for this `(epoch, step)`, if any.
+    pub fn nan_loss(&self, epoch: usize, step: usize) -> bool {
+        !self
+            .claim(|f| matches!(*f, Fault::NanLoss { epoch: e, step: s } if e == epoch && s == step))
+            .is_empty()
+    }
+}
+
+/// One recovery action taken by a fault-tolerant trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// The training loss came back NaN/inf.
+    NonFiniteLoss {
+        /// Epoch of the detection.
+        epoch: usize,
+        /// Step of the detection.
+        step: usize,
+        /// Learning rate in effect when divergence was detected.
+        lr_before: f32,
+        /// Learning rate after the backoff that the retry will use.
+        lr_after: f32,
+    },
+    /// The global gradient norm exceeded the policy limit.
+    GradientExplosion {
+        /// Epoch of the detection.
+        epoch: usize,
+        /// Step of the detection.
+        step: usize,
+        /// The offending norm.
+        norm: f32,
+        /// Learning rate in effect when the explosion was detected.
+        lr_before: f32,
+        /// Learning rate after the backoff that the retry will use.
+        lr_after: f32,
+    },
+    /// Training state was restored from the last good checkpoint.
+    RolledBack {
+        /// Epoch the run resumed from.
+        to_epoch: usize,
+        /// 1-based retry count.
+        retry: usize,
+    },
+    /// A data-parallel worker panicked; its shard was recomputed by the
+    /// supervisor.
+    WorkerPanicked {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Step of the fault.
+        step: usize,
+        /// Worker (shard) index.
+        worker: usize,
+    },
+    /// A worker returned a non-finite gradient shard; the shard was
+    /// recomputed by the supervisor.
+    ShardCorrupted {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Step of the fault.
+        step: usize,
+        /// Worker (shard) index.
+        worker: usize,
+    },
+    /// A worker was injected with a stall (informational; no recomputation
+    /// needed).
+    WorkerDelayed {
+        /// Epoch of the fault.
+        epoch: usize,
+        /// Step of the fault.
+        step: usize,
+        /// Worker (shard) index.
+        worker: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// Structured record of what a fault-tolerant run survived.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainReport {
+    /// Every recovery action, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Epoch the run resumed from, when started from a checkpoint.
+    pub resumed_from_epoch: Option<usize>,
+    /// Checkpoints persisted during the run.
+    pub checkpoints_written: usize,
+    /// Rollback retries consumed (divergence recovery only).
+    pub retries: usize,
+    /// Learning rate at the end of the run (reflects any backoff).
+    pub final_lr: f32,
+}
+
+impl TrainReport {
+    /// Number of events that involved recomputing or rolling back state
+    /// (everything except informational delays).
+    pub fn recoveries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e, RecoveryEvent::WorkerDelayed { .. }))
+            .count()
+    }
+
+    /// Human-readable one-line-per-event rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(e) = self.resumed_from_epoch {
+            out.push_str(&format!("resumed from checkpoint at epoch {e}\n"));
+        }
+        for ev in &self.events {
+            out.push_str(&format!("{ev:?}\n"));
+        }
+        out.push_str(&format!(
+            "{} events ({} recoveries), {} retries, {} checkpoints written, final lr {:.3e}\n",
+            self.events.len(),
+            self.recoveries(),
+            self.retries,
+            self.checkpoints_written,
+            self.final_lr,
+        ));
+        out
+    }
+}
+
+/// Divergence-recovery policy for [`crate::resilient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Rollback retries before the run gives up with
+    /// [`TrainError::Diverged`].
+    pub max_retries: usize,
+    /// Multiplier applied to the learning rate on every rollback
+    /// (bounded backoff: after `max_retries` halvings the run errors out
+    /// rather than spinning).
+    pub lr_backoff: f32,
+    /// Global gradient-norm limit; a step whose gradient norm exceeds it
+    /// is treated as divergence. `f32::INFINITY` disables the check.
+    pub grad_norm_limit: f32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 4, lr_backoff: 0.5, grad_norm_limit: f32::INFINITY }
+    }
+}
+
+/// `true` when every gradient in `g` is finite (the supervisor's
+/// corrupted-shard detector).
+pub fn gradients_finite(g: &Gradients) -> bool {
+    g.iter().all(|(_, m)| m.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_in_seed() {
+        let a = FaultPlan::random(9, 4, 6, 3, 5);
+        let b = FaultPlan::random(9, 4, 6, 3, 5);
+        let c = FaultPlan::random(10, 4, 6, 3, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.faults().len(), 5);
+    }
+
+    #[test]
+    fn injector_fires_each_fault_once() {
+        let plan = FaultPlan::new(vec![
+            Fault::WorkerPanic { epoch: 1, step: 0, worker: 2 },
+            Fault::NanLoss { epoch: 0, step: 3 },
+        ]);
+        let inj = FaultInjector::new(&plan);
+        assert!(inj.worker_faults(0, 0, 0).is_empty());
+        assert_eq!(inj.worker_faults(1, 0, 2).len(), 1);
+        // Second claim of the same coordinate finds it already fired.
+        assert!(inj.worker_faults(1, 0, 2).is_empty());
+        assert!(inj.nan_loss(0, 3));
+        assert!(!inj.nan_loss(0, 3));
+        assert!(!inj.nan_loss(1, 3));
+    }
+
+    #[test]
+    fn report_counts_recoveries_not_delays() {
+        let report = TrainReport {
+            events: vec![
+                RecoveryEvent::WorkerDelayed { epoch: 0, step: 0, worker: 0, millis: 5 },
+                RecoveryEvent::WorkerPanicked { epoch: 0, step: 1, worker: 1 },
+                RecoveryEvent::RolledBack { to_epoch: 0, retry: 1 },
+            ],
+            ..TrainReport::default()
+        };
+        assert_eq!(report.recoveries(), 2);
+        assert!(report.render().contains("retries"));
+    }
+
+    #[test]
+    fn train_error_messages_are_descriptive() {
+        assert!(TrainError::NoWorkers.to_string().contains("worker"));
+        let d = TrainError::Diverged { epoch: 3, retries: 4, last_loss: f32::NAN };
+        assert!(d.to_string().contains("epoch 3"));
+        let m = TrainError::CheckpointMismatch("seed differs".into());
+        assert!(m.to_string().contains("seed differs"));
+    }
+}

@@ -5,7 +5,14 @@
 //! * [`trainer`] — task training loops for HOGA and every baseline, with
 //!   identical task pipelines (Figure 3's controlled swap).
 //! * [`parallel_train`] — thread-based data-parallel HOGA training
-//!   reproducing the DDP scaling experiment (Figure 5).
+//!   reproducing the DDP scaling experiment (Figure 5), supervised so
+//!   worker faults are recovered instead of fatal.
+//! * [`fault`] — the fault-tolerance vocabulary: [`fault::TrainError`],
+//!   deterministic [`fault::FaultPlan`] injection, and the
+//!   [`fault::TrainReport`] recovery log.
+//! * [`resilient`] — divergence-recovering training loop: rolls back to
+//!   the last good checkpoint and backs the learning rate off instead of
+//!   aborting on a non-finite loss.
 //! * [`experiments`] — one driver per paper artifact (Table 1, Table 2,
 //!   Figures 4–7 and the §III-B ablation); each returns typed results and
 //!   renders the same rows/series the paper reports. The Criterion harness
@@ -15,8 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
 pub mod parallel_train;
+pub mod resilient;
 pub mod trainer;
 
 #[cfg(test)]

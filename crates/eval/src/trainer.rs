@@ -5,8 +5,8 @@
 //! of `hoga-baselines`. All loops use Adam (§IV-A) and are deterministic in
 //! their seed.
 
-use hoga_autograd::optim::{Adam, Optimizer};
-use hoga_autograd::{Gradients, Tape};
+use hoga_autograd::optim::{Adam, LrSchedule, Optimizer};
+use hoga_autograd::{Gradients, ParamSet, Tape};
 use hoga_baselines::gcn::Gcn;
 use hoga_baselines::sage::GraphSage;
 use hoga_baselines::saint::random_walk_sample;
@@ -15,18 +15,21 @@ use hoga_core::heads::{GraphRegressor, NodeClassifier};
 use hoga_core::hopfeat::hop_stack;
 use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
 use hoga_datasets::gamora::ReasoningGraph;
+use hoga_datasets::io::{load_checkpoint, save_checkpoint, Checkpoint};
 use hoga_datasets::openabcd::{QorDataset, QorSample, RECIPE_ENCODING_WIDTH};
 use hoga_datasets::splits::minibatches;
 use hoga_gen::reason::NodeClass;
 use hoga_tensor::Matrix;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::fault::TrainError;
 use crate::metrics::{accuracy, argmax_rows, mape};
 
 /// Common hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Hidden width `d` (paper: 256; CPU default 64).
     pub hidden_dim: usize,
@@ -40,6 +43,25 @@ pub struct TrainConfig {
     pub batch_samples: usize,
     /// Master seed.
     pub seed: u64,
+    /// Optional per-epoch learning-rate schedule. When set, the schedule's
+    /// `lr_at(epoch)` overrides [`TrainConfig::lr`] at the start of every
+    /// epoch — including the first epoch after a resume, so a resumed run
+    /// trains at the *scheduled* rate for the saved epoch, not the base
+    /// rate.
+    pub schedule: Option<LrSchedule>,
+    /// Resume from this checkpoint file before the first epoch. The
+    /// checkpoint must come from a run with the same seed and
+    /// architecture; training then continues bitwise-identically to the
+    /// uninterrupted run (minibatch order is a pure function of
+    /// `(seed, epoch)`).
+    pub resume_from: Option<PathBuf>,
+    /// Persist an atomic, CRC-checked checkpoint to this path at epoch
+    /// boundaries (overwritten in place via write-temp-then-rename).
+    pub checkpoint_to: Option<PathBuf>,
+    /// Checkpoint every this many epochs (0 is treated as 1). The final
+    /// epoch is always checkpointed when [`TrainConfig::checkpoint_to`]
+    /// is set.
+    pub checkpoint_every: usize,
 }
 
 impl Default for TrainConfig {
@@ -51,8 +73,123 @@ impl Default for TrainConfig {
             batch_nodes: 512,
             batch_samples: 8,
             seed: 7,
+            schedule: None,
+            resume_from: None,
+            checkpoint_to: None,
+            checkpoint_every: 1,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume plumbing shared by all training loops
+// ---------------------------------------------------------------------------
+
+/// Installs a loaded checkpoint into freshly built training state and
+/// returns `(start_epoch, lr_scale)`.
+pub(crate) fn restore_from_checkpoint(
+    ck: &Checkpoint,
+    cfg: &TrainConfig,
+    params: &mut ParamSet,
+    opt: &mut dyn Optimizer,
+) -> Result<(usize, f32), TrainError> {
+    if ck.seed != cfg.seed {
+        return Err(TrainError::CheckpointMismatch(format!(
+            "checkpoint seed {} != config seed {}",
+            ck.seed, cfg.seed
+        )));
+    }
+    if ck.epoch as usize > cfg.epochs {
+        return Err(TrainError::CheckpointMismatch(format!(
+            "checkpoint is at epoch {} but the config trains only {} epochs",
+            ck.epoch, cfg.epochs
+        )));
+    }
+    if ck.params.len() != params.len() {
+        return Err(TrainError::CheckpointMismatch(format!(
+            "checkpoint holds {} params, model has {}",
+            ck.params.len(),
+            params.len()
+        )));
+    }
+    for (id, name, value) in ck.params.iter() {
+        if params.name(id) != name {
+            return Err(TrainError::CheckpointMismatch(format!(
+                "param {} is {:?} in the checkpoint but {:?} in the model",
+                id.index(),
+                name,
+                params.name(id)
+            )));
+        }
+        let dst = params.value_mut(id);
+        if dst.shape() != value.shape() {
+            return Err(TrainError::CheckpointMismatch(format!(
+                "param {:?} has shape {:?} in the checkpoint but {:?} in the model",
+                name,
+                value.shape(),
+                dst.shape()
+            )));
+        }
+        *dst = value.clone();
+    }
+    opt.restore_state(&ck.opt_state)
+        .map_err(|e| TrainError::CheckpointMismatch(e.to_string()))?;
+    Ok((ck.epoch as usize, ck.lr_scale))
+}
+
+/// Loads `cfg.resume_from` (when set) into `params`/`opt`; returns
+/// `(start_epoch, lr_scale)` — `(0, 1.0)` for a fresh run.
+pub(crate) fn resume_state(
+    cfg: &TrainConfig,
+    params: &mut ParamSet,
+    opt: &mut dyn Optimizer,
+) -> Result<(usize, f32), TrainError> {
+    match &cfg.resume_from {
+        None => Ok((0, 1.0)),
+        Some(path) => {
+            let ck = load_checkpoint(path)?;
+            restore_from_checkpoint(&ck, cfg, params, opt)
+        }
+    }
+}
+
+/// Applies the scheduled learning rate (scaled by any divergence backoff)
+/// at the start of `epoch`. Without a schedule the optimizer keeps its
+/// current rate — which after a resume is the restored one.
+pub(crate) fn apply_epoch_lr(
+    cfg: &TrainConfig,
+    opt: &mut dyn Optimizer,
+    epoch: usize,
+    lr_scale: f32,
+) {
+    if let Some(s) = &cfg.schedule {
+        opt.set_learning_rate(s.lr_at(epoch) * lr_scale);
+    }
+}
+
+/// Persists an end-of-epoch checkpoint when the config asks for one.
+/// Returns whether a checkpoint was written.
+pub(crate) fn maybe_checkpoint(
+    cfg: &TrainConfig,
+    epoch: usize,
+    params: &ParamSet,
+    opt: &dyn Optimizer,
+    lr_scale: f32,
+) -> Result<bool, TrainError> {
+    let Some(path) = &cfg.checkpoint_to else { return Ok(false) };
+    let next = epoch + 1;
+    if next % cfg.checkpoint_every.max(1) != 0 && next != cfg.epochs {
+        return Ok(false);
+    }
+    let ck = Checkpoint {
+        epoch: next as u64,
+        seed: cfg.seed,
+        lr_scale,
+        params: params.clone(),
+        opt_state: opt.state_bytes(),
+    };
+    save_checkpoint(path, &ck)?;
+    Ok(true)
 }
 
 /// Wall-clock statistics of a training run.
@@ -124,11 +261,33 @@ fn class_weights(labels: &[usize], num_classes: usize) -> Vec<f32> {
 
 /// Trains a reasoning model on one labeled graph (the paper trains on the
 /// 8-bit multiplier only).
+///
+/// # Panics
+///
+/// Panics on any [`TrainError`] (bad `resume_from` checkpoint, unwritable
+/// `checkpoint_to` path). Use [`try_train_reasoning`] for typed errors.
 pub fn train_reasoning(
     graph: &ReasoningGraph,
     kind: ReasonModelKind,
     cfg: &TrainConfig,
 ) -> (ReasonModel, TrainStats) {
+    try_train_reasoning(graph, kind, cfg).expect("training failed")
+}
+
+/// Fallible [`train_reasoning`]: checkpoint and resume problems surface as
+/// [`TrainError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`TrainError::Checkpoint`] when `cfg.resume_from` cannot be read or
+/// `cfg.checkpoint_to` cannot be written; [`TrainError::CheckpointMismatch`]
+/// when a loaded checkpoint belongs to a different run (seed, parameter
+/// names/shapes, or optimizer type differ).
+pub fn try_train_reasoning(
+    graph: &ReasoningGraph,
+    kind: ReasonModelKind,
+    cfg: &TrainConfig,
+) -> Result<(ReasonModel, TrainStats), TrainError> {
     let labels = graph.label_indices();
     let weights = class_weights(&labels, NodeClass::COUNT);
     let n = graph.aig.num_nodes();
@@ -142,7 +301,9 @@ pub fn train_reasoning(
             let mut model = HogaModel::new(&hcfg, cfg.seed);
             let cls = NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
             let mut opt = Adam::new(cfg.lr);
-            for epoch in 0..cfg.epochs {
+            let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
+            for epoch in start_epoch..cfg.epochs {
+                apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
                 for batch in minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64) {
                     let stack = hop_stack(&graph.hops, &batch);
                     let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
@@ -155,6 +316,7 @@ pub fn train_reasoning(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             ReasonModel::Hoga(Box::new(model), cls)
         }
@@ -167,7 +329,9 @@ pub fn train_reasoning(
                 cls
             };
             let mut opt = Adam::new(cfg.lr);
-            for epoch in 0..cfg.epochs {
+            let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
+            for epoch in start_epoch..cfg.epochs {
+                apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
                 for batch in minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64) {
                     let stack = hop_stack(&graph.hops, &batch);
                     let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
@@ -180,6 +344,7 @@ pub fn train_reasoning(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             ReasonModel::Sign(Box::new(model), cls)
         }
@@ -204,7 +369,9 @@ pub fn train_reasoning(
             } else {
                 n.div_ceil(cfg.batch_nodes)
             };
-            for epoch in 0..cfg.epochs {
+            let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
+            for epoch in start_epoch..cfg.epochs {
+                apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
                 match kind {
                     ReasonModelKind::Sage => {
                         for _ in 0..steps_per_epoch {
@@ -246,12 +413,13 @@ pub fn train_reasoning(
                     }
                     _ => unreachable!(),
                 }
+                maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             ReasonModel::Sage(Box::new(model), cls)
         }
     };
     let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
-    (model, stats)
+    Ok((model, stats))
 }
 
 /// Evaluates node-classification accuracy on a graph (full-graph inference,
@@ -374,24 +542,45 @@ pub fn train_qor(ds: &QorDataset, kind: QorModelKind, cfg: &TrainConfig) -> (Qor
 ///
 /// # Panics
 ///
-/// Panics if a HOGA hop count exceeds the dataset's precomputed hops.
+/// Panics on any [`TrainError`] — a HOGA hop count exceeding the dataset's
+/// precomputed hops, or a checkpoint problem. Use
+/// [`try_train_qor_with_target`] for typed errors.
 pub fn train_qor_with_target(
     ds: &QorDataset,
     kind: QorModelKind,
     cfg: &TrainConfig,
     target: QorTarget,
 ) -> (QorModel, TrainStats) {
+    try_train_qor_with_target(ds, kind, cfg, target).expect("training failed")
+}
+
+/// Fallible [`train_qor_with_target`].
+///
+/// # Errors
+///
+/// [`TrainError::InvalidConfig`] when the requested hop count exceeds what
+/// the dataset precomputed; [`TrainError::Checkpoint`] /
+/// [`TrainError::CheckpointMismatch`] for resume/checkpoint problems as in
+/// [`try_train_reasoning`].
+pub fn try_train_qor_with_target(
+    ds: &QorDataset,
+    kind: QorModelKind,
+    cfg: &TrainConfig,
+    target: QorTarget,
+) -> Result<(QorModel, TrainStats), TrainError> {
     let feat_dim = ds.designs[0].features.cols();
     let start = Instant::now();
     let mut steps = 0usize;
     let mut final_loss = 0.0f32;
     match kind {
         QorModelKind::Hoga { num_hops } => {
-            assert!(
-                num_hops + 1 <= ds.designs[0].hops.len(),
-                "dataset precomputed only {} hops",
-                ds.designs[0].hops.len() - 1
-            );
+            if num_hops + 1 > ds.designs[0].hops.len() {
+                return Err(TrainError::InvalidConfig(format!(
+                    "requested {} hops but the dataset precomputed only {}",
+                    num_hops,
+                    ds.designs[0].hops.len() - 1
+                )));
+            }
             let hcfg = HogaConfig::new(feat_dim, cfg.hidden_dim, num_hops);
             let mut model = HogaModel::new(&hcfg, cfg.seed);
             let reg = GraphRegressor::new(
@@ -401,7 +590,9 @@ pub fn train_qor_with_target(
                 cfg.seed ^ 0xD,
             );
             let mut opt = Adam::new(cfg.lr);
-            for epoch in 0..cfg.epochs {
+            let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
+            for epoch in start_epoch..cfg.epochs {
+                apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
                 for batch in minibatches(ds.train.len(), cfg.batch_samples, cfg.seed, epoch as u64)
                 {
                     let samples: Vec<&QorSample> = batch.iter().map(|&i| &ds.train[i]).collect();
@@ -411,9 +602,10 @@ pub fn train_qor_with_target(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
-            (QorModel::Hoga(Box::new(model), reg), stats)
+            Ok((QorModel::Hoga(Box::new(model), reg), stats))
         }
         QorModelKind::Gcn { layers } => {
             let mut model = Gcn::new(feat_dim, cfg.hidden_dim, layers, cfg.seed);
@@ -429,7 +621,9 @@ pub fn train_qor_with_target(
                 reg
             };
             let mut opt = Adam::new(cfg.lr);
-            for epoch in 0..cfg.epochs {
+            let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
+            for epoch in start_epoch..cfg.epochs {
+                apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
                 for batch in minibatches(ds.train.len(), cfg.batch_samples, cfg.seed, epoch as u64)
                 {
                     let samples: Vec<&QorSample> = batch.iter().map(|&i| &ds.train[i]).collect();
@@ -438,9 +632,10 @@ pub fn train_qor_with_target(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
-            (QorModel::Gcn(Box::new(model), reg), stats)
+            Ok((QorModel::Gcn(Box::new(model), reg), stats))
         }
     }
 }
@@ -606,10 +801,17 @@ pub fn average_mape(evals: &[QorEval]) -> f32 {
 mod tests {
     use super::*;
     use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
-    
 
     fn tiny_cfg() -> TrainConfig {
-        TrainConfig { hidden_dim: 16, epochs: 4, lr: 3e-3, batch_nodes: 128, batch_samples: 4, seed: 5 }
+        TrainConfig {
+            hidden_dim: 16,
+            epochs: 4,
+            lr: 3e-3,
+            batch_nodes: 128,
+            batch_samples: 4,
+            seed: 5,
+            ..TrainConfig::default()
+        }
     }
 
     fn tiny_graph() -> ReasoningGraph {

@@ -1,14 +1,30 @@
-//! Integration test of model checkpointing: train → serialize → restore
-//! into a freshly constructed model → identical predictions.
+//! Integration tests of checkpointing: params-only roundtrips, full-state
+//! (params + Adam moments + LR schedule) kill/resume bitwise identity, and
+//! rejection of corrupt checkpoint files.
 
+use hoga_repro::autograd::optim::{Adam, LrSchedule, Optimizer};
+use hoga_repro::autograd::{Gradients, ParamSet};
 use hoga_repro::datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
-use hoga_repro::datasets::io::{decode_params, encode_params};
+use hoga_repro::datasets::io::{decode_params, encode_params, load_checkpoint, CheckpointError};
 use hoga_repro::eval::trainer::{
     predict_reasoning, train_reasoning, ReasonModel, ReasonModelKind, TrainConfig,
 };
 use hoga_repro::gen::reason::NodeClass;
 use hoga_repro::hoga::heads::NodeClassifier;
 use hoga_repro::hoga::model::{Aggregator, HogaConfig, HogaModel};
+use hoga_repro::tensor::Matrix;
+use std::path::PathBuf;
+
+/// A scratch directory unique to this test binary run.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hoga-ckpt-it-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn flat_params(model: &HogaModel) -> Vec<f32> {
+    model.params.iter().flat_map(|(_, _, m)| m.as_slice().to_vec()).collect()
+}
 
 #[test]
 fn trained_hoga_survives_checkpoint_roundtrip() {
@@ -24,6 +40,7 @@ fn trained_hoga_survives_checkpoint_roundtrip() {
         batch_nodes: 128,
         batch_samples: 4,
         seed: 77,
+        ..TrainConfig::default()
     };
     let (model, _) = train_reasoning(
         &graph,
@@ -52,4 +69,151 @@ fn trained_hoga_survives_checkpoint_roundtrip() {
     let original = predict_reasoning(&model, &graph);
     let roundtripped = predict_reasoning(&restored_model, &graph);
     assert_eq!(original, roundtripped, "checkpoint changed predictions");
+}
+
+/// A gradient that depends on the current parameter values (g = 2p), so a
+/// restored optimizer that silently reset its moments or step counter would
+/// produce visibly different updates.
+fn quadratic_grads(params: &ParamSet) -> Gradients {
+    let mut tape = hoga_repro::autograd::Tape::new();
+    let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
+    let mut total = None;
+    for id in ids {
+        let p = tape.param(params, id);
+        let sq = tape.hadamard(p, p);
+        let s = tape.sum_all(sq);
+        total = Some(match total {
+            None => s,
+            Some(t) => tape.add(t, s),
+        });
+    }
+    tape.backward(total.expect("at least one parameter"))
+}
+
+#[test]
+fn adam_moments_roundtrip_gives_bitwise_identical_next_step() {
+    let mut params = ParamSet::new();
+    params.add("w", Matrix::from_fn(3, 4, |r, c| 0.3 * r as f32 - 0.2 * c as f32 + 0.05));
+    params.add("b", Matrix::from_fn(1, 4, |_, c| 0.1 * c as f32 - 0.15));
+    let mut opt = Adam::new(2e-2);
+    // A few warm-up steps so the moments and the bias-correction counter
+    // carry real state.
+    for _ in 0..3 {
+        let g = quadratic_grads(&params);
+        opt.step(&mut params, &g);
+    }
+
+    let state = opt.state_bytes();
+    let mut restored_params = params.clone();
+    let mut restored_opt = Adam::new(2e-2);
+    restored_opt.restore_state(&state).expect("state roundtrip");
+
+    // One more step on each branch must agree bitwise: identical params,
+    // identical moments, identical `t` for bias correction.
+    let g = quadratic_grads(&params);
+    opt.step(&mut params, &g);
+    let g = quadratic_grads(&restored_params);
+    restored_opt.step(&mut restored_params, &g);
+    for ((_, n1, m1), (_, n2, m2)) in params.iter().zip(restored_params.iter()) {
+        assert_eq!(n1, n2);
+        assert_eq!(m1.as_slice(), m2.as_slice(), "restored Adam diverged on {n1}");
+    }
+    assert_eq!(opt.state_bytes(), restored_opt.state_bytes(), "optimizer states diverged");
+}
+
+#[test]
+fn kill_at_epoch_k_then_resume_matches_uninterrupted_run() {
+    let graph = build_reasoning_graph(
+        MultiplierKind::Csa,
+        4,
+        &ReasoningConfig { tech_map: false, lut_k: 4, num_hops: 3, label_k: 3 },
+    );
+    // A Step schedule makes this a regression test for scheduled-LR resume:
+    // the decay boundary (epoch 2) sits *inside* the resumed half, and the
+    // resumed run must pick up lr_at(3), not restart from the base rate.
+    let cfg_full = TrainConfig {
+        hidden_dim: 16,
+        epochs: 6,
+        lr: 3e-3,
+        batch_nodes: 64,
+        batch_samples: 4,
+        seed: 11,
+        schedule: Some(LrSchedule::Step { base: 3e-3, step_epochs: 2, gamma: 0.5 }),
+        ..TrainConfig::default()
+    };
+    let kind = ReasonModelKind::Hoga(Aggregator::GatedSelfAttention);
+    let (full, _) = train_reasoning(&graph, kind, &cfg_full);
+    let ReasonModel::Hoga(full_model, _) = &full else { unreachable!() };
+
+    // "Killed" run: same config but stops after 3 epochs, checkpointing as
+    // it goes. The final checkpoint on disk is the epoch-3 state.
+    let dir = scratch_dir("resume");
+    let path = dir.join("train.ck");
+    let mut cfg_killed = cfg_full.clone();
+    cfg_killed.epochs = 3;
+    cfg_killed.checkpoint_to = Some(path.clone());
+    let _ = train_reasoning(&graph, kind, &cfg_killed);
+    let ck = load_checkpoint(&path).expect("checkpoint written");
+    assert_eq!(ck.epoch, 3, "final checkpoint is the kill-point state");
+
+    // Resumed run: full horizon again, starting from the file.
+    let mut cfg_resumed = cfg_full.clone();
+    cfg_resumed.resume_from = Some(path.clone());
+    let (resumed, _) = train_reasoning(&graph, kind, &cfg_resumed);
+    let ReasonModel::Hoga(resumed_model, _) = &resumed else { unreachable!() };
+
+    assert_eq!(
+        flat_params(full_model),
+        flat_params(resumed_model),
+        "resume must be bitwise-identical to the uninterrupted run"
+    );
+    assert_eq!(predict_reasoning(&full, &graph), predict_reasoning(&resumed, &graph));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_or_truncated_checkpoint_is_rejected() {
+    let graph = build_reasoning_graph(
+        MultiplierKind::Csa,
+        4,
+        &ReasoningConfig { tech_map: false, lut_k: 4, num_hops: 3, label_k: 3 },
+    );
+    let dir = scratch_dir("corrupt");
+    let path = dir.join("good.ck");
+    let cfg = TrainConfig {
+        hidden_dim: 16,
+        epochs: 2,
+        lr: 3e-3,
+        batch_nodes: 64,
+        batch_samples: 4,
+        seed: 7,
+        checkpoint_to: Some(path.clone()),
+        ..TrainConfig::default()
+    };
+    let kind = ReasonModelKind::Hoga(Aggregator::GatedSelfAttention);
+    let _ = train_reasoning(&graph, kind, &cfg);
+    let good = std::fs::read(&path).expect("checkpoint on disk");
+    load_checkpoint(&path).expect("pristine file loads");
+
+    // A flipped payload byte must be caught by the CRC.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    let bad_path = dir.join("flipped.ck");
+    std::fs::write(&bad_path, &flipped).expect("write corrupt file");
+    let err = load_checkpoint(&bad_path).expect_err("bit flip must be rejected");
+    assert!(matches!(err, CheckpointError::Decode(_)), "unexpected error: {err}");
+
+    // A torn write (truncation) must also be rejected, not mis-parsed.
+    let torn_path = dir.join("torn.ck");
+    std::fs::write(&torn_path, &good[..good.len() - 9]).expect("write torn file");
+    assert!(load_checkpoint(&torn_path).is_err(), "truncated checkpoint accepted");
+
+    // And the trainer surfaces it as a typed error instead of a panic.
+    let mut cfg_resume = cfg.clone();
+    cfg_resume.checkpoint_to = None;
+    cfg_resume.resume_from = Some(bad_path.clone());
+    let res = hoga_repro::eval::trainer::try_train_reasoning(&graph, kind, &cfg_resume);
+    assert!(res.is_err(), "resume from corrupt checkpoint must fail");
+    std::fs::remove_dir_all(&dir).ok();
 }

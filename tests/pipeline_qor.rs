@@ -20,7 +20,15 @@ fn dataset_cfg() -> QorDatasetConfig {
 }
 
 fn train_cfg() -> TrainConfig {
-    TrainConfig { hidden_dim: 24, epochs: 40, lr: 2e-3, batch_nodes: 256, batch_samples: 6, seed: 2 }
+    TrainConfig {
+        hidden_dim: 24,
+        epochs: 40,
+        lr: 2e-3,
+        batch_nodes: 256,
+        batch_samples: 6,
+        seed: 2,
+        ..TrainConfig::default()
+    }
 }
 
 #[test]

@@ -16,7 +16,15 @@ fn cfg() -> ReasoningConfig {
 }
 
 fn train_cfg() -> TrainConfig {
-    TrainConfig { hidden_dim: 32, epochs: 60, lr: 3e-3, batch_nodes: 512, batch_samples: 4, seed: 1 }
+    TrainConfig {
+        hidden_dim: 32,
+        epochs: 60,
+        lr: 3e-3,
+        batch_nodes: 512,
+        batch_samples: 4,
+        seed: 1,
+        ..TrainConfig::default()
+    }
 }
 
 #[test]

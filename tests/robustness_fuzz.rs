@@ -1,0 +1,136 @@
+//! Fuzz-style robustness tests for the binary decoders.
+//!
+//! Property: feeding arbitrary or corrupted bytes to `decode_params`,
+//! `decode_checkpoint` and `read_aiger` must never panic (or abort via an
+//! implausibly large allocation) — malformed input always comes back as a
+//! typed `Err`. A valid encoding with random byte mutations and truncations
+//! is the adversarial case the checkpoint/cache files actually face: a torn
+//! write, a flipped bit on disk, a partial download.
+
+use hoga_repro::circuit::aiger::{read_aiger, read_ascii_aiger, write_aiger};
+use hoga_repro::circuit::Aig;
+use hoga_repro::datasets::io::{
+    decode_checkpoint, decode_params, encode_checkpoint, encode_params, Checkpoint,
+};
+use hoga_repro::tensor::Matrix;
+use proptest::prelude::*;
+
+fn sample_aig() -> Aig {
+    let mut g = Aig::new(4);
+    let (a, b, c, d) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2), g.pi_lit(3));
+    let x = g.and(a, b);
+    let y = g.and(!c, d);
+    let z = g.and(x, !y);
+    g.add_po(z);
+    g.add_po(!x);
+    g
+}
+
+fn valid_params_bytes() -> Vec<u8> {
+    let mut p = hoga_repro::autograd::ParamSet::new();
+    p.add("enc.w", Matrix::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.125));
+    p.add("enc.b", Matrix::zeros(1, 6));
+    p.add("head.w", Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32));
+    encode_params(&p).to_vec()
+}
+
+fn valid_checkpoint_bytes() -> Vec<u8> {
+    let mut p = hoga_repro::autograd::ParamSet::new();
+    p.add("w", Matrix::from_fn(2, 2, |r, c| (r + c) as f32));
+    let ck = Checkpoint {
+        epoch: 3,
+        seed: 41,
+        lr_scale: 0.5,
+        params: p,
+        opt_state: vec![7; 33],
+    };
+    encode_checkpoint(&ck).to_vec()
+}
+
+fn valid_aiger_bytes() -> Vec<u8> {
+    let mut out = Vec::new();
+    write_aiger(&sample_aig(), &mut out).expect("write to Vec cannot fail");
+    out
+}
+
+/// Applies `mutations` as xor-flips (indices taken modulo the length) and
+/// truncates to `cut` bytes.
+fn mutate(mut bytes: Vec<u8>, mutations: &[(usize, u8)], cut: usize) -> Vec<u8> {
+    let n = bytes.len();
+    for &(i, b) in mutations {
+        bytes[i % n] ^= b;
+    }
+    bytes.truncate(cut.min(n));
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn decode_params_survives_mutations(
+        mutations in proptest::collection::vec((0usize..1 << 16, any::<u8>()), 1..8),
+        cut in 0usize..1 << 16,
+    ) {
+        let bytes = mutate(valid_params_bytes(), &mutations, cut);
+        // Must return (Ok for no-op mutations, Err otherwise) — never panic.
+        let _ = decode_params(&bytes[..]);
+    }
+
+    #[test]
+    fn decode_params_survives_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_params(&bytes[..]);
+    }
+
+    #[test]
+    fn decode_checkpoint_survives_mutations(
+        mutations in proptest::collection::vec((0usize..1 << 16, any::<u8>()), 1..8),
+        cut in 0usize..1 << 16,
+    ) {
+        let original = valid_checkpoint_bytes();
+        let bytes = mutate(original.clone(), &mutations, cut);
+        let result = decode_checkpoint(&bytes);
+        // The CRC means any *actual* change must be rejected, not just
+        // survived.
+        if bytes != original {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn read_aiger_survives_mutations(
+        mutations in proptest::collection::vec((0usize..1 << 16, any::<u8>()), 1..8),
+        cut in 0usize..1 << 16,
+    ) {
+        let bytes = mutate(valid_aiger_bytes(), &mutations, cut);
+        // Exercises header parsing and the delta (LEB128-style) decoding of
+        // AND-gate fanins against flipped continuation bits and truncation.
+        let _ = read_aiger(&bytes[..]);
+    }
+
+    #[test]
+    fn read_aiger_survives_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = read_aiger(&bytes[..]);
+    }
+
+    #[test]
+    fn read_ascii_aiger_survives_arbitrary_text(
+        text in "[ag0-9 \n]{0,200}",
+    ) {
+        let _ = read_ascii_aiger(text.as_bytes());
+    }
+}
+
+#[test]
+fn oversized_header_counts_are_rejected_not_allocated() {
+    // A tiny buffer claiming 2^60 gates must fail fast on the count check,
+    // not attempt the allocation.
+    let evil = b"aig 1152921504606846976 1 0 1 1152921504606846974\n";
+    assert!(read_aiger(&evil[..]).is_err());
+    let evil_ascii = b"aag 1152921504606846976 1 0 1 1152921504606846974\n";
+    assert!(read_ascii_aiger(&evil_ascii[..]).is_err());
+}
