@@ -1,0 +1,507 @@
+//! A hand-rolled Rust lexer, sufficient for static analysis.
+//!
+//! The analyzer must never report a `panic!` that only occurs inside a
+//! string literal, or miss a suppression because it sits in an unusual
+//! comment form, so the lexer handles the full surface syntax that affects
+//! token boundaries: nested block comments, all string literal flavors
+//! (plain, raw with arbitrary `#` fences, byte, C, and their raw variants),
+//! char literals vs. lifetimes, raw identifiers, and numeric literals.
+//!
+//! It does **not** attempt full fidelity for numeric literals (a float like
+//! `1.0` lexes as number–dot–number); no rule inspects numbers, so the
+//! simplification is harmless and keeps range expressions like `0..n`
+//! unambiguous.
+
+/// The classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers lex as the bare name).
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Numeric literal (integer part only; see module docs).
+    Number,
+    /// String literal of any flavor, char literal, or byte literal.
+    /// The span covers the quotes/fences; rules never look inside.
+    Str,
+    /// `// ...` comment. `doc` is true for `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* ... */` comment (nesting handled). `doc` is true for `/**`, `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// Any other single character (operators, braces, punctuation).
+    Punct(char),
+}
+
+/// One token: classification plus byte span and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// simply consume the rest of the input as their final token.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one char (multi-byte UTF-8 sequences count as one column).
+    fn bump(&mut self) {
+        let b = self.bytes[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+        } else {
+            let ch_len = self.src[self.pos..].chars().next().map_or(1, char::len_utf8);
+            self.col += 1;
+            self.pos += ch_len;
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek_at(1) == Some(b'/') => {
+                    self.lex_line_comment(start, line, col);
+                }
+                b'/' if self.peek_at(1) == Some(b'*') => {
+                    self.lex_block_comment(start, line, col);
+                }
+                b'"' => self.lex_string(start, line, col),
+                b'\'' => self.lex_quote(start, line, col),
+                b'r' | b'b' | b'c' => self.lex_maybe_prefixed(start, line, col),
+                b'0'..=b'9' => self.lex_number(start, line, col),
+                _ if is_ident_start(b) => self.lex_ident(start, line, col),
+                _ => {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{FFFD}');
+                    self.bump();
+                    self.push(TokKind::Punct(ch), start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token { kind, start, end: self.pos, line, col });
+    }
+
+    fn lex_line_comment(&mut self, start: usize, line: u32, col: u32) {
+        // Consume `//`, classify `///` and `//!` as doc (but `////` is not).
+        self.bump();
+        self.bump();
+        let doc = match self.peek() {
+            Some(b'/') => self.peek_at(1) != Some(b'/'),
+            Some(b'!') => true,
+            _ => false,
+        };
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::LineComment { doc }, start, line, col);
+    }
+
+    fn lex_block_comment(&mut self, start: usize, line: u32, col: u32) {
+        // Consume `/*`; `/**` (not `/***` or the degenerate `/**/`) and
+        // `/*!` are doc comments. Nesting increments on `/*`, decrements
+        // on `*/`, and the comment ends when the depth returns to zero.
+        self.bump();
+        self.bump();
+        let doc = match self.peek() {
+            Some(b'*') => self.peek_at(1) != Some(b'*') && self.peek_at(1) != Some(b'/'),
+            Some(b'!') => true,
+            _ => false,
+        };
+        let mut depth = 1u32;
+        while let Some(b) = self.peek() {
+            if b == b'/' && self.peek_at(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.peek_at(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment { doc }, start, line, col);
+    }
+
+    /// Lexes a plain (escaped) string body after the opening quote has NOT
+    /// yet been consumed.
+    fn lex_string(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::Str, start, line, col);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn lex_quote(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // the quote
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then scan to close.
+                self.bump();
+                if self.peek().is_some() {
+                    self.bump();
+                }
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, start, line, col);
+            }
+            Some(b) if is_ident_continue(b) => {
+                // `'a'` is a char literal; `'a` followed by anything other
+                // than a closing quote is a lifetime. Identifier-like runs
+                // of length > 1 (`'static`) are always lifetimes.
+                let mut len = 0usize;
+                while let Some(nb) = self.peek() {
+                    if is_ident_continue(nb) {
+                        len += 1;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if len == 1 && self.peek() == Some(b'\'') {
+                    self.bump();
+                    self.push(TokKind::Str, start, line, col);
+                } else {
+                    self.push(TokKind::Lifetime, start, line, col);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like `'('`.
+                self.bump();
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Str, start, line, col);
+            }
+            None => self.push(TokKind::Punct('\''), start, line, col),
+        }
+    }
+
+    /// `r`, `b`, or `c` may open a prefixed string (`r"`, `r#"`, `b"`,
+    /// `b'`, `br#"`, `c"`, ...) or a raw identifier (`r#match`) or just an
+    /// ordinary identifier (`rows`).
+    fn lex_maybe_prefixed(&mut self, start: usize, line: u32, col: u32) {
+        let first = self.bytes[self.pos];
+        // How many prefix chars beyond the first? (`br`, `cr`)
+        let second_raw = (first == b'b' || first == b'c') && self.peek_at(1) == Some(b'r');
+        let after_prefix = if second_raw { 2 } else { 1 };
+        match self.peek_at(after_prefix) {
+            Some(b'"') => {
+                for _ in 0..after_prefix {
+                    self.bump();
+                }
+                self.lex_string(start, line, col);
+            }
+            Some(b'\'') if first == b'b' && !second_raw => {
+                self.bump();
+                self.lex_quote(start, line, col);
+                // Re-tag: byte char is a literal even if lex_quote saw a
+                // lifetime-like shape (e.g. `b'x'` always closes).
+                if let Some(last) = self.tokens.last_mut() {
+                    last.start = start;
+                    last.kind = TokKind::Str;
+                }
+            }
+            Some(b'#') => {
+                // Count the fence. `r#"` opens a raw string; `r#ident` is a
+                // raw identifier; `br##"`/`cr#"` open raw byte/C strings.
+                let mut hashes = 0usize;
+                while self.peek_at(after_prefix + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                match self.peek_at(after_prefix + hashes) {
+                    Some(b'"') => {
+                        for _ in 0..after_prefix + hashes + 1 {
+                            self.bump();
+                        }
+                        self.lex_raw_string_body(hashes, start, line, col);
+                    }
+                    Some(nb)
+                        if !second_raw && first == b'r' && hashes == 1 && is_ident_start(nb) =>
+                    {
+                        // Raw identifier `r#ident`.
+                        self.bump(); // r
+                        self.bump(); // #
+                        self.lex_ident(start, line, col);
+                    }
+                    _ => self.lex_ident(start, line, col),
+                }
+            }
+            _ => self.lex_ident(start, line, col),
+        }
+    }
+
+    /// Scans a raw string body after the opening quote; ends at `"` followed
+    /// by `hashes` `#` characters.
+    fn lex_raw_string_body(&mut self, hashes: usize, start: usize, line: u32, col: u32) {
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek_at(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.push(TokKind::Str, start, line, col);
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, start, line, col);
+    }
+
+    fn lex_ident(&mut self, start: usize, line: u32, col: u32) {
+        while let Some(b) = self.peek() {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, start, line, col);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0].1, "a");
+        assert_eq!(ks[1].0, TokKind::BlockComment { doc: false });
+        assert_eq!(ks[1].1, "/* outer /* inner */ still outer */");
+        assert_eq!(ks[2].1, "b");
+    }
+
+    #[test]
+    fn deeply_nested_block_comment() {
+        let src = "/* 1 /* 2 /* 3 */ 2 */ 1 */ x";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_string_containing_unwrap_is_a_single_literal() {
+        let src = r####"let s = r#"x.unwrap() and panic!"#;"####;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap"));
+        // No identifier token `unwrap` or `panic` leaks out of the literal.
+        assert!(!idents(src).iter().any(|i| i == "unwrap" || i == "panic"));
+    }
+
+    #[test]
+    fn raw_string_with_double_fence() {
+        let src = r#####"r##"contains "# inside"## ; tail"#####;
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokKind::Str);
+        assert!(ks[0].1.ends_with("\"##"));
+        assert_eq!(ks.last().unwrap().1, "tail");
+    }
+
+    #[test]
+    fn plain_string_containing_panic_is_opaque() {
+        let src = "let msg = \"do not panic!(now)\"; after";
+        assert!(!idents(src).iter().any(|i| i == "panic"));
+        assert!(idents(src).iter().any(|i| i == "after"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a \" b unwrap() \" c"; done"#;
+        assert!(!idents(src).iter().any(|i| i == "unwrap"));
+        assert!(idents(src).iter().any(|i| i == "done"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let p = '('; }";
+        let ks = kinds(src);
+        let lifetimes: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2, "{lifetimes:?}");
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(chars.len(), 3, "{chars:?}");
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let src = "&'static str";
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!\"; let c = b'x'; let r = br#\"unwrap()\"#; end";
+        assert!(!idents(src).iter().any(|i| i == "panic" || i == "unwrap"));
+        assert!(idents(src).iter().any(|i| i == "end"));
+        let strs = kinds(src).iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#match = 1; r#fn();";
+        let ids = idents(src);
+        assert!(ids.iter().any(|i| i == "r#match"));
+        assert!(ids.iter().any(|i| i == "r#fn"));
+    }
+
+    #[test]
+    fn line_comment_classification() {
+        let ks = kinds("// plain\n/// doc\n//! inner\n//// not doc\ncode");
+        let docs: Vec<_> =
+            ks.iter().filter(|(k, _)| matches!(k, TokKind::LineComment { doc: true })).collect();
+        assert_eq!(docs.len(), 2, "{ks:?}");
+        assert_eq!(ks.last().unwrap().1, "code");
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn ranges_lex_cleanly_after_numbers() {
+        let src = "for i in 0..n_items { }";
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "n_items"));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Punct('.')).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let src = "let s = \"never closed panic!";
+        assert!(!idents(src).iter().any(|i| i == "panic"));
+    }
+
+    #[test]
+    fn hex_and_suffixed_numbers() {
+        let ks = kinds("0xFFu32 + 1_000i64");
+        let nums: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Number).collect();
+        assert_eq!(nums.len(), 2);
+        assert_eq!(nums[0].1, "0xFFu32");
+    }
+}

@@ -1,0 +1,142 @@
+#![forbid(unsafe_code)]
+//! `hoga-analyze`: a self-contained workspace linter and invariant auditor.
+//!
+//! A hand-rolled Rust [`lexer`] feeds a [`rules`] engine that walks every
+//! `.rs` file in the workspace (see [`workspace`]) and emits
+//! `file:line:col` diagnostics with stable rule ids. Because matching
+//! happens on tokens, occurrences inside string literals and comments are
+//! never flagged.
+//!
+//! Rule catalogue (details in `docs/STATIC_ANALYSIS.md`):
+//!
+//! * `panic-free-paths` — no `panic!`/`.unwrap()`/`.expect(`/`unreachable!`
+//!   in hardened modules.
+//! * `lossy-cast` — no bare `as u32`/`as usize`/`as i64` in decode paths.
+//! * `unsafe-forbidden` — every crate root carries `#![forbid(unsafe_code)]`.
+//! * `todo-tracker` — `TODO`/`FIXME`/`HACK` must cite an issue: `TODO(#123)`.
+//! * `test-panic-ok` — not a diagnostic: `panic-free-paths` and
+//!   `lossy-cast` auto-relax inside `#[cfg(test)]` items and `tests/`
+//!   directories.
+//!
+//! Findings are suppressed inline with a justified directive:
+//!
+//! ```text
+//! // analyze: allow(panic-free-paths) — documented panicking wrapper
+//! ```
+//!
+//! The justification is mandatory and suppressions that match nothing are
+//! themselves errors (`unused-suppression`), so stale allows cannot
+//! accumulate.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{analyze_source, FileProfile, Finding};
+pub use workspace::analyze_workspace;
+
+/// Renders findings one per line as `file:line:col: [rule] message`.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders findings as a JSON array of objects with `file`, `line`,
+/// `col`, `rule`, and `message` fields.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&f.file),
+            f.line,
+            f.col,
+            json_string(f.rule),
+            json_string(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// CI gate: the workspace this crate lives in must be clean. Run with
+/// `cargo test -p hoga-analyze`; the same check is exposed as a binary
+/// for humans (`cargo run -p hoga-analyze`).
+#[cfg(test)]
+mod gate {
+    use std::path::Path;
+
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let findings = crate::analyze_workspace(&root).expect("workspace walk failed");
+        assert!(
+            findings.is_empty(),
+            "hoga-analyze found {} violation(s):\n{}",
+            findings.len(),
+            crate::render_text(&findings)
+        );
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 9,
+            rule: "panic-free-paths",
+            message: "say \"no\"\tto panics".to_string(),
+        }]
+    }
+
+    #[test]
+    fn text_format_is_one_line_per_finding() {
+        let text = render_text(&sample());
+        assert_eq!(text, "crates/x/src/lib.rs:3:9: [panic-free-paths] say \"no\"\tto panics\n");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let json = render_json(&sample());
+        assert!(json.contains("\\\"no\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\\t"), "tab escaped: {json}");
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_empty_is_empty_array() {
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

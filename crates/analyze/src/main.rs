@@ -1,0 +1,87 @@
+#![forbid(unsafe_code)]
+//! Command-line front end for the workspace linter.
+//!
+//! ```text
+//! cargo run -p hoga-analyze [--root PATH] [--format text|json]
+//! ```
+//!
+//! Exit status: 0 = clean, 1 = findings reported, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hoga_analyze::{analyze_workspace, render_json, render_text};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => return usage(&format!("unknown format `{other}`")),
+                None => return usage("--format needs `text` or `json`"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "hoga-analyze: workspace linter + invariant auditor\n\n\
+                     USAGE: hoga-analyze [--root PATH] [--format text|json]\n\n\
+                     Walks every .rs file under the workspace root and reports\n\
+                     rule violations as file:line:col diagnostics. Exits 0 when\n\
+                     clean, 1 when findings exist, 2 on error. See\n\
+                     docs/STATIC_ANALYSIS.md for the rule catalogue."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default to the workspace that this binary was built from, so plain
+    // `cargo run -p hoga-analyze` does the right thing from any cwd.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    let findings = match analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hoga-analyze: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => {
+            print!("{}", render_text(&findings));
+            if findings.is_empty() {
+                eprintln!("hoga-analyze: workspace clean");
+            } else {
+                eprintln!("hoga-analyze: {} violation(s)", findings.len());
+            }
+        }
+        Format::Json => print!("{}", render_json(&findings)),
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("hoga-analyze: {msg}\nUSAGE: hoga-analyze [--root PATH] [--format text|json]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,718 @@
+//! The rule engine and the rule catalogue.
+//!
+//! Rules operate on the token stream produced by [`crate::lexer`], so
+//! matches inside string literals and comments are structurally impossible.
+//! Each rule reports [`Finding`]s; inline suppressions
+//! (`// analyze: allow(<rule>) — <justification>`) cancel findings on the
+//! same or the following line and are themselves validated: a suppression
+//! with no justification, an unknown rule id, or one that suppresses
+//! nothing is an error.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Stable identifiers for every rule the engine can emit. Suppression
+/// comments name these ids.
+pub const RULE_IDS: &[&str] = &[
+    "panic-free-paths",
+    "lossy-cast",
+    "unsafe-forbidden",
+    "todo-tracker",
+    "invalid-suppression",
+    "unused-suppression",
+];
+
+/// One diagnostic: a rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (one of [`RULE_IDS`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Which checks apply to a given file (decided by
+/// [`crate::workspace::Config`] from the file's path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileProfile {
+    /// R1: ban `panic!` / `unwrap()` / `expect(` / `unreachable!`.
+    pub panic_free: bool,
+    /// R2: require checked conversions instead of `as u32`/`as usize`/`as i64`.
+    pub lossy_cast: bool,
+    /// R3: this file is a crate root and must carry `#![forbid(unsafe_code)]`.
+    pub crate_root: bool,
+    /// R5: the whole file is test code (under a `tests/` directory), which
+    /// relaxes R1 and R2 everywhere in it.
+    pub all_test: bool,
+}
+
+/// Analyzes one source file and returns its findings.
+///
+/// `rel_path` is used verbatim in diagnostics. This is the pure core the
+/// fixture tests drive; [`crate::workspace::analyze_workspace`] wraps it
+/// with file discovery.
+pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Finding> {
+    let tokens = lex(src);
+    let test_spans =
+        if profile.all_test { vec![0..src.len()] } else { cfg_test_spans(&tokens, src) };
+    let mut suppressions = collect_suppressions(rel_path, &tokens, src);
+    let mut findings = Vec::new();
+
+    // Suppression parse errors surface regardless of any rule firing.
+    for s in &suppressions {
+        if let Some(msg) = &s.error {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: "invalid-suppression",
+                message: msg.clone(),
+            });
+        }
+    }
+
+    let mut raw = Vec::new();
+    if profile.panic_free {
+        rule_panic_free(rel_path, &tokens, src, &test_spans, &mut raw);
+    }
+    if profile.lossy_cast {
+        rule_lossy_cast(rel_path, &tokens, src, &test_spans, &mut raw);
+    }
+    if profile.crate_root {
+        rule_unsafe_forbidden(rel_path, &tokens, src, &mut raw);
+    }
+    rule_todo_tracker(rel_path, &tokens, src, &mut raw);
+
+    // Apply suppressions: a finding is dropped when a valid suppression for
+    // its rule sits on the same line or the line directly above.
+    for f in raw {
+        let mut matched = false;
+        for s in suppressions.iter_mut() {
+            if s.error.is_none() && s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line) {
+                s.used = true;
+                matched = true;
+            }
+        }
+        if !matched {
+            findings.push(f);
+        }
+    }
+
+    for s in &suppressions {
+        if s.error.is_none() && !s.used {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: "unused-suppression",
+                message: format!(
+                    "suppression for `{}` matches no finding on this or the next line; remove it",
+                    s.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+    line: u32,
+    col: u32,
+    rule: &'static str,
+    used: bool,
+    /// Set when the directive is malformed; `rule` is then meaningless.
+    error: Option<String>,
+}
+
+/// Extracts `analyze:` directives from plain `//` comments. Doc comments
+/// are deliberately ignored so rule documentation can show the syntax
+/// without creating live suppressions.
+fn collect_suppressions(_rel_path: &str, tokens: &[Token], src: &str) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        let TokKind::LineComment { doc: false } = t.kind else { continue };
+        let body = t.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("analyze:") else { continue };
+        let rest = rest.trim();
+        let mut sup = Suppression { line: t.line, col: t.col, rule: "", used: false, error: None };
+        match parse_allow(rest) {
+            Ok((rule, justification)) => match RULE_IDS.iter().find(|id| **id == rule) {
+                Some(id) if justification.is_empty() => {
+                    sup.rule = id;
+                    sup.error = Some(format!(
+                        "suppression for `{rule}` has no justification; write \
+                         `// analyze: allow({rule}) — <why this is safe>`"
+                    ));
+                }
+                Some(id) => sup.rule = id,
+                None => {
+                    sup.error = Some(format!("unknown rule `{rule}` in suppression"));
+                }
+            },
+            Err(msg) => sup.error = Some(msg),
+        }
+        out.push(sup);
+    }
+    out
+}
+
+/// Parses `allow(<rule>) <sep> <justification>` and returns the rule name
+/// plus the trimmed justification.
+fn parse_allow(s: &str) -> Result<(&str, &str), String> {
+    let Some(inner) = s.strip_prefix("allow(") else {
+        return Err(
+            "malformed analyze directive; expected `analyze: allow(<rule>) — <why>`".to_string()
+        );
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("unclosed `allow(` in analyze directive".to_string());
+    };
+    let rule = inner[..close].trim();
+    let mut rest = inner[close + 1..].trim_start();
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(r) = rest.strip_prefix(sep) {
+            rest = r;
+            break;
+        }
+    }
+    Ok((rule, rest.trim()))
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection (R5)
+// ---------------------------------------------------------------------------
+
+/// Byte spans covered by items annotated `#[cfg(test)]` (typically
+/// `mod tests { ... }` blocks). R1/R2 findings inside them are dropped.
+fn cfg_test_spans(tokens: &[Token], src: &str) -> Vec<std::ops::Range<usize>> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
+        .collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if is_cfg_test_attr(&code, i, src) {
+            // Skip past this attribute, any further attributes, then find
+            // the item's opening brace (or `;` for braceless items).
+            let mut j = skip_bracketed(&code, i + 1);
+            loop {
+                if j + 1 < code.len()
+                    && matches!(code[j].kind, TokKind::Punct('#'))
+                    && matches!(code[j + 1].kind, TokKind::Punct('['))
+                {
+                    j = skip_bracketed(&code, j + 1);
+                    continue;
+                }
+                break;
+            }
+            let mut depth = 0i64;
+            while j < code.len() {
+                match code[j].kind {
+                    TokKind::Punct('{') => {
+                        if depth == 0 {
+                            let start = code[j].start;
+                            let end = matching_brace_end(&code, j, src);
+                            spans.push(start..end);
+                            break;
+                        }
+                        depth += 1;
+                    }
+                    TokKind::Punct(';') if depth == 0 => break,
+                    TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Does `# [ cfg ( test ... ) ]` start at `code[i]`? (Also matches
+/// composite forms like `cfg(all(test, feature = "x"))`.)
+fn is_cfg_test_attr(code: &[&Token], i: usize, src: &str) -> bool {
+    let kinds_ok = i + 4 < code.len()
+        && matches!(code[i].kind, TokKind::Punct('#'))
+        && matches!(code[i + 1].kind, TokKind::Punct('['))
+        && code[i + 2].kind == TokKind::Ident
+        && code[i + 2].text(src) == "cfg"
+        && matches!(code[i + 3].kind, TokKind::Punct('('));
+    if !kinds_ok {
+        return false;
+    }
+    let end = skip_bracketed(code, i + 1);
+    code[i + 4..end.min(code.len())]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text(src) == "test")
+}
+
+/// Given `code[open]` == `[`, returns the index just past its matching `]`.
+fn skip_bracketed(code: &[&Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < code.len() {
+        match code[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Given `code[open]` == `{`, returns the byte offset just past the
+/// matching `}` (or end of file when unbalanced).
+fn matching_brace_end(code: &[&Token], open: usize, src: &str) -> usize {
+    let mut depth = 0i64;
+    for t in &code[open..] {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return t.end;
+                }
+            }
+            _ => {}
+        }
+    }
+    src.len()
+}
+
+fn in_spans(pos: usize, spans: &[std::ops::Range<usize>]) -> bool {
+    spans.iter().any(|s| s.contains(&pos))
+}
+
+// ---------------------------------------------------------------------------
+// R1: panic-free-paths
+// ---------------------------------------------------------------------------
+
+fn rule_panic_free(
+    rel_path: &str,
+    tokens: &[Token],
+    src: &str,
+    test_spans: &[std::ops::Range<usize>],
+    out: &mut Vec<Finding>,
+) {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
+        .collect();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_spans(t.start, test_spans) {
+            continue;
+        }
+        let text = t.text(src);
+        let next_is = |ahead: usize, ch: char| {
+            code.get(i + ahead).is_some_and(|n| matches!(n.kind, TokKind::Punct(c) if c == ch))
+        };
+        let prev_is_dot = i > 0 && matches!(code[i - 1].kind, TokKind::Punct('.'));
+        let hit = match text {
+            "panic" | "unreachable" if next_is(1, '!') => {
+                Some(format!("`{text}!` in a hardened module"))
+            }
+            "unwrap" if prev_is_dot && next_is(1, '(') && next_is(2, ')') => {
+                Some("`.unwrap()` in a hardened module".to_string())
+            }
+            "expect" if prev_is_dot && next_is(1, '(') => {
+                Some("`.expect(...)` in a hardened module".to_string())
+            }
+            _ => None,
+        };
+        if let Some(message) = hit {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "panic-free-paths",
+                message: message
+                    + "; return a typed error (or justify with \
+                       `// analyze: allow(panic-free-paths) — <why>`)",
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2: lossy-cast
+// ---------------------------------------------------------------------------
+
+const LOSSY_TARGETS: &[&str] = &["u32", "usize", "i64"];
+
+fn rule_lossy_cast(
+    rel_path: &str,
+    tokens: &[Token],
+    src: &str,
+    test_spans: &[std::ops::Range<usize>],
+    out: &mut Vec<Finding>,
+) {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
+        .collect();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text(src) != "as" || in_spans(t.start, test_spans) {
+            continue;
+        }
+        let Some(next) = code.get(i + 1) else { continue };
+        if next.kind == TokKind::Ident && LOSSY_TARGETS.contains(&next.text(src)) {
+            let target = next.text(src);
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "lossy-cast",
+                message: format!(
+                    "`as {target}` in a decode path can truncate silently; use \
+                     `{target}::try_from(...)` and map the error (or justify with \
+                     `// analyze: allow(lossy-cast) — <why>`)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R3: unsafe-forbidden
+// ---------------------------------------------------------------------------
+
+fn rule_unsafe_forbidden(rel_path: &str, tokens: &[Token], src: &str, out: &mut Vec<Finding>) {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
+        .collect();
+    let found = code.windows(7).any(|w| {
+        matches!(w[0].kind, TokKind::Punct('#'))
+            && matches!(w[1].kind, TokKind::Punct('!'))
+            && matches!(w[2].kind, TokKind::Punct('['))
+            && w[3].kind == TokKind::Ident
+            && w[3].text(src) == "forbid"
+            && matches!(w[4].kind, TokKind::Punct('('))
+            && w[5].kind == TokKind::Ident
+            && w[5].text(src) == "unsafe_code"
+            && matches!(w[6].kind, TokKind::Punct(')'))
+    });
+    if !found {
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: 1,
+            col: 1,
+            rule: "unsafe-forbidden",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4: todo-tracker
+// ---------------------------------------------------------------------------
+
+const TODO_MARKERS: &[&str] = &["TODO", "FIXME", "HACK"];
+
+fn rule_todo_tracker(rel_path: &str, tokens: &[Token], src: &str, out: &mut Vec<Finding>) {
+    for t in tokens {
+        if !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }) {
+            continue;
+        }
+        let text = t.text(src);
+        let marker = TODO_MARKERS.iter().find(|m| contains_word(text, m));
+        if let Some(marker) = marker {
+            if !has_issue_ref(text) {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "todo-tracker",
+                    message: format!(
+                        "`{marker}` comment without an issue reference; write \
+                         `{marker}(#<issue>): ...`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whole-word, case-sensitive containment (`HACK(#1)` matches, while
+/// `HACKATHON` and `SHACK` do not).
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(idx) = haystack[from..].find(word) {
+        let at = from + idx;
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric();
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !bytes[after].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// `#` immediately followed by digits (e.g. `#42`) anywhere in the comment.
+fn has_issue_ref(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes.windows(2).any(|w| w[0] == b'#' && w[1].is_ascii_digit())
+}
+
+// ---------------------------------------------------------------------------
+// Fixture-based rule tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hardened() -> FileProfile {
+        FileProfile { panic_free: true, lossy_cast: true, crate_root: false, all_test: false }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        analyze_source("fixture.rs", src, hardened())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_panic_macro_with_position() {
+        let f = run("fn f() {\n    panic!(\"boom\");\n}\n");
+        assert_eq!(rules_of(&f), ["panic-free-paths"]);
+        assert_eq!((f[0].line, f[0].col), (2, 5));
+        assert_eq!(f[0].file, "fixture.rs");
+    }
+
+    #[test]
+    fn flags_unwrap_expect_unreachable() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"present\");\n\
+                   if a > b { unreachable!() }\n\
+                   a\n}\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["panic-free-paths", "panic-free-paths", "panic-free-paths"]);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        assert_eq!(f[2].line, 4);
+    }
+
+    #[test]
+    fn ignores_matches_inside_strings_and_comments() {
+        let src = "fn f() -> &'static str {\n\
+                   // this comment says panic!(...) and x.unwrap()\n\
+                   /* and so does /* this nested */ one: unreachable!() */\n\
+                   \"panic!(\\\"not code\\\") .unwrap()\"\n}\n";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn ignores_matches_inside_raw_strings() {
+        let src = "fn f() -> &'static str {\n    r#\"x.unwrap() panic!(\"inner\")\"#\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_requires_method_call_shape() {
+        // A fn named `unwrap` being defined, or a path `Self::unwrap`, is
+        // not a `.unwrap()` call.
+        let src = "fn unwrap() {}\nfn g() { Wrapper::expect_none(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_same_line_works() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   x.unwrap() // analyze: allow(panic-free-paths) — caller validated in new()\n\
+                   }\n";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn suppression_on_previous_line_works() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // analyze: allow(panic-free-paths) — caller validated in new()\n\
+                   x.unwrap()\n\
+                   }\n";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn suppression_without_justification_is_invalid() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   x.unwrap() // analyze: allow(panic-free-paths)\n\
+                   }\n";
+        let f = run(src);
+        // The malformed directive is reported AND the finding still fires.
+        assert!(rules_of(&f).contains(&"invalid-suppression"), "got: {f:?}");
+        assert!(rules_of(&f).contains(&"panic-free-paths"), "got: {f:?}");
+    }
+
+    #[test]
+    fn suppression_with_unknown_rule_is_invalid() {
+        let src = "fn f() {\n// analyze: allow(no-such-rule) — because\nlet x = 1;\n}\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["invalid-suppression"]);
+        assert!(f[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unused_suppression_is_reported() {
+        let src =
+            "fn f() {\n// analyze: allow(panic-free-paths) — stale justification\nlet x = 1;\n}\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["unused-suppression"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn doc_comments_do_not_register_suppressions() {
+        // Documentation showing the syntax must not become a live (and
+        // then unused) suppression.
+        let src = "/// Example: `// analyze: allow(panic-free-paths) — reason`\nfn f() {}\n";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn cfg_test_module_relaxes_panic_and_cast_rules() {
+        let src = "fn prod(n: u64) -> u64 { n }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { let n: u64 = 9; let _ = (n as u32, prod(n)); panic!(\"ok in tests\"); }\n\
+                   }\n";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn code_before_cfg_test_module_is_still_checked() {
+        let src = "fn prod(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { panic!(\"fine\"); }\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["panic-free-paths"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn tests_dir_profile_relaxes_everything_relaxable() {
+        let src = "fn t(n: u64) { let _ = n as usize; panic!(\"integration test\"); }\n";
+        let mut profile = hardened();
+        profile.all_test = true;
+        assert!(analyze_source("tests/it.rs", src, profile).is_empty());
+    }
+
+    #[test]
+    fn flags_lossy_casts_only_for_narrowing_targets() {
+        let src = "fn f(n: u64) -> (u32, usize, i64, u64, f64) {\n\
+                   (n as u32, n as usize, n as i64, n as u64, n as f64)\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["lossy-cast", "lossy-cast", "lossy-cast"]);
+        assert!(f[0].message.contains("u32::try_from"));
+    }
+
+    #[test]
+    fn lossy_cast_suppression_works() {
+        let src = "fn f(n: u64) -> u32 {\n\
+                   n as u32 // analyze: allow(lossy-cast) — n < 2^26 by header bound\n\
+                   }\n";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn crate_root_without_forbid_unsafe_is_flagged() {
+        let mut profile = FileProfile::default();
+        profile.crate_root = true;
+        let f = analyze_source("src/lib.rs", "pub fn f() {}\n", profile);
+        assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
+        assert_eq!((f[0].line, f[0].col), (1, 1));
+
+        let ok = analyze_source("src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n", profile);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn forbid_in_comment_does_not_satisfy_unsafe_rule() {
+        let mut profile = FileProfile::default();
+        profile.crate_root = true;
+        let f =
+            analyze_source("src/lib.rs", "// #![forbid(unsafe_code)]\npub fn f() {}\n", profile);
+        assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
+    }
+
+    #[test]
+    fn todo_without_issue_is_flagged() {
+        let src = "// TODO: make this faster\nfn f() {}\n";
+        let f = analyze_source("x.rs", src, FileProfile::default());
+        assert_eq!(rules_of(&f), ["todo-tracker"]);
+        assert!(f[0].message.contains("TODO"));
+    }
+
+    #[test]
+    fn todo_with_issue_reference_is_accepted() {
+        let src = "// TODO(#123): make this faster\n/* FIXME(#7): later */\nfn f() {}\n";
+        assert!(analyze_source("x.rs", src, FileProfile::default()).is_empty());
+    }
+
+    #[test]
+    fn todo_markers_match_whole_words_only() {
+        let src = "// the HACKATHON was fun; we ate TODOS at the SHACK\nfn f() {}\n";
+        assert!(analyze_source("x.rs", src, FileProfile::default()).is_empty());
+    }
+
+    #[test]
+    fn fixme_and_hack_are_tracked() {
+        let src = "// FIXME: one\n// HACK: two\nfn f() {}\n";
+        let f = analyze_source("x.rs", src, FileProfile::default());
+        assert_eq!(rules_of(&f), ["todo-tracker", "todo-tracker"]);
+    }
+
+    #[test]
+    fn findings_are_sorted_by_position() {
+        let src = "fn f(x: Option<u8>, n: u64) -> u8 {\n\
+                   let _ = n as u32;\n\
+                   x.unwrap()\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["lossy-cast", "panic-free-paths"]);
+        assert!(f[0].line < f[1].line);
+    }
+
+    #[test]
+    fn display_format_is_file_line_col_rule() {
+        let f = run("fn f() { panic!(\"x\"); }\n");
+        let line = f[0].to_string();
+        assert!(line.starts_with("fixture.rs:1:10: [panic-free-paths]"), "got: {line}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Workspace walking: discovers `.rs` files and crate roots, assigns each
+//! file a [`FileProfile`], and folds per-file findings into one report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{analyze_source, FileProfile, Finding};
+
+/// Modules that must stay panic-free on non-test paths (R1).
+pub const HARDENED_MODULES: &[&str] = &[
+    "crates/circuit/src/aiger.rs",
+    "crates/datasets/src/io.rs",
+    "crates/eval/src/trainer.rs",
+    "crates/eval/src/parallel_train.rs",
+    "crates/tensor/src/matrix.rs",
+];
+
+/// Decode/parse files where `as u32`/`as usize`/`as i64` casts must be
+/// checked conversions (R2).
+pub const DECODE_MODULES: &[&str] = &["crates/circuit/src/aiger.rs", "crates/datasets/src/io.rs"];
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Errors from walking the workspace (I/O only; findings are not errors).
+#[derive(Debug)]
+pub struct WalkError {
+    pub path: PathBuf,
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Analyzes every `.rs` file under `root` and returns all findings,
+/// sorted by (file, line, col).
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, WalkError> {
+    let mut rs_files = Vec::new();
+    collect_rs_files(root, &mut rs_files)?;
+    rs_files.sort();
+
+    let crate_roots = discover_crate_roots(root)?;
+
+    let mut findings = Vec::new();
+    for path in &rs_files {
+        let rel = rel_string(root, path);
+        let src =
+            fs::read_to_string(path).map_err(|source| WalkError { path: path.clone(), source })?;
+        let profile = profile_for(&rel, &crate_roots);
+        findings.extend(analyze_source(&rel, &src, profile));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(findings)
+}
+
+/// Decides which rules apply to a workspace-relative path.
+pub fn profile_for(rel: &str, crate_roots: &[String]) -> FileProfile {
+    FileProfile {
+        panic_free: HARDENED_MODULES.contains(&rel),
+        lossy_cast: DECODE_MODULES.contains(&rel),
+        crate_root: crate_roots.iter().any(|r| r == rel),
+        all_test: rel.split('/').any(|c| c == "tests" || c == "benches" || c == "examples"),
+    }
+}
+
+/// Crate roots are `src/lib.rs` / `src/main.rs` siblings of a `Cargo.toml`
+/// that has a `[package]` section (virtual workspace manifests don't count).
+pub fn discover_crate_roots(root: &Path) -> Result<Vec<String>, WalkError> {
+    let mut manifests = Vec::new();
+    collect_manifests(root, &mut manifests)?;
+    let mut roots = Vec::new();
+    for manifest in manifests {
+        let text = fs::read_to_string(&manifest)
+            .map_err(|source| WalkError { path: manifest.clone(), source })?;
+        if !text.lines().any(|l| l.trim() == "[package]") {
+            continue;
+        }
+        let dir = manifest.parent().unwrap_or(root);
+        for candidate in ["src/lib.rs", "src/main.rs"] {
+            let p = dir.join(candidate);
+            if p.is_file() {
+                roots.push(rel_string(root, &p));
+            }
+        }
+        // Explicit [[bin]] path entries are additional roots.
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("path") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    if v.ends_with(".rs") {
+                        let p = dir.join(v);
+                        if p.is_file() {
+                            let rel = rel_string(root, &p);
+                            if !roots.contains(&rel) {
+                                roots.push(rel);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    roots.sort();
+    roots.dedup();
+    Ok(roots)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    let entries =
+        fs::read_dir(dir).map_err(|source| WalkError { path: dir.to_path_buf(), source })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| WalkError { path: dir.to_path_buf(), source })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn collect_manifests(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    let entries =
+        fs::read_dir(dir).map_err(|source| WalkError { path: dir.to_path_buf(), source })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| WalkError { path: dir.to_path_buf(), source })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_manifests(&path, out)?;
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across platforms,
+/// matches the entries in [`HARDENED_MODULES`]).
+fn rel_string(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

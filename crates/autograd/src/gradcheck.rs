@@ -64,10 +64,7 @@ pub fn check_gradients(
     let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
     for id in ids {
         let shape = params.value(id).shape();
-        let analytic = grads
-            .get(id)
-            .cloned()
-            .unwrap_or_else(|| Matrix::zeros(shape.0, shape.1));
+        let analytic = grads.get(id).cloned().unwrap_or_else(|| Matrix::zeros(shape.0, shape.1));
         for r in 0..shape.0 {
             for c in 0..shape.1 {
                 let orig = params.value(id)[(r, c)];

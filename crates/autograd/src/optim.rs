@@ -191,7 +191,11 @@ impl Adam {
         self
     }
 
-    fn slot<'a>(store: &'a mut Vec<Option<Matrix>>, idx: usize, shape: (usize, usize)) -> &'a mut Matrix {
+    fn slot<'a>(
+        store: &'a mut Vec<Option<Matrix>>,
+        idx: usize,
+        shape: (usize, usize),
+    ) -> &'a mut Matrix {
         if store.len() <= idx {
             store.resize(idx + 1, None);
         }
@@ -218,11 +222,8 @@ impl Optimizer for Adam {
             }
             let value = params.value_mut(id);
             let wd = self.weight_decay * self.lr;
-            for ((pv, &mv), &vv) in value
-                .as_mut_slice()
-                .iter_mut()
-                .zip(&m_snapshot)
-                .zip(v.as_slice())
+            for ((pv, &mv), &vv) in
+                value.as_mut_slice().iter_mut().zip(&m_snapshot).zip(v.as_slice())
             {
                 let mhat = mv / bc1;
                 let vhat = vv / bc2;
@@ -354,8 +355,8 @@ impl Optimizer for Sgd {
             if self.velocity.len() <= id.index() {
                 self.velocity.resize(id.index() + 1, None);
             }
-            let vel = self.velocity[id.index()]
-                .get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+            let vel =
+                self.velocity[id.index()].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
             for (vv, &gv) in vel.as_mut_slice().iter_mut().zip(g.as_slice()) {
                 *vv = self.momentum * *vv + gv;
             }
@@ -401,7 +402,7 @@ impl Optimizer for Sgd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Tape;
+    use crate::{ParamId, Tape};
     use hoga_tensor::Matrix;
 
     /// Minimizing f(w) = mean((w - 3)^2) should converge to w = 3.

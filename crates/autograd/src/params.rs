@@ -34,7 +34,7 @@ impl ParamId {
 /// assert_eq!(params.name(w), "encoder.w");
 /// assert_eq!(params.value(w).shape(), (4, 4));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ParamSet {
     names: Vec<String>,
     values: Vec<Matrix>,

@@ -91,10 +91,7 @@ impl Gradients {
 
     /// Iterates over `(ParamId, gradient)` pairs that received gradients.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
-        self.grads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+        self.grads.iter().enumerate().filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
     }
 }
 
@@ -440,7 +437,11 @@ impl Tape {
             .iter()
             .map(|&lab| {
                 assert!(lab < lm.cols(), "label {lab} out of range");
-                if class_weights.is_empty() { 1.0 } else { class_weights[lab] }
+                if class_weights.is_empty() {
+                    1.0
+                } else {
+                    class_weights[lab]
+                }
             })
             .collect();
         let weight_sum: f64 = weights.iter().map(|&w| w as f64).sum();
@@ -543,7 +544,8 @@ impl Tape {
                 }
                 Op::Relu(x) => {
                     let x = *x;
-                    let dx = gy.zip_map(&self.nodes[x.0].value, |g, v| if v > 0.0 { g } else { 0.0 });
+                    let dx =
+                        gy.zip_map(&self.nodes[x.0].value, |g, v| if v > 0.0 { g } else { 0.0 });
                     acc!(x, dx);
                 }
                 Op::Sigmoid(x) => {
@@ -580,10 +582,8 @@ impl Tape {
                 }
                 Op::SelectRows { x, indices } => {
                     let x = *x;
-                    let mut dx = Matrix::zeros(
-                        self.nodes[x.0].value.rows(),
-                        self.nodes[x.0].value.cols(),
-                    );
+                    let mut dx =
+                        Matrix::zeros(self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
                     dx.scatter_add_rows(indices, &gy);
                     acc!(x, dx);
                 }
@@ -745,13 +745,7 @@ mod tests {
         let (l_uniform, g_uniform) = run(&params, &[]);
         let (l_ones, g_ones) = run(&params, &[1.0, 1.0]);
         assert!((l_uniform - l_ones).abs() < 1e-6, "uniform weights must be a no-op");
-        assert!(
-            g_uniform
-                .get(w)
-                .expect("grad")
-                .max_abs_diff(g_ones.get(w).expect("grad"))
-                < 1e-6
-        );
+        assert!(g_uniform.get(w).expect("grad").max_abs_diff(g_ones.get(w).expect("grad")) < 1e-6);
         // Upweighting class 0 increases the loss contribution of row 0.
         let (l_weighted, _) = run(&params, &[3.0, 1.0]);
         assert!(l_weighted.is_finite());

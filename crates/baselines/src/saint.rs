@@ -50,10 +50,7 @@ pub fn random_walk_sample(
                 break;
             }
             let pick = rng.gen_range(0..degree);
-            let (next, _) = adj
-                .row_entries(cur)
-                .nth(pick)
-                .expect("degree-checked neighbor");
+            let (next, _) = adj.row_entries(cur).nth(pick).expect("degree-checked neighbor");
             cur = next;
             in_sample[cur] = true;
         }
@@ -73,11 +70,8 @@ pub fn random_walk_sample(
         }
     }
     let raw = CsrMatrix::from_coo(nodes.len(), nodes.len(), &triplets);
-    let deg: Vec<f32> = raw
-        .row_nnz()
-        .iter()
-        .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
-        .collect();
+    let deg: Vec<f32> =
+        raw.row_nnz().iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
     let mean_adj = raw.scale_rows(&deg);
     let mean_adj_t = mean_adj.transpose();
     SampledSubgraph { nodes, mean_adj, mean_adj_t }
@@ -144,10 +138,8 @@ mod tests {
     fn transpose_is_consistent() {
         let adj = circuit_adj();
         let sub = random_walk_sample(&adj, 4, 4, 5);
-        assert!(sub
-            .mean_adj_t
-            .to_dense()
-            .max_abs_diff(&sub.mean_adj.to_dense().transpose())
-            < 1e-6);
+        assert!(
+            sub.mean_adj_t.to_dense().max_abs_diff(&sub.mean_adj.to_dense().transpose()) < 1e-6
+        );
     }
 }

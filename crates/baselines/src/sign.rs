@@ -43,7 +43,8 @@ impl Sign {
         let cat_dim = hidden_dim * (num_hops + 1);
         let w1 = params.add("sign.w1", Init::XavierUniform.matrix(cat_dim, hidden_dim, seed ^ 0xA));
         let b1 = params.add("sign.b1", Init::Zeros.matrix(1, hidden_dim, 0));
-        let w2 = params.add("sign.w2", Init::XavierUniform.matrix(hidden_dim, hidden_dim, seed ^ 0xB));
+        let w2 =
+            params.add("sign.w2", Init::XavierUniform.matrix(hidden_dim, hidden_dim, seed ^ 0xB));
         let b2 = params.add("sign.b2", Init::Zeros.matrix(1, hidden_dim, 0));
         Self { params, hop_proj, w1, b1, w2, b2, num_hops, input_dim }
     }

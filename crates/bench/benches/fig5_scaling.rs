@@ -5,10 +5,10 @@
 //! at each worker count so Criterion can report the speedup distribution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
 use hoga_eval::experiments::fig5::{run, Fig5Config};
 use hoga_eval::parallel_train::train_reasoning_parallel;
 use hoga_eval::trainer::TrainConfig;
-use hoga_datasets::gamora::{build_reasoning_graph, MultiplierKind, ReasoningConfig};
 use std::hint::black_box;
 
 fn config() -> Fig5Config {
@@ -35,17 +35,13 @@ fn bench_fig5(c: &mut Criterion) {
     for workers in cfg.worker_counts {
         let mut tcfg = cfg.train.clone();
         tcfg.epochs = 1;
-        group.bench_with_input(
-            BenchmarkId::new("one_epoch", workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    let (_, _, stats) = train_reasoning_parallel(&graph, &tcfg, w)
-                        .expect("worker count is positive");
-                    black_box(stats.final_loss)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("one_epoch", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let (_, _, stats) =
+                    train_reasoning_parallel(&graph, &tcfg, w).expect("worker count is positive");
+                black_box(stats.final_loss)
+            });
+        });
     }
     group.finish();
 }

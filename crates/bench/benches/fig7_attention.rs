@@ -4,9 +4,9 @@
 //! heatmap rows), then times the score-extraction pass.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hoga_datasets::gamora::ReasoningConfig;
 use hoga_eval::experiments::fig7::{run, Fig7Config};
 use hoga_eval::trainer::TrainConfig;
-use hoga_datasets::gamora::ReasoningConfig;
 use std::hint::black_box;
 
 fn config() -> Fig7Config {

@@ -20,6 +20,8 @@
 //! Experiment sizes default to CPU-friendly presets; set
 //! `HOGA_BENCH_SCALE=full` for larger runs.
 
+#![forbid(unsafe_code)]
+
 /// Returns `true` when the environment requests full-scale benchmarks.
 pub fn full_scale() -> bool {
     std::env::var("HOGA_BENCH_SCALE").map(|v| v == "full").unwrap_or(false)

@@ -65,11 +65,7 @@ pub fn normalized_symmetric(aig: &Aig) -> CsrMatrix {
         }
     }
     let a_plus_i = CsrMatrix::from_coo(n, n, &triplets);
-    let deg: Vec<f32> = a_plus_i
-        .row_nnz()
-        .iter()
-        .map(|&d| 1.0 / (d as f32).sqrt())
-        .collect();
+    let deg: Vec<f32> = a_plus_i.row_nnz().iter().map(|&d| 1.0 / (d as f32).sqrt()).collect();
     a_plus_i.scale_rows(&deg).scale_cols(&deg)
 }
 
@@ -77,11 +73,8 @@ pub fn normalized_symmetric(aig: &Aig) -> CsrMatrix {
 /// the GraphSAGE baseline's neighbor-mean aggregator.
 pub fn normalized_mean(aig: &Aig) -> CsrMatrix {
     let adj = undirected(aig);
-    let deg: Vec<f32> = adj
-        .row_nnz()
-        .iter()
-        .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
-        .collect();
+    let deg: Vec<f32> =
+        adj.row_nnz().iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
     adj.scale_rows(&deg)
 }
 

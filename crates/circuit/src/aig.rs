@@ -141,11 +141,7 @@ impl Aig {
     /// Panics if any AND gate already exists (PIs must precede gates to keep
     /// node order topological).
     pub fn add_pi(&mut self) -> Lit {
-        assert_eq!(
-            self.nodes.len(),
-            self.num_pis + 1,
-            "PIs must be added before any gate"
-        );
+        assert_eq!(self.nodes.len(), self.num_pis + 1, "PIs must be added before any gate");
         self.nodes.push(NodeKind::Pi(self.num_pis as u32));
         self.num_pis += 1;
         Lit::from_node(self.nodes.len() as NodeId - 1, false)

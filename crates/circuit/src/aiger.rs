@@ -175,14 +175,18 @@ pub fn read_aiger(mut r: impl BufRead) -> Result<Aig, ParseAigerError> {
         let d1 = read_delta(&mut r)?;
         let rhs0 = lhs.checked_sub(d0).ok_or_else(|| perr("delta0 underflow"))?;
         let rhs1 = rhs0.checked_sub(d1).ok_or_else(|| perr("delta1 underflow"))?;
-        let f0 = Lit::from_raw(rhs0 as u32);
-        let f1 = Lit::from_raw(rhs1 as u32);
+        let f0 = u32::try_from(rhs0)
+            .map(Lit::from_raw)
+            .map_err(|_| perr(format!("rhs literal {rhs0} exceeds u32")))?;
+        let f1 = u32::try_from(rhs1)
+            .map(Lit::from_raw)
+            .map_err(|_| perr(format!("rhs literal {rhs1} exceeds u32")))?;
         let lit = aig.and_raw(f0, f1).map_err(perr)?;
         debug_assert_eq!(lit.raw() as u64, lhs);
     }
     for raw in pos_raw {
         let po = Lit::from_raw(raw);
-        if po.node() as usize >= aig.num_nodes() {
+        if usize::try_from(po.node()).map_or(true, |n| n >= aig.num_nodes()) {
             return Err(perr(format!("output literal {raw} out of range")));
         }
         aig.add_po(po);
@@ -197,10 +201,8 @@ pub fn read_aiger(mut r: impl BufRead) -> Result<Aig, ParseAigerError> {
 /// Returns [`ParseAigerError`] under the same conditions as [`read_aiger`].
 pub fn read_ascii_aiger(r: impl BufRead) -> Result<Aig, ParseAigerError> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| perr("empty file"))?
-        .map_err(|e| perr(e.to_string()))?;
+    let header =
+        lines.next().ok_or_else(|| perr("empty file"))?.map_err(|e| perr(e.to_string()))?;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 6 || parts[0] != "aag" {
         return Err(perr(format!("bad header `{header}`")));
@@ -215,27 +217,21 @@ pub fn read_ascii_aiger(r: impl BufRead) -> Result<Aig, ParseAigerError> {
     }
     check_header_counts(i, o, a)?;
     let mut next = || -> Result<String, ParseAigerError> {
-        lines
-            .next()
-            .ok_or_else(|| perr("truncated file"))?
-            .map_err(|e| perr(e.to_string()))
+        lines.next().ok_or_else(|| perr("truncated file"))?.map_err(|e| perr(e.to_string()))
     };
     // Input literal lines (must be 2, 4, ..., 2i in order).
     for k in 0..i {
         let line = next()?;
         let lit: u32 = line.trim().parse().map_err(|_| perr("bad input literal"))?;
-        if lit != ((k as u32 + 1) << 1) {
+        let want = u32::try_from((k + 1) << 1)
+            .map_err(|_| perr(format!("input index {k} exceeds u32 literal space")))?;
+        if lit != want {
             return Err(perr(format!("non-canonical input literal {lit}")));
         }
     }
     let mut pos_raw = Vec::with_capacity(o);
     for _ in 0..o {
-        pos_raw.push(
-            next()?
-                .trim()
-                .parse::<u32>()
-                .map_err(|_| perr("bad output literal"))?,
-        );
+        pos_raw.push(next()?.trim().parse::<u32>().map_err(|_| perr("bad output literal"))?);
     }
     let mut aig = Aig::new(i);
     for k in 0..a {
@@ -247,18 +243,17 @@ pub fn read_ascii_aiger(r: impl BufRead) -> Result<Aig, ParseAigerError> {
         if fields.len() != 3 {
             return Err(perr(format!("bad gate line `{line}`")));
         }
-        let expect_lhs = ((i + 1 + k) as u32) << 1;
+        let expect_lhs = u32::try_from((i + 1 + k) << 1)
+            .map_err(|_| perr(format!("gate index {k} exceeds u32 literal space")))?;
         if fields[0] != expect_lhs {
             return Err(perr(format!("non-canonical gate order: lhs {}", fields[0])));
         }
-        let lit = aig
-            .and_raw(Lit::from_raw(fields[1]), Lit::from_raw(fields[2]))
-            .map_err(perr)?;
+        let lit = aig.and_raw(Lit::from_raw(fields[1]), Lit::from_raw(fields[2])).map_err(perr)?;
         debug_assert_eq!(lit.raw(), expect_lhs);
     }
     for raw in pos_raw {
         let po = Lit::from_raw(raw);
-        if po.node() as usize >= aig.num_nodes() {
+        if usize::try_from(po.node()).map_or(true, |n| n >= aig.num_nodes()) {
             return Err(perr(format!("output literal {raw} out of range")));
         }
         aig.add_po(po);

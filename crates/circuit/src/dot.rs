@@ -31,15 +31,9 @@ pub fn write_dot(aig: &Aig, labels: Option<&[String]>, mut w: impl Write) -> std
     for id in 0..aig.num_nodes() {
         let extra = labels.map_or(String::new(), |l| format!("\\n{}", l[id]));
         match aig.node(id as u32) {
-            NodeKind::Const0 => {
-                writeln!(w, "  n{id} [shape=diamond, label=\"0{extra}\"];")?
-            }
-            NodeKind::Pi(k) => {
-                writeln!(w, "  n{id} [shape=box, label=\"x{k}{extra}\"];")?
-            }
-            NodeKind::And(_, _) => {
-                writeln!(w, "  n{id} [shape=ellipse, label=\"∧{id}{extra}\"];")?
-            }
+            NodeKind::Const0 => writeln!(w, "  n{id} [shape=diamond, label=\"0{extra}\"];")?,
+            NodeKind::Pi(k) => writeln!(w, "  n{id} [shape=box, label=\"x{k}{extra}\"];")?,
+            NodeKind::And(_, _) => writeln!(w, "  n{id} [shape=ellipse, label=\"∧{id}{extra}\"];")?,
         }
     }
     for (id, a, b) in aig.and_gates() {

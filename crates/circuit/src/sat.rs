@@ -136,10 +136,7 @@ pub fn check_equivalence(a: &Aig, b: &Aig, conflict_budget: u64) -> Equivalence 
     match solve(&cnf, conflict_budget) {
         SatResult::Unsat => Equivalence::Equivalent,
         SatResult::Sat(model) => {
-            let cex = pi_vars
-                .iter()
-                .map(|&v| model[v as usize - 1])
-                .collect();
+            let cex = pi_vars.iter().map(|&v| model[v as usize - 1]).collect();
             Equivalence::Inequivalent(cex)
         }
         SatResult::Unknown => Equivalence::Unknown,
@@ -199,11 +196,8 @@ fn solve(cnf: &Cnf, conflict_budget: u64) -> SatResult {
             let (var, _) = trail[head];
             head += 1;
             // The literal that became FALSE triggers clause checks.
-            let falsified: &[usize] = if assign[var] == 1 {
-                &occur_neg[var]
-            } else {
-                &occur_pos[var]
-            };
+            let falsified: &[usize] =
+                if assign[var] == 1 { &occur_neg[var] } else { &occur_pos[var] };
             for &ci in falsified {
                 let clause = &cnf.clauses[ci];
                 let mut unassigned: Option<i32> = None;
@@ -264,10 +258,7 @@ fn solve(cnf: &Cnf, conflict_budget: u64) -> SatResult {
         let decision = (1..=n).find(|&v| assign[v] == 0);
         let Some(var) = decision else {
             // Full assignment — verify (debug) and return the model.
-            debug_assert!(cnf
-                .clauses
-                .iter()
-                .all(|c| c.iter().any(|&l| value(&assign, l) == 1)));
+            debug_assert!(cnf.clauses.iter().all(|c| c.iter().any(|&l| value(&assign, l) == 1)));
             let model = (1..=n).map(|v| assign[v] == 1).collect();
             return SatResult::Sat(model);
         };
@@ -439,9 +430,6 @@ mod tests {
         assert_eq!(check_equivalence(&a, &b, 1_000), Equivalence::Equivalent);
         let mut c = Aig::new(1);
         c.add_po(Lit::FALSE);
-        assert!(matches!(
-            check_equivalence(&a, &c, 1_000),
-            Equivalence::Inequivalent(_)
-        ));
+        assert!(matches!(check_equivalence(&a, &c, 1_000), Equivalence::Inequivalent(_)));
     }
 }

@@ -42,11 +42,7 @@ pub fn fanout_counts(aig: &Aig) -> Vec<u32> {
 /// The maximum logic level over the PO drivers (circuit depth).
 pub fn depth(aig: &Aig) -> u32 {
     let lv = levels(aig);
-    aig.pos()
-        .iter()
-        .map(|po| lv[po.node() as usize])
-        .max()
-        .unwrap_or(0)
+    aig.pos().iter().map(|po| lv[po.node() as usize]).max().unwrap_or(0)
 }
 
 /// Per-node count of complemented fanin edges (0, 1 or 2 for AND gates).

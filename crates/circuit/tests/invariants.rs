@@ -5,7 +5,13 @@ use hoga_circuit::{aiger, levels, Aig, Lit};
 use proptest::prelude::*;
 
 fn arb_aig() -> impl Strategy<Value = Aig> {
-    (2..6usize, proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()), 1..50))
+    (
+        2..6usize,
+        proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()),
+            1..50,
+        ),
+    )
         .prop_map(|(pis, gates)| {
             let mut aig = Aig::new(pis);
             let mut pool: Vec<Lit> = (0..pis).map(|i| aig.pi_lit(i)).collect();

@@ -103,10 +103,7 @@ pub fn build_reasoning_benchmark(
     config: &ReasoningConfig,
 ) -> (ReasoningGraph, Vec<ReasoningGraph>) {
     let train = build_reasoning_graph(kind, train_width, config);
-    let evals = eval_widths
-        .iter()
-        .map(|&w| build_reasoning_graph(kind, w, config))
-        .collect();
+    let evals = eval_widths.iter().map(|&w| build_reasoning_graph(kind, w, config)).collect();
     (train, evals)
 }
 

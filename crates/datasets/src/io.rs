@@ -48,6 +48,12 @@ fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), DecodeError> {
     }
 }
 
+/// Reads a `u64` length/count field as a `usize` via a checked conversion
+/// (the caller has already `need`-checked that 8 bytes are available).
+fn get_len(buf: &mut impl Buf, what: &str) -> Result<usize, DecodeError> {
+    usize::try_from(buf.get_u64()).map_err(|_| err(format!("{what} does not fit in usize")))
+}
+
 /// Serializes an AIG.
 pub fn encode_aig(aig: &Aig) -> Bytes {
     let mut out = BytesMut::with_capacity(16 + aig.num_nodes() * 8);
@@ -84,8 +90,8 @@ pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
         return Err(err("not an AIG record"));
     }
     need(&buf, 16, "counts")?;
-    let num_pis = buf.get_u64() as usize;
-    let num_ands = buf.get_u64() as usize;
+    let num_pis = get_len(&mut buf, "PI count")?;
+    let num_ands = get_len(&mut buf, "AND count")?;
     if num_pis > MAX_DECODE_ITEMS || num_ands > MAX_DECODE_ITEMS {
         return Err(err("implausible node count"));
     }
@@ -94,7 +100,8 @@ pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
     for i in 0..num_ands {
         let a = Lit::from_raw(buf.get_u32());
         let b = Lit::from_raw(buf.get_u32());
-        let expected_node = (1 + num_pis + i) as u32;
+        let expected_node =
+            u32::try_from(1 + num_pis + i).map_err(|_| err("node index exceeds u32"))?;
         if a.node() >= expected_node || b.node() >= expected_node {
             return Err(err(format!("gate {i} has forward fanin")));
         }
@@ -107,14 +114,14 @@ pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
         }
     }
     need(&buf, 8, "po count")?;
-    let num_pos = buf.get_u64() as usize;
+    let num_pos = get_len(&mut buf, "PO count")?;
     if num_pos > MAX_DECODE_ITEMS {
         return Err(err("implausible PO count"));
     }
     need(&buf, num_pos * 4, "pos")?;
     for _ in 0..num_pos {
         let po = Lit::from_raw(buf.get_u32());
-        if po.node() as usize >= aig.num_nodes() {
+        if usize::try_from(po.node()).map_or(true, |n| n >= aig.num_nodes()) {
             return Err(err("PO out of range"));
         }
         aig.add_po(po);
@@ -153,11 +160,9 @@ pub fn decode_matrix(mut buf: impl Buf) -> Result<Matrix, DecodeError> {
         return Err(err("not a matrix record"));
     }
     need(&buf, 16, "shape")?;
-    let rows = buf.get_u64() as usize;
-    let cols = buf.get_u64() as usize;
-    let n = rows
-        .checked_mul(cols)
-        .ok_or_else(|| err("shape overflow"))?;
+    let rows = get_len(&mut buf, "row count")?;
+    let cols = get_len(&mut buf, "column count")?;
+    let n = rows.checked_mul(cols).ok_or_else(|| err("shape overflow"))?;
     let nbytes = n.checked_mul(4).ok_or_else(|| err("payload size overflow"))?;
     need(&buf, nbytes, "payload")?;
     let data: Vec<f32> = (0..n).map(|_| buf.get_f32()).collect();
@@ -173,9 +178,11 @@ pub fn encode_params(params: &hoga_autograd::ParamSet) -> Bytes {
     out.put_u8(b'P');
     out.put_u64(params.len() as u64);
     for (_, name, value) in params.iter() {
+        // analyze: allow(lossy-cast) — encode path; param names are short identifiers
         out.put_u32(name.len() as u32);
         out.put_slice(name.as_bytes());
         let m = encode_matrix(value);
+        // analyze: allow(lossy-cast) — encode path; matrix payloads are far below 4 GiB
         out.put_u32(m.len() as u32);
         out.put_slice(&m);
     }
@@ -203,22 +210,24 @@ pub fn decode_params(mut buf: impl Buf) -> Result<hoga_autograd::ParamSet, Decod
         return Err(err("not a checkpoint record"));
     }
     need(&buf, 8, "count")?;
-    let count = buf.get_u64() as usize;
+    let count = get_len(&mut buf, "parameter count")?;
     let mut params = hoga_autograd::ParamSet::new();
     for k in 0..count {
         need(&buf, 4, "name length")?;
-        let nlen = buf.get_u32() as usize;
+        let nlen =
+            usize::try_from(buf.get_u32()).map_err(|_| err("name length does not fit in usize"))?;
         need(&buf, nlen, "name")?;
         let mut name_bytes = vec![0u8; nlen];
         buf.copy_to_slice(&mut name_bytes);
         let name = String::from_utf8(name_bytes).map_err(|_| err("name not UTF-8"))?;
         need(&buf, 4, "matrix length")?;
-        let mlen = buf.get_u32() as usize;
+        let mlen = usize::try_from(buf.get_u32())
+            .map_err(|_| err("matrix length does not fit in usize"))?;
         need(&buf, mlen, "matrix payload")?;
         let mut payload = vec![0u8; mlen];
         buf.copy_to_slice(&mut payload);
-        let value = decode_matrix(&payload[..])
-            .map_err(|e| err(format!("param {k} (`{name}`): {e}")))?;
+        let value =
+            decode_matrix(&payload[..]).map_err(|e| err(format!("param {k} (`{name}`): {e}")))?;
         params.add(name, value);
     }
     Ok(params)
@@ -233,6 +242,7 @@ const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // analyze: allow(lossy-cast) — const fn (try_from is non-const); i < 256
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -251,6 +261,7 @@ static CRC_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // analyze: allow(lossy-cast) — table index is masked to 0xFF, always < 256
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -313,7 +324,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, DecodeError> {
         return Err(err("truncated input reading checksum"));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_be_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let stored = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
     let computed = crc32(body);
     if stored != computed {
         return Err(err(format!(
@@ -336,12 +347,12 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, DecodeError> {
     let seed = buf.get_u64();
     let lr_scale = buf.get_f32();
     need(&buf, 8, "params length")?;
-    let plen = buf.get_u64() as usize;
+    let plen = get_len(&mut buf, "params length")?;
     need(&buf, plen, "params payload")?;
     let params = decode_params(&buf[..plen]).map_err(|e| err(format!("params: {e}")))?;
     buf.advance(plen);
     need(&buf, 8, "optimizer state length")?;
-    let olen = buf.get_u64() as usize;
+    let olen = get_len(&mut buf, "optimizer state length")?;
     need(&buf, olen, "optimizer state")?;
     let opt_state = buf[..olen].to_vec();
     buf.advance(olen);

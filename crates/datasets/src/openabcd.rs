@@ -171,10 +171,7 @@ pub fn build_qor_dataset(config: &QorDatasetConfig) -> QorDataset {
         for r in 0..config.recipes_per_design {
             let recipe = random_recipe(
                 config.recipe_len,
-                config
-                    .seed
-                    .wrapping_add(hash_name(spec.name))
-                    .wrapping_add(r as u64),
+                config.seed.wrapping_add(hash_name(spec.name)).wrapping_add(r as u64),
             );
             let result = run_recipe(&aig, &recipe);
             let sample = QorSample {

@@ -84,11 +84,10 @@ pub fn run(cfg: &AblationConfig) -> AblationResult {
     let mut rows = Vec::new();
     for agg in [Aggregator::GatedSelfAttention, Aggregator::GateOnly, Aggregator::Sum] {
         let (model, _) = train_reasoning(&train_graph, ReasonModelKind::Hoga(agg), &cfg.train);
-        let points: Vec<(usize, f32)> = eval_graphs
-            .iter()
-            .map(|g| (g.width, eval_reasoning(&model, g)))
-            .collect();
-        let mean_accuracy = points.iter().map(|&(_, a)| a).sum::<f32>() / points.len().max(1) as f32;
+        let points: Vec<(usize, f32)> =
+            eval_graphs.iter().map(|g| (g.width, eval_reasoning(&model, g))).collect();
+        let mean_accuracy =
+            points.iter().map(|&(_, a)| a).sum::<f32>() / points.len().max(1) as f32;
         rows.push(AblationRow { aggregator: agg, points, mean_accuracy });
     }
     AblationResult { rows }
@@ -97,7 +96,8 @@ pub fn run(cfg: &AblationConfig) -> AblationResult {
 impl AblationResult {
     /// Renders the ablation table.
     pub fn render(&self) -> String {
-        let mut out = String::from("Aggregator ablation (CSA): variant | per-width accuracy | mean\n");
+        let mut out =
+            String::from("Aggregator ablation (CSA): variant | per-width accuracy | mean\n");
         for r in &self.rows {
             out.push_str(&format!("{:<20?} |", r.aggregator));
             for &(w, a) in &r.points {

@@ -105,10 +105,7 @@ impl Fig5 {
                 p.workers, p.train_time, p.speedup
             ));
         }
-        out.push_str(&format!(
-            "hop-feature generation (one-off): {:.2?}\n",
-            self.hop_feature_time
-        ));
+        out.push_str(&format!("hop-feature generation (one-off): {:.2?}\n", self.hop_feature_time));
         out
     }
 }

@@ -8,9 +8,7 @@
 
 use crate::trainer::{eval_reasoning, train_reasoning, ReasonModelKind, TrainConfig};
 use hoga_core::model::Aggregator;
-use hoga_datasets::gamora::{
-    build_reasoning_benchmark, MultiplierKind, ReasoningConfig,
-};
+use hoga_datasets::gamora::{build_reasoning_benchmark, MultiplierKind, ReasoningConfig};
 
 /// Configuration for the Figure-6 experiment.
 #[derive(Debug, Clone)]
@@ -108,10 +106,7 @@ pub fn run_panel(kind: MultiplierKind, cfg: &Fig6Config) -> Fig6Panel {
     let mut series = Vec::new();
     for (label, mkind) in model_suite() {
         let (model, _) = train_reasoning(&train_graph, mkind, &cfg.train);
-        let points = eval_graphs
-            .iter()
-            .map(|g| (g.width, eval_reasoning(&model, g)))
-            .collect();
+        let points = eval_graphs.iter().map(|g| (g.width, eval_reasoning(&model, g))).collect();
         series.push(AccuracySeries { model: label, points });
     }
     Fig6Panel { kind, series }

@@ -6,7 +6,9 @@
 //! beat the GCN on unseen designs, HOGA-5 ≤ HOGA-2 in error, HOGA-2 much
 //! faster to train than HOGA-5/GCN.
 
-use crate::trainer::{average_mape, eval_qor, train_qor, QorEval, QorModel, QorModelKind, TrainConfig};
+use crate::trainer::{
+    average_mape, eval_qor, train_qor, QorEval, QorModel, QorModelKind, TrainConfig,
+};
 use hoga_datasets::openabcd::{build_qor_dataset, QorDataset, QorDatasetConfig};
 use std::time::Duration;
 
@@ -121,10 +123,7 @@ impl Table2 {
             for e in &row.evals {
                 out.push_str(&format!(" | {:>6.2}%", e.mape()));
             }
-            out.push_str(&format!(
-                " | {:>6.2}% | {:.1?}\n",
-                row.average_mape, row.train_time
-            ));
+            out.push_str(&format!(" | {:>6.2}% | {:.1?}\n", row.average_mape, row.train_time));
         }
         out
     }

@@ -218,7 +218,9 @@ impl FaultInjector {
     /// Claims a NaN-loss fault scheduled for this `(epoch, step)`, if any.
     pub fn nan_loss(&self, epoch: usize, step: usize) -> bool {
         !self
-            .claim(|f| matches!(*f, Fault::NanLoss { epoch: e, step: s } if e == epoch && s == step))
+            .claim(
+                |f| matches!(*f, Fault::NanLoss { epoch: e, step: s } if e == epoch && s == step),
+            )
             .is_empty()
     }
 }
@@ -310,10 +312,7 @@ impl TrainReport {
     /// Number of events that involved recomputing or rolling back state
     /// (everything except informational delays).
     pub fn recoveries(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| !matches!(e, RecoveryEvent::WorkerDelayed { .. }))
-            .count()
+        self.events.iter().filter(|e| !matches!(e, RecoveryEvent::WorkerDelayed { .. })).count()
     }
 
     /// Human-readable one-line-per-event rendering.

@@ -95,9 +95,7 @@ impl ConfusionMatrix {
     /// Renders a compact table with [`NodeClass`] names when `C == 4`.
     pub fn render(&self) -> String {
         let names: Vec<String> = if self.counts.len() == NodeClass::COUNT {
-            (0..NodeClass::COUNT)
-                .map(|i| format!("{:?}", NodeClass::from_index(i)))
-                .collect()
+            (0..NodeClass::COUNT).map(|i| format!("{:?}", NodeClass::from_index(i))).collect()
         } else {
             (0..self.counts.len()).map(|i| format!("c{i}")).collect()
         };

@@ -128,7 +128,8 @@ pub fn train_reasoning_parallel_supervised(
     let n = graph.aig.num_nodes();
     let hcfg = HogaConfig::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1);
     let mut model = HogaModel::new(&hcfg, cfg.seed);
-    let cls = NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+    let cls =
+        NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
     let mut opt = Adam::new(cfg.lr);
     let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
     let injector = FaultInjector::new(plan);
@@ -146,9 +147,8 @@ pub fn train_reasoning_parallel_supervised(
     let mut final_loss = 0.0f32;
     for epoch in start_epoch..cfg.epochs {
         apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
-        for (step, batch) in minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64)
-            .into_iter()
-            .enumerate()
+        for (step, batch) in
+            minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64).into_iter().enumerate()
         {
             let shards = shard_ranges(batch.len(), workers);
             // With a class-weighted loss, shards combine by their share of
@@ -194,10 +194,18 @@ pub fn train_reasoning_parallel_supervised(
                             std::thread::sleep(Duration::from_millis(delay_ms));
                         }
                         if inject_panic {
+                            // analyze: allow(panic-free-paths) — deliberate fault injection for resilience tests
                             panic!("injected worker panic (fault plan)");
                         }
-                        let (loss_val, mut g) =
-                            shard_grad(graph, model_ref, &cls, labels_ref, weights_ref, nodes, weight);
+                        let (loss_val, mut g) = shard_grad(
+                            graph,
+                            model_ref,
+                            &cls,
+                            labels_ref,
+                            weights_ref,
+                            nodes,
+                            weight,
+                        );
                         if inject_corrupt {
                             g.scale(f32::NAN);
                         }
@@ -228,6 +236,7 @@ pub fn train_reasoning_parallel_supervised(
                 }
                 (loss_sum, total)
             })
+            // analyze: allow(panic-free-paths) — scope result is Ok by construction: every join is consumed above
             .expect("all worker panics are consumed via join");
             final_loss = loss_sum;
             opt.step(&mut model.params, &grads);
@@ -240,12 +249,7 @@ pub fn train_reasoning_parallel_supervised(
     hoga_tensor::set_threads(if prev_threads == 0 { 0 } else { prev_threads });
     report.final_lr = opt.learning_rate();
 
-    Ok((
-        model,
-        cls,
-        ParallelRunStats { workers, train_time, final_loss, hop_feature_time },
-        report,
-    ))
+    Ok((model, cls, ParallelRunStats { workers, train_time, final_loss, hop_feature_time }, report))
 }
 
 #[cfg(test)]
@@ -275,18 +279,13 @@ mod tests {
     }
 
     fn params_of(model: &HogaModel) -> Vec<(String, Vec<f32>)> {
-        model
-            .params
-            .iter()
-            .map(|(_, n, m)| (n.to_string(), m.as_slice().to_vec()))
-            .collect()
+        model.params.iter().map(|(_, n, m)| (n.to_string(), m.as_slice().to_vec())).collect()
     }
 
     #[test]
     fn parallel_training_produces_working_model() {
         let g = tiny_graph();
-        let (model, cls, stats) =
-            train_reasoning_parallel(&g, &tiny_cfg(), 2).expect("2 workers");
+        let (model, cls, stats) = train_reasoning_parallel(&g, &tiny_cfg(), 2).expect("2 workers");
         assert_eq!(stats.workers, 2);
         assert!(stats.final_loss.is_finite());
         let wrapped = ReasonModel::Hoga(Box::new(model), cls);
@@ -299,7 +298,8 @@ mod tests {
         let g = tiny_graph();
         match train_reasoning_parallel(&g, &tiny_cfg(), 0) {
             Err(TrainError::NoWorkers) => {}
-            other => panic!("expected NoWorkers, got {other:?}"),
+            Err(other) => panic!("expected NoWorkers, got {other:?}"),
+            Ok(_) => panic!("expected NoWorkers, got a trained model"),
         }
     }
 
@@ -352,8 +352,7 @@ mod tests {
         let clean = train_reasoning_parallel_supervised(&g, &cfg, 2, &FaultPlan::default())
             .expect("clean run");
         let plan = FaultPlan::new(vec![Fault::CorruptGradient { epoch: 1, step: 0, worker: 1 }]);
-        let faulted =
-            train_reasoning_parallel_supervised(&g, &cfg, 2, &plan).expect("faulted run");
+        let faulted = train_reasoning_parallel_supervised(&g, &cfg, 2, &plan).expect("faulted run");
         assert_eq!(
             faulted.3.events,
             vec![RecoveryEvent::ShardCorrupted { epoch: 1, step: 0, worker: 1 }]
@@ -373,14 +372,9 @@ mod tests {
         cfg.epochs = 1;
         let clean = train_reasoning_parallel_supervised(&g, &cfg, 2, &FaultPlan::default())
             .expect("clean run");
-        let plan = FaultPlan::new(vec![Fault::WorkerDelay {
-            epoch: 0,
-            step: 0,
-            worker: 0,
-            millis: 10,
-        }]);
-        let faulted =
-            train_reasoning_parallel_supervised(&g, &cfg, 2, &plan).expect("delayed run");
+        let plan =
+            FaultPlan::new(vec![Fault::WorkerDelay { epoch: 0, step: 0, worker: 0, millis: 10 }]);
+        let faulted = train_reasoning_parallel_supervised(&g, &cfg, 2, &plan).expect("delayed run");
         assert_eq!(faulted.3.events.len(), 1);
         assert_eq!(faulted.3.recoveries(), 0, "a delay needs no recovery");
         assert_eq!(params_of(&clean.0), params_of(&faulted.0));

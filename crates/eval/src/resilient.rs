@@ -27,7 +27,9 @@ use hoga_datasets::splits::minibatches;
 use hoga_gen::reason::NodeClass;
 use std::time::Instant;
 
-use crate::fault::{FaultInjector, FaultPlan, RecoveryEvent, RecoveryPolicy, TrainError, TrainReport};
+use crate::fault::{
+    FaultInjector, FaultPlan, RecoveryEvent, RecoveryPolicy, TrainError, TrainReport,
+};
 use crate::trainer::{
     maybe_checkpoint, reasoning_class_weights, resume_state, TrainConfig, TrainStats,
 };
@@ -68,7 +70,8 @@ pub fn train_reasoning_resilient(
     let n = graph.aig.num_nodes();
     let hcfg = HogaConfig::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1);
     let mut model = HogaModel::new(&hcfg, cfg.seed);
-    let cls = NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+    let cls =
+        NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
     let mut opt = Adam::new(cfg.lr);
     let (start_epoch, mut lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
 
@@ -87,9 +90,8 @@ pub fn train_reasoning_resilient(
 
     'training: while epoch < cfg.epochs {
         opt.set_learning_rate(base_lr_at(cfg, epoch) * lr_scale);
-        for (step, batch) in minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64)
-            .into_iter()
-            .enumerate()
+        for (step, batch) in
+            minibatches(n, cfg.batch_nodes, cfg.seed, epoch as u64).into_iter().enumerate()
         {
             let stack = hop_stack(&graph.hops, &batch);
             let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
@@ -103,8 +105,9 @@ pub fn train_reasoning_resilient(
             }
             let grads = tape.backward(loss);
             let grad_norm = grads.global_norm();
-            let diverged =
-                !loss_val.is_finite() || !grad_norm.is_finite() || grad_norm > policy.grad_norm_limit;
+            let diverged = !loss_val.is_finite()
+                || !grad_norm.is_finite()
+                || grad_norm > policy.grad_norm_limit;
             if diverged {
                 if retries >= policy.max_retries {
                     return Err(TrainError::Diverged { epoch, retries, last_loss: loss_val });
@@ -189,13 +192,9 @@ mod tests {
     fn fault_free_run_matches_plain_trainer_bitwise() {
         let g = tiny_graph();
         let cfg = tiny_cfg();
-        let (model, _, stats, report) = train_reasoning_resilient(
-            &g,
-            &cfg,
-            &RecoveryPolicy::default(),
-            &FaultPlan::default(),
-        )
-        .expect("clean run");
+        let (model, _, stats, report) =
+            train_reasoning_resilient(&g, &cfg, &RecoveryPolicy::default(), &FaultPlan::default())
+                .expect("clean run");
         assert!(report.events.is_empty());
         assert_eq!(report.retries, 0);
         let (plain, plain_stats) =
@@ -216,10 +215,7 @@ mod tests {
                 .expect("run must survive the injected NaN");
         assert!(stats.final_loss.is_finite());
         assert_eq!(report.retries, 1);
-        assert!(matches!(
-            report.events[0],
-            RecoveryEvent::NonFiniteLoss { epoch: 2, step: 0, .. }
-        ));
+        assert!(matches!(report.events[0], RecoveryEvent::NonFiniteLoss { epoch: 2, step: 0, .. }));
         assert!(matches!(report.events[1], RecoveryEvent::RolledBack { to_epoch: 2, retry: 1 }));
         // The backoff stuck: the run finished below the base rate.
         assert!(report.final_lr < cfg.lr);

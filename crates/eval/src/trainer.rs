@@ -15,7 +15,7 @@ use hoga_core::heads::{GraphRegressor, NodeClassifier};
 use hoga_core::hopfeat::hop_stack;
 use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
 use hoga_datasets::gamora::ReasoningGraph;
-use hoga_datasets::io::{load_checkpoint, save_checkpoint, Checkpoint};
+use hoga_datasets::io::{load_checkpoint, save_checkpoint, Checkpoint, CheckpointError};
 use hoga_datasets::openabcd::{QorDataset, QorSample, RECIPE_ENCODING_WIDTH};
 use hoga_datasets::splits::minibatches;
 use hoga_gen::reason::NodeClass;
@@ -132,8 +132,7 @@ pub(crate) fn restore_from_checkpoint(
         }
         *dst = value.clone();
     }
-    opt.restore_state(&ck.opt_state)
-        .map_err(|e| TrainError::CheckpointMismatch(e.to_string()))?;
+    opt.restore_state(&ck.opt_state).map_err(|e| TrainError::CheckpointMismatch(e.to_string()))?;
     Ok((ck.epoch as usize, ck.lr_scale))
 }
 
@@ -188,7 +187,7 @@ pub(crate) fn maybe_checkpoint(
         params: params.clone(),
         opt_state: opt.state_bytes(),
     };
-    save_checkpoint(path, &ck)?;
+    save_checkpoint(path, &ck).map_err(CheckpointError::Io)?;
     Ok(true)
 }
 
@@ -249,13 +248,7 @@ fn class_weights(labels: &[usize], num_classes: usize) -> Vec<f32> {
     let n = labels.len() as f32;
     counts
         .iter()
-        .map(|&c| {
-            if c == 0 {
-                1.0
-            } else {
-                (n / (num_classes as f32 * c as f32)).sqrt().min(4.0)
-            }
-        })
+        .map(|&c| if c == 0 { 1.0 } else { (n / (num_classes as f32 * c as f32)).sqrt().min(4.0) })
         .collect()
 }
 
@@ -271,6 +264,7 @@ pub fn train_reasoning(
     kind: ReasonModelKind,
     cfg: &TrainConfig,
 ) -> (ReasonModel, TrainStats) {
+    // analyze: allow(panic-free-paths) — documented panicking wrapper; fallible callers use try_train_reasoning
     try_train_reasoning(graph, kind, cfg).expect("training failed")
 }
 
@@ -299,7 +293,12 @@ pub fn try_train_reasoning(
             let hcfg = HogaConfig::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1)
                 .with_aggregator(aggregator);
             let mut model = HogaModel::new(&hcfg, cfg.seed);
-            let cls = NodeClassifier::new(&mut model.params, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+            let cls = NodeClassifier::new(
+                &mut model.params,
+                cfg.hidden_dim,
+                NodeClass::COUNT,
+                cfg.seed ^ 0xC,
+            );
             let mut opt = Adam::new(cfg.lr);
             let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
             for epoch in start_epoch..cfg.epochs {
@@ -321,10 +320,12 @@ pub fn try_train_reasoning(
             ReasonModel::Hoga(Box::new(model), cls)
         }
         ReasonModelKind::Sign => {
-            let mut model = Sign::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1, cfg.seed);
+            let mut model =
+                Sign::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1, cfg.seed);
             let cls = {
                 let mut p = std::mem::take(&mut model.params);
-                let cls = NodeClassifier::new(&mut p, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+                let cls =
+                    NodeClassifier::new(&mut p, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
                 model.params = p;
                 cls
             };
@@ -356,7 +357,8 @@ pub fn try_train_reasoning(
             let mut model = GraphSage::new(graph.features.cols(), cfg.hidden_dim, layers, cfg.seed);
             let cls = {
                 let mut p = std::mem::take(&mut model.params);
-                let cls = NodeClassifier::new(&mut p, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
+                let cls =
+                    NodeClassifier::new(&mut p, cfg.hidden_dim, NodeClass::COUNT, cfg.seed ^ 0xC);
                 model.params = p;
                 cls
             };
@@ -364,11 +366,8 @@ pub fn try_train_reasoning(
             // Match the hop-based models' optimizer-step budget: they take
             // ceil(n / batch_nodes) steps per epoch, full-graph SAGE takes
             // the same number of (full-batch) steps.
-            let steps_per_epoch = if cfg.batch_nodes == 0 {
-                1
-            } else {
-                n.div_ceil(cfg.batch_nodes)
-            };
+            let steps_per_epoch =
+                if cfg.batch_nodes == 0 { 1 } else { n.div_ceil(cfg.batch_nodes) };
             let (start_epoch, lr_scale) = resume_state(cfg, &mut model.params, &mut opt)?;
             for epoch in start_epoch..cfg.epochs {
                 apply_epoch_lr(cfg, &mut opt, epoch, lr_scale);
@@ -411,6 +410,7 @@ pub fn try_train_reasoning(
                             steps += 1;
                         }
                     }
+                    // analyze: allow(panic-free-paths) — kind is matched exhaustively by the enclosing dispatch
                     _ => unreachable!(),
                 }
                 maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
@@ -551,6 +551,7 @@ pub fn train_qor_with_target(
     cfg: &TrainConfig,
     target: QorTarget,
 ) -> (QorModel, TrainStats) {
+    // analyze: allow(panic-free-paths) — documented panicking wrapper; fallible callers use try_train_qor_with_target
     try_train_qor_with_target(ds, kind, cfg, target).expect("training failed")
 }
 
@@ -666,10 +667,10 @@ fn hoga_qor_step(
         // All samples of the group share the node representations; each gets
         // its own recipe vector via identical pooling segments.
         let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
-        let extra = Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| {
-            group[r].recipe_encoding[c]
-        });
-        let pred = reg.predict_with_extra(&mut tape, &model.params, out.representations, segments, &extra);
+        let extra =
+            Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| group[r].recipe_encoding[c]);
+        let pred =
+            reg.predict_with_extra(&mut tape, &model.params, out.representations, segments, &extra);
         let target_m = Matrix::from_fn(group.len(), 1, |r, _| target.ratio(group[r]));
         let loss = tape.mse_loss(pred, &target_m);
         let scaled = tape.scale(loss, weight);
@@ -701,9 +702,8 @@ fn gcn_qor_step(
         let reps = model.forward(&mut tape, &design.adj, &design.features);
         let n = design.aig.num_nodes();
         let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
-        let extra = Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| {
-            group[r].recipe_encoding[c]
-        });
+        let extra =
+            Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| group[r].recipe_encoding[c]);
         let pred = reg.predict_with_extra(&mut tape, &model.params, reps, segments, &extra);
         let target_m = Matrix::from_fn(group.len(), 1, |r, _| target.ratio(group[r]));
         let loss = tape.mse_loss(pred, &target_m);
@@ -755,9 +755,8 @@ pub fn eval_qor_with_target(
     let mut out = Vec::new();
     for (design_idx, group) in by_design {
         let design = &ds.designs[design_idx];
-        let extra = Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| {
-            group[r].recipe_encoding[c]
-        });
+        let extra =
+            Matrix::from_fn(group.len(), RECIPE_ENCODING_WIDTH, |r, c| group[r].recipe_encoding[c]);
         let pred_ratios: Matrix = match model {
             QorModel::Hoga(m, reg) => {
                 let num_hops = m.config().num_hops;
@@ -766,7 +765,13 @@ pub fn eval_qor_with_target(
                 let o = m.forward(&mut tape, &stack, design.pooled_nodes.len());
                 let n = design.pooled_nodes.len();
                 let segments: Vec<(usize, usize)> = group.iter().map(|_| (0, n)).collect();
-                let pred = reg.predict_with_extra(&mut tape, &m.params, o.representations, segments, &extra);
+                let pred = reg.predict_with_extra(
+                    &mut tape,
+                    &m.params,
+                    o.representations,
+                    segments,
+                    &extra,
+                );
                 tape.value(pred).clone()
             }
             QorModel::Gcn(m, reg) => {
@@ -883,12 +888,8 @@ mod tests {
             return;
         }
         let cfg = tiny_cfg();
-        let (model, stats) = train_qor_with_target(
-            ds,
-            QorModelKind::Hoga { num_hops: 2 },
-            &cfg,
-            QorTarget::Depth,
-        );
+        let (model, stats) =
+            train_qor_with_target(ds, QorModelKind::Hoga { num_hops: 2 }, &cfg, QorTarget::Depth);
         assert!(stats.final_loss.is_finite());
         let evals = eval_qor_with_target(ds, &model, false, QorTarget::Depth);
         assert!(!evals.is_empty());

@@ -70,12 +70,7 @@ pub fn full_adder(
 /// # Panics
 ///
 /// Panics if the operand widths differ.
-pub fn ripple_adder(
-    aig: &mut Aig,
-    a: &[Lit],
-    b: &[Lit],
-    traces: &mut Vec<AdderTrace>,
-) -> Vec<Lit> {
+pub fn ripple_adder(aig: &mut Aig, a: &[Lit], b: &[Lit], traces: &mut Vec<AdderTrace>) -> Vec<Lit> {
     assert_eq!(a.len(), b.len(), "operand width mismatch");
     let mut out = Vec::with_capacity(a.len() + 1);
     let mut carry = Lit::FALSE;
@@ -173,9 +168,8 @@ mod tests {
         // x + y + z == sums + 2*carries, checked by simulation as integers.
         let width = 6;
         let mut aig = Aig::new(3 * width);
-        let vecs: Vec<Vec<Lit>> = (0..3)
-            .map(|k| (0..width).map(|i| aig.pi_lit(k * width + i)).collect())
-            .collect();
+        let vecs: Vec<Vec<Lit>> =
+            (0..3).map(|k| (0..width).map(|i| aig.pi_lit(k * width + i)).collect()).collect();
         let mut traces = Vec::new();
         let (sums, carries) = carry_save_step(&mut aig, &vecs[0], &vecs[1], &vecs[2], &mut traces);
         for &s in sums.iter().chain(&carries) {
@@ -186,20 +180,12 @@ mod tests {
         let pos = simulate_pos(&aig, &pi_words);
         for pattern in 0..64 {
             let bit = |w: u64| (w >> pattern) & 1;
-            let val = |offset: usize| -> u64 {
-                (0..width).map(|i| bit(pi_words[offset + i]) << i).sum()
-            };
+            let val =
+                |offset: usize| -> u64 { (0..width).map(|i| bit(pi_words[offset + i]) << i).sum() };
             let expect = val(0) + val(width) + val(2 * width);
-            let s_val: u64 = sums
-                .iter()
-                .enumerate()
-                .map(|(i, _)| bit(pos[i]) << i)
-                .sum();
-            let c_val: u64 = carries
-                .iter()
-                .enumerate()
-                .map(|(i, _)| bit(pos[sums.len() + i]) << i)
-                .sum();
+            let s_val: u64 = sums.iter().enumerate().map(|(i, _)| bit(pos[i]) << i).sum();
+            let c_val: u64 =
+                carries.iter().enumerate().map(|(i, _)| bit(pos[sums.len() + i]) << i).sum();
             assert_eq!(s_val + c_val, expect, "pattern {pattern}");
         }
     }

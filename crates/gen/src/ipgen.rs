@@ -52,18 +52,90 @@ pub struct IpSpec {
 
 /// The 29 designs of Table 1, in paper order (first 20 train, last 9 test).
 pub const OPENABCD_DESIGNS: [IpSpec; 29] = [
-    IpSpec { name: "spi", nodes: 4219, edges: 8676, category: Category::Communication, train: true },
-    IpSpec { name: "i2c", nodes: 1169, edges: 2466, category: Category::Communication, train: true },
-    IpSpec { name: "ss_pcm", nodes: 462, edges: 896, category: Category::Communication, train: true },
-    IpSpec { name: "usb_phy", nodes: 487, edges: 1064, category: Category::Communication, train: true },
-    IpSpec { name: "sasc", nodes: 613, edges: 1351, category: Category::Communication, train: true },
-    IpSpec { name: "wb_dma", nodes: 4587, edges: 9876, category: Category::Communication, train: true },
-    IpSpec { name: "simple_spi", nodes: 930, edges: 1992, category: Category::Communication, train: true },
-    IpSpec { name: "pci", nodes: 19547, edges: 42251, category: Category::Communication, train: true },
-    IpSpec { name: "dynamic_node", nodes: 18094, edges: 38763, category: Category::Control, train: true },
-    IpSpec { name: "ac97_ctrl", nodes: 11464, edges: 25065, category: Category::Control, train: true },
-    IpSpec { name: "mem_ctrl", nodes: 16307, edges: 37146, category: Category::Control, train: true },
-    IpSpec { name: "des3_area", nodes: 4971, edges: 10006, category: Category::Crypto, train: true },
+    IpSpec {
+        name: "spi",
+        nodes: 4219,
+        edges: 8676,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "i2c",
+        nodes: 1169,
+        edges: 2466,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "ss_pcm",
+        nodes: 462,
+        edges: 896,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "usb_phy",
+        nodes: 487,
+        edges: 1064,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "sasc",
+        nodes: 613,
+        edges: 1351,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "wb_dma",
+        nodes: 4587,
+        edges: 9876,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "simple_spi",
+        nodes: 930,
+        edges: 1992,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "pci",
+        nodes: 19547,
+        edges: 42251,
+        category: Category::Communication,
+        train: true,
+    },
+    IpSpec {
+        name: "dynamic_node",
+        nodes: 18094,
+        edges: 38763,
+        category: Category::Control,
+        train: true,
+    },
+    IpSpec {
+        name: "ac97_ctrl",
+        nodes: 11464,
+        edges: 25065,
+        category: Category::Control,
+        train: true,
+    },
+    IpSpec {
+        name: "mem_ctrl",
+        nodes: 16307,
+        edges: 37146,
+        category: Category::Control,
+        train: true,
+    },
+    IpSpec {
+        name: "des3_area",
+        nodes: 4971,
+        edges: 10006,
+        category: Category::Crypto,
+        train: true,
+    },
     IpSpec { name: "aes", nodes: 28925, edges: 58379, category: Category::Crypto, train: true },
     IpSpec { name: "sha256", nodes: 15816, edges: 32674, category: Category::Crypto, train: true },
     IpSpec { name: "fir", nodes: 4558, edges: 9467, category: Category::Dsp, train: true },
@@ -72,15 +144,63 @@ pub const OPENABCD_DESIGNS: [IpSpec; 29] = [
     IpSpec { name: "dft", nodes: 245046, edges: 527509, category: Category::Dsp, train: true },
     IpSpec { name: "tv80", nodes: 11328, edges: 23017, category: Category::Processor, train: true },
     IpSpec { name: "fpu", nodes: 29623, edges: 59655, category: Category::Processor, train: true },
-    IpSpec { name: "wb_conmax", nodes: 47840, edges: 97755, category: Category::Communication, train: false },
-    IpSpec { name: "ethernet", nodes: 67164, edges: 144750, category: Category::Communication, train: false },
-    IpSpec { name: "bp_be", nodes: 82514, edges: 173441, category: Category::Control, train: false },
-    IpSpec { name: "vga_lcd", nodes: 105334, edges: 227731, category: Category::Control, train: false },
-    IpSpec { name: "aes_xcrypt", nodes: 45840, edges: 93485, category: Category::Crypto, train: false },
-    IpSpec { name: "aes_secworks", nodes: 40778, edges: 84160, category: Category::Crypto, train: false },
+    IpSpec {
+        name: "wb_conmax",
+        nodes: 47840,
+        edges: 97755,
+        category: Category::Communication,
+        train: false,
+    },
+    IpSpec {
+        name: "ethernet",
+        nodes: 67164,
+        edges: 144750,
+        category: Category::Communication,
+        train: false,
+    },
+    IpSpec {
+        name: "bp_be",
+        nodes: 82514,
+        edges: 173441,
+        category: Category::Control,
+        train: false,
+    },
+    IpSpec {
+        name: "vga_lcd",
+        nodes: 105334,
+        edges: 227731,
+        category: Category::Control,
+        train: false,
+    },
+    IpSpec {
+        name: "aes_xcrypt",
+        nodes: 45840,
+        edges: 93485,
+        category: Category::Crypto,
+        train: false,
+    },
+    IpSpec {
+        name: "aes_secworks",
+        nodes: 40778,
+        edges: 84160,
+        category: Category::Crypto,
+        train: false,
+    },
     IpSpec { name: "jpeg", nodes: 114771, edges: 234331, category: Category::Dsp, train: false },
-    IpSpec { name: "tiny_rocket", nodes: 52315, edges: 108811, category: Category::Processor, train: false },
-    IpSpec { name: "picosoc", nodes: 82945, edges: 176687, category: Category::Processor, train: false },
+    IpSpec {
+        name: "tiny_rocket",
+        nodes: 52315,
+        edges: 108811,
+        category: Category::Processor,
+        train: false,
+    },
+    IpSpec {
+        name: "picosoc",
+        nodes: 82945,
+        edges: 176687,
+        category: Category::Processor,
+        train: false,
+    },
 ];
 
 /// Generates the AIG for a Table-1 design at `1/scale_divisor` of its
@@ -309,13 +429,7 @@ fn dsp_block(aig: &mut Aig, rng: &mut ChaCha8Rng, live: &[Lit], w: usize) -> Vec
     let mut traces = Vec::new();
     for (j, &yj) in y.iter().enumerate() {
         let row: Vec<Lit> = (0..w)
-            .map(|i| {
-                if i >= j && i - j < x.len() {
-                    aig.and(x[i - j], yj)
-                } else {
-                    Lit::FALSE
-                }
-            })
+            .map(|i| if i >= j && i - j < x.len() { aig.and(x[i - j], yj) } else { Lit::FALSE })
             .collect();
         let summed = ripple_adder(aig, &acc, &row, &mut traces);
         acc = summed[..w].to_vec();

@@ -225,24 +225,15 @@ mod tests {
         let t8 = csa_multiplier(8);
         let t16 = csa_multiplier(16);
         let ratio = t16.adders.len() as f64 / t8.adders.len() as f64;
-        assert!(
-            (3.0..5.0).contains(&ratio),
-            "adder growth ratio {ratio} not roughly quadratic"
-        );
+        assert!((3.0..5.0).contains(&ratio), "adder growth ratio {ratio} not roughly quadratic");
     }
 
     #[test]
     fn traces_point_at_gates() {
         let tc = csa_multiplier(4);
         for t in &tc.adders {
-            assert!(matches!(
-                tc.aig.node(t.sum.node()),
-                hoga_circuit::NodeKind::And(_, _)
-            ));
-            assert!(matches!(
-                tc.aig.node(t.carry.node()),
-                hoga_circuit::NodeKind::And(_, _)
-            ));
+            assert!(matches!(tc.aig.node(t.sum.node()), hoga_circuit::NodeKind::And(_, _)));
+            assert!(matches!(tc.aig.node(t.carry.node()), hoga_circuit::NodeKind::And(_, _)));
         }
     }
 

@@ -50,19 +50,43 @@ impl NodeClass {
     ///
     /// # Panics
     ///
-    /// Panics if `idx >= 4`.
+    /// Panics if `idx >= 4`. Use the [`TryFrom<usize>`] impl for a
+    /// fallible variant.
     pub fn from_index(idx: usize) -> Self {
-        match idx {
-            0 => NodeClass::Maj,
-            1 => NodeClass::Xor,
-            2 => NodeClass::Shared,
-            3 => NodeClass::Plain,
-            _ => panic!("class index {idx} out of range"),
-        }
+        Self::try_from(idx).expect("class index out of range")
     }
 
     /// Number of classes.
     pub const COUNT: usize = 4;
+}
+
+/// Error returned when converting an out-of-range index to a [`NodeClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassIndexError {
+    /// The rejected index (valid indices are `0..NodeClass::COUNT`).
+    pub index: usize,
+}
+
+impl std::fmt::Display for ClassIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class index {} out of range (expected 0..{})", self.index, NodeClass::COUNT)
+    }
+}
+
+impl std::error::Error for ClassIndexError {}
+
+impl TryFrom<usize> for NodeClass {
+    type Error = ClassIndexError;
+
+    fn try_from(idx: usize) -> Result<Self, ClassIndexError> {
+        match idx {
+            0 => Ok(NodeClass::Maj),
+            1 => Ok(NodeClass::Xor),
+            2 => Ok(NodeClass::Shared),
+            3 => Ok(NodeClass::Plain),
+            _ => Err(ClassIndexError { index: idx }),
+        }
+    }
 }
 
 impl std::fmt::Display for NodeClass {
@@ -140,10 +164,7 @@ pub fn label_nodes(aig: &Aig, k: usize) -> Vec<NodeClass> {
             let tt = cut_truth_table(aig, id, cut);
             let (xor_hit, maj_hit) = match cut.size() {
                 2 => (matches_function(tt, 2, TT_XOR2), false),
-                3 => (
-                    matches_function(tt, 3, TT_XOR3),
-                    matches_function(tt, 3, TT_MAJ3),
-                ),
+                3 => (matches_function(tt, 3, TT_XOR3), matches_function(tt, 3, TT_MAJ3)),
                 _ => (false, false),
             };
             if xor_hit || maj_hit {
@@ -232,18 +253,12 @@ mod tests {
         let (mut carry_hits, mut carry_total) = (0usize, 0usize);
         for t in &tc.adders {
             sum_total += 1;
-            if matches!(
-                labels[t.sum.node() as usize],
-                NodeClass::Xor | NodeClass::Shared
-            ) {
+            if matches!(labels[t.sum.node() as usize], NodeClass::Xor | NodeClass::Shared) {
                 sum_hits += 1;
             }
             if t.kind == crate::adders::AdderKind::Full {
                 carry_total += 1;
-                if matches!(
-                    labels[t.carry.node() as usize],
-                    NodeClass::Maj | NodeClass::Shared
-                ) {
+                if matches!(labels[t.carry.node() as usize], NodeClass::Maj | NodeClass::Shared) {
                     carry_hits += 1;
                 }
             }
@@ -318,7 +333,15 @@ mod tests {
     fn class_index_roundtrips() {
         for idx in 0..NodeClass::COUNT {
             assert_eq!(NodeClass::from_index(idx).index(), idx);
+            assert_eq!(NodeClass::try_from(idx).unwrap().index(), idx);
         }
+    }
+
+    #[test]
+    fn class_index_out_of_range_is_typed_error() {
+        let err = NodeClass::try_from(NodeClass::COUNT).unwrap_err();
+        assert_eq!(err, ClassIndexError { index: 4 });
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! Gamora setting needs.
 
 use hoga_circuit::{Aig, Lit, NodeId, NodeKind};
-use hoga_synth::cuts::{cut_truth_table, enumerate_cuts, Cut};
 use hoga_synth::build_from_tt;
+use hoga_synth::cuts::{cut_truth_table, enumerate_cuts, Cut};
 use std::collections::HashMap;
 
 /// Result of technology mapping.
@@ -111,8 +111,7 @@ pub fn lut_map(aig: &Aig, k: usize) -> MappedCircuit {
     let root_map = root_map
         .into_iter()
         .filter_map(|(old, lit)| {
-            remap[lit.node() as usize]
-                .map(|new| (old, Lit::from_node(new, lit.is_complemented())))
+            remap[lit.node() as usize].map(|new| (old, Lit::from_node(new, lit.is_complemented())))
         })
         .collect();
     MappedCircuit { aig: out, root_map, num_luts }
@@ -140,10 +139,7 @@ mod tests {
         let g = full_adder_aig();
         for k in [2, 3, 4, 6] {
             let mapped = lut_map(&g, k);
-            assert!(
-                probably_equivalent(&g, &mapped.aig, 4, k as u64),
-                "k={k} broke function"
-            );
+            assert!(probably_equivalent(&g, &mapped.aig, 4, k as u64), "k={k} broke function");
         }
     }
 

@@ -247,6 +247,4 @@ mod tests {
         }
         assert!(last < 1e-2, "regressor failed to fit: {last}");
     }
-
-
 }

@@ -152,14 +152,22 @@ impl HogaModel {
         for l in 0..config.num_layers {
             let heads = (0..config.num_heads)
                 .map(|h| AttnHead {
-                    wq: params
-                        .add(format!("layer{l}.h{h}.wq"), Init::XavierUniform.matrix(d, dh, next())),
-                    wk: params
-                        .add(format!("layer{l}.h{h}.wk"), Init::XavierUniform.matrix(d, dh, next())),
-                    wu: params
-                        .add(format!("layer{l}.h{h}.wu"), Init::XavierUniform.matrix(d, dh, next())),
-                    wv: params
-                        .add(format!("layer{l}.h{h}.wv"), Init::XavierUniform.matrix(d, dh, next())),
+                    wq: params.add(
+                        format!("layer{l}.h{h}.wq"),
+                        Init::XavierUniform.matrix(d, dh, next()),
+                    ),
+                    wk: params.add(
+                        format!("layer{l}.h{h}.wk"),
+                        Init::XavierUniform.matrix(d, dh, next()),
+                    ),
+                    wu: params.add(
+                        format!("layer{l}.h{h}.wu"),
+                        Init::XavierUniform.matrix(d, dh, next()),
+                    ),
+                    wv: params.add(
+                        format!("layer{l}.h{h}.wv"),
+                        Init::XavierUniform.matrix(d, dh, next()),
+                    ),
                 })
                 .collect();
             layers.push(AttnLayer {
@@ -256,12 +264,10 @@ impl HogaModel {
         }
 
         // Gather Ĥ₀ repeated K times alongside Ĥ₁..Ĥ_K.
-        let idx0_rep: Vec<usize> = (0..batch)
-            .flat_map(|b| std::iter::repeat_n(b * k1, k))
-            .collect();
-        let idx_rest: Vec<usize> = (0..batch)
-            .flat_map(|b| (1..k1).map(move |hop| b * k1 + hop))
-            .collect();
+        let idx0_rep: Vec<usize> =
+            (0..batch).flat_map(|b| std::iter::repeat_n(b * k1, k)).collect();
+        let idx_rest: Vec<usize> =
+            (0..batch).flat_map(|b| (1..k1).map(move |hop| b * k1 + hop)).collect();
         let h0_rep = tape.select_rows(h, idx0_rep);
         let h_rest = tape.select_rows(h, idx_rest);
         let cat = tape.concat_cols(h0_rep, h_rest);
@@ -269,7 +275,7 @@ impl HogaModel {
         let logits_flat = tape.matmul(cat, alpha); // (B*K, 1)
         let logits = tape.reshape(logits_flat, batch, k);
         let scores = tape.softmax_rows(logits); // (B, K) — the cₖ of Eq. 10.
-        // y = Ĥ₀ + Σₖ cₖ Ĥₖ  as a batched (1,K)·(K,d) product.
+                                                // y = Ĥ₀ + Σₖ cₖ Ĥₖ  as a batched (1,K)·(K,d) product.
         let weighted = tape.batched_matmul(scores, h_rest, batch); // (B, d)
         let y = tape.add(h0, weighted);
         HogaOutput { representations: y, readout_scores: Some(scores) }
@@ -365,9 +371,7 @@ mod tests {
             let mut t = Tape::new();
             let one = model.forward(&mut t, &single, 1);
             assert!(
-                t.value(one.representations)
-                    .max_abs_diff(&all_reps.select_rows(&[b]))
-                    < 1e-5,
+                t.value(one.representations).max_abs_diff(&all_reps.select_rows(&[b])) < 1e-5,
                 "node {b} differs when batched"
             );
         }
@@ -376,17 +380,18 @@ mod tests {
     #[test]
     fn all_aggregators_run_and_differ() {
         let stack = toy_stack(2, 4, 5, 9);
-        let reps: Vec<Matrix> = [Aggregator::GatedSelfAttention, Aggregator::GateOnly, Aggregator::Sum]
-            .iter()
-            .map(|&agg| {
-                let cfg = HogaConfig::new(5, 8, 3).with_aggregator(agg);
-                let model = HogaModel::new(&cfg, 11);
-                let mut tape = Tape::new();
-                let out = model.forward(&mut tape, &stack, 2);
-                assert_eq!(out.readout_scores.is_none(), agg == Aggregator::Sum);
-                tape.value(out.representations).clone()
-            })
-            .collect();
+        let reps: Vec<Matrix> =
+            [Aggregator::GatedSelfAttention, Aggregator::GateOnly, Aggregator::Sum]
+                .iter()
+                .map(|&agg| {
+                    let cfg = HogaConfig::new(5, 8, 3).with_aggregator(agg);
+                    let model = HogaModel::new(&cfg, 11);
+                    let mut tape = Tape::new();
+                    let out = model.forward(&mut tape, &stack, 2);
+                    assert_eq!(out.readout_scores.is_none(), agg == Aggregator::Sum);
+                    tape.value(out.representations).clone()
+                })
+                .collect();
         assert!(reps[0].max_abs_diff(&reps[1]) > 1e-7);
         assert!(reps[1].max_abs_diff(&reps[2]) > 1e-7);
     }
@@ -491,9 +496,6 @@ mod tests {
             opt.step(&mut model.params, &grads);
         }
         let first = first_loss.expect("ran");
-        assert!(
-            last_loss < first * 0.2,
-            "training failed to reduce loss: {first} -> {last_loss}"
-        );
+        assert!(last_loss < first * 0.2, "training failed to reduce loss: {first} -> {last_loss}");
     }
 }

@@ -23,11 +23,8 @@ fn arb_graph_features() -> impl Strategy<Value = (CsrMatrix, Matrix)> {
             }
             // Row-normalize so hop features stay bounded.
             let raw = CsrMatrix::from_coo(n, n, &triplets);
-            let deg: Vec<f32> = raw
-                .row_nnz()
-                .iter()
-                .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
-                .collect();
+            let deg: Vec<f32> =
+                raw.row_nnz().iter().map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 }).collect();
             (raw.scale_rows(&deg), Matrix::from_vec(n, d, feats))
         })
     })

@@ -98,9 +98,7 @@ fn build_balanced(
     let sync_levels = |out: &Aig, levels: &mut Vec<u32>| {
         for id in levels.len()..out.num_nodes() {
             let lv = match out.node(id as u32) {
-                NodeKind::And(a, b) => {
-                    1 + levels[a.node() as usize].max(levels[b.node() as usize])
-                }
+                NodeKind::And(a, b) => 1 + levels[a.node() as usize].max(levels[b.node() as usize]),
                 _ => 0,
             };
             levels.push(lv);

@@ -117,10 +117,7 @@ impl CutSet {
 
     /// The best (smallest non-trivial, else trivial) cut of `node`.
     pub fn best_cut(&self, node: NodeId) -> Cut {
-        self.cuts[node as usize]
-            .first()
-            .cloned()
-            .unwrap_or_else(|| Cut::trivial(node))
+        self.cuts[node as usize].first().cloned().unwrap_or_else(|| Cut::trivial(node))
     }
 
     /// The cut-size limit `k` this set was computed with.

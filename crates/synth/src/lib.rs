@@ -51,14 +51,14 @@
 
 mod balance;
 pub mod cuts;
-mod recipe;
+pub mod recipe;
 mod refactor;
 mod resub;
 mod rewrite;
 mod runner;
 
 pub use balance::balance;
-pub use recipe::{random_recipe, ParseRecipeError, Recipe, SynthStep};
+pub use recipe::{random_recipe, ParseRecipeError, Recipe, RecipeLint, SynthStep};
 pub use refactor::{build_from_tt, refactor};
 pub use resub::{resub, signature_classes};
 pub use rewrite::rewrite;

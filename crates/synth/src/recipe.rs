@@ -134,6 +134,19 @@ impl fmt::Display for Recipe {
     }
 }
 
+/// Parses one (already trimmed, non-empty) step token.
+fn parse_step(token: &str) -> Option<SynthStep> {
+    match token {
+        "b" | "balance" => Some(SynthStep::Balance),
+        "rw" | "rewrite" => Some(SynthStep::Rewrite { zero_cost: false }),
+        "rw -z" | "rewrite -z" => Some(SynthStep::Rewrite { zero_cost: true }),
+        "rf" | "refactor" => Some(SynthStep::Refactor { zero_cost: false }),
+        "rf -z" | "refactor -z" => Some(SynthStep::Refactor { zero_cost: true }),
+        "rs" | "resub" => Some(SynthStep::Resub),
+        _ => None,
+    }
+}
+
 impl FromStr for Recipe {
     type Err = ParseRecipeError;
 
@@ -144,19 +157,94 @@ impl FromStr for Recipe {
             if token.is_empty() {
                 continue;
             }
-            let step = match token {
-                "b" | "balance" => SynthStep::Balance,
-                "rw" | "rewrite" => SynthStep::Rewrite { zero_cost: false },
-                "rw -z" | "rewrite -z" => SynthStep::Rewrite { zero_cost: true },
-                "rf" | "refactor" => SynthStep::Refactor { zero_cost: false },
-                "rf -z" | "refactor -z" => SynthStep::Refactor { zero_cost: true },
-                "rs" | "resub" => SynthStep::Resub,
-                other => return Err(ParseRecipeError { token: other.to_string() }),
-            };
+            let step =
+                parse_step(token).ok_or_else(|| ParseRecipeError { token: token.to_string() })?;
             steps.push(step);
         }
         Ok(Recipe { steps })
     }
+}
+
+/// A diagnostic produced by [`lint`]. Positions are 1-based byte offsets
+/// into the linted string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecipeLint {
+    /// A step token that is not part of the recipe language.
+    UnknownToken {
+        /// The offending token, trimmed.
+        token: String,
+        /// Position of the token's first byte.
+        position: usize,
+    },
+    /// An empty step between two separators (`"b;; rw"`). A single
+    /// trailing `;` is tolerated.
+    EmptyStep {
+        /// Position where the empty segment starts.
+        position: usize,
+    },
+    /// Two consecutive `balance` steps: balancing is idempotent, so the
+    /// second is a no-op (warning, not an error — [`Recipe::from_str`]
+    /// still accepts the recipe).
+    RedundantBalance {
+        /// Position of the second `balance` token.
+        position: usize,
+    },
+}
+
+impl fmt::Display for RecipeLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeLint::UnknownToken { token, position } => {
+                write!(f, "{position}: unknown synthesis step `{token}`")
+            }
+            RecipeLint::EmptyStep { position } => {
+                write!(f, "{position}: empty step (stray `;`)")
+            }
+            RecipeLint::RedundantBalance { position } => {
+                write!(f, "{position}: redundant consecutive `balance` (idempotent)")
+            }
+        }
+    }
+}
+
+/// Statically checks a recipe string without building a [`Recipe`].
+///
+/// Unlike [`Recipe::from_str`], which stops at the first unknown token and
+/// silently skips empty segments, `lint` reports *every* problem with its
+/// position: unknown tokens, interior empty steps, and redundant
+/// consecutive `balance` steps. An empty return means the string parses
+/// and has no warnings.
+pub fn lint(s: &str) -> Vec<RecipeLint> {
+    let mut out = Vec::new();
+    let mut prev: Option<SynthStep> = None;
+    let mut offset = 0usize;
+    let segments: Vec<&str> = s.split(';').collect();
+    let last = segments.len() - 1;
+    for (i, raw) in segments.iter().enumerate() {
+        let token = raw.trim();
+        if token.is_empty() {
+            // A trailing `;` leaves one final empty segment; tolerate it.
+            if i != last {
+                out.push(RecipeLint::EmptyStep { position: offset + 1 });
+            }
+        } else {
+            let position = offset + (raw.len() - raw.trim_start().len()) + 1;
+            match parse_step(token) {
+                Some(step) => {
+                    if step == SynthStep::Balance && prev == Some(SynthStep::Balance) {
+                        out.push(RecipeLint::RedundantBalance { position });
+                    }
+                    prev = Some(step);
+                }
+                None => {
+                    out.push(RecipeLint::UnknownToken { token: token.to_string(), position });
+                    prev = None;
+                }
+            }
+        }
+        offset += raw.len() + 1;
+    }
+    out
 }
 
 /// Generates a random recipe of `len` steps (OpenABC-D uses length 20).
@@ -216,6 +304,58 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.steps().len(), 20);
+    }
+
+    #[test]
+    fn lint_accepts_clean_recipes() {
+        assert!(lint("b; rw; rf -z; rs").is_empty());
+        assert!(lint(&Recipe::resyn2().to_string()).is_empty());
+        assert!(lint("b; rw;").is_empty(), "trailing `;` is tolerated");
+        assert!(lint("").is_empty());
+    }
+
+    #[test]
+    fn lint_reports_unknown_token_with_position() {
+        let lints = lint("b; frobnicate; rw");
+        assert_eq!(
+            lints,
+            vec![RecipeLint::UnknownToken { token: "frobnicate".to_string(), position: 4 }]
+        );
+        assert!(lints[0].to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn lint_reports_every_problem_not_just_the_first() {
+        let lints = lint("bogus;; b; b");
+        assert_eq!(lints.len(), 3, "got: {lints:?}");
+        assert!(matches!(lints[0], RecipeLint::UnknownToken { .. }));
+        assert!(matches!(lints[1], RecipeLint::EmptyStep { .. }));
+        assert!(matches!(lints[2], RecipeLint::RedundantBalance { .. }));
+    }
+
+    #[test]
+    fn lint_flags_interior_empty_step() {
+        let lints = lint("b;; rw");
+        assert_eq!(lints, vec![RecipeLint::EmptyStep { position: 3 }]);
+    }
+
+    #[test]
+    fn lint_flags_redundant_balance_position() {
+        let lints = lint("rw; b; b; rf");
+        assert_eq!(lints, vec![RecipeLint::RedundantBalance { position: 8 }]);
+        // `b; rw; b` is fine: the balances are not consecutive.
+        assert!(lint("b; rw; b").is_empty());
+        // Long aliases count too.
+        assert_eq!(lint("balance; balance").len(), 1);
+    }
+
+    #[test]
+    fn lint_agrees_with_from_str_on_validity() {
+        for s in ["b; rw; rf -z; rs", "b; frobnicate", "rw -z; rf", "x"] {
+            let parses = s.parse::<Recipe>().is_ok();
+            let has_error = lint(s).iter().any(|l| matches!(l, RecipeLint::UnknownToken { .. }));
+            assert_eq!(parses, !has_error, "disagreement on `{s}`");
+        }
     }
 
     #[test]

@@ -248,7 +248,9 @@ mod tests {
         let mut g = Aig::new(3);
         let (a, b, c) = (g.pi_lit(0), g.pi_lit(1), g.pi_lit(2));
         let mut terms = Vec::new();
-        for (pa, pb, pc) in [(false, false, true), (false, true, false), (true, false, false), (true, true, true)] {
+        for (pa, pb, pc) in
+            [(false, false, true), (false, true, false), (true, false, false), (true, true, true)]
+        {
             let la = if pa { a } else { !a };
             let lb = if pb { b } else { !b };
             let lc = if pc { c } else { !c };

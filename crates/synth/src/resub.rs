@@ -61,15 +61,11 @@ pub fn resub(aig: &Aig, seed: u64) -> Aig {
     // Representative per signature class; complement handled by also
     // indexing the bitwise-NOT signature.
     let mut repr: HashMap<Vec<u64>, Lit> = HashMap::new();
-    let mut replacement: Vec<Lit> = (0..aig.num_nodes())
-        .map(|i| Lit::from_node(i as u32, false))
-        .collect();
+    let mut replacement: Vec<Lit> =
+        (0..aig.num_nodes()).map(|i| Lit::from_node(i as u32, false)).collect();
 
-    let total_bits = if exhaustive {
-        1u32 << aig.num_pis()
-    } else {
-        (SIGNATURE_ROUNDS * 64) as u32
-    };
+    let total_bits =
+        if exhaustive { 1u32 << aig.num_pis() } else { (SIGNATURE_ROUNDS * 64) as u32 };
     for i in 0..aig.num_nodes() {
         let k = key(i);
         let ones: u32 = k.iter().map(|w| w.count_ones()).sum();

@@ -181,7 +181,11 @@ mod tests {
                 let y = expr(&mut z_aig, j);
                 let z = smart_and(&mut z_aig, x, y, true);
                 z_aig.add_po(z);
-                assert_eq!(exhaustive_truth_table(&z_aig, 0), reference, "zero-cost broke ({i}, {j})");
+                assert_eq!(
+                    exhaustive_truth_table(&z_aig, 0),
+                    reference,
+                    "zero-cost broke ({i}, {j})"
+                );
             }
         }
     }

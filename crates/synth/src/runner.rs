@@ -103,10 +103,7 @@ mod tests {
             Recipe::resyn2(),
             "rs; rs; rf; rw".parse::<Recipe>().expect("valid"),
         ];
-        let counts: Vec<usize> = recipes
-            .iter()
-            .map(|r| run_recipe(&g, r).final_ands)
-            .collect();
+        let counts: Vec<usize> = recipes.iter().map(|r| run_recipe(&g, r).final_ands).collect();
         assert!(
             counts.iter().any(|&c| c != counts[0]),
             "all recipes gave identical QoR {counts:?}"

@@ -1,0 +1,43 @@
+//! Property tests for the recipe language: Display/FromStr roundtrip and
+//! linter consistency over randomly generated recipes.
+
+use hoga_synth::recipe::lint;
+use hoga_synth::{random_recipe, Recipe, RecipeLint};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every generated recipe pretty-prints to a string that parses back
+    /// to the identical recipe.
+    #[test]
+    fn display_fromstr_roundtrip(len in 0usize..40, seed in 0u64..1_000) {
+        let r = random_recipe(len, seed);
+        let printed = r.to_string();
+        let reparsed: Recipe = printed.parse().expect("printed recipe must parse");
+        prop_assert_eq!(r, reparsed);
+    }
+
+    /// The linter never reports errors (unknown tokens or empty steps) on
+    /// a pretty-printed recipe; redundant-balance warnings are the only
+    /// diagnostics random recipes can legitimately produce.
+    #[test]
+    fn lint_is_clean_on_generated_recipes(len in 0usize..40, seed in 0u64..1_000) {
+        let printed = random_recipe(len, seed).to_string();
+        for l in lint(&printed) {
+            prop_assert!(
+                matches!(l, RecipeLint::RedundantBalance { .. }),
+                "unexpected lint on `{}`: {}",
+                printed,
+                l
+            );
+        }
+    }
+
+    /// Round-tripping through Display is idempotent: printing the
+    /// reparsed recipe yields the same string.
+    #[test]
+    fn display_is_canonical(len in 0usize..40, seed in 0u64..1_000) {
+        let printed = random_recipe(len, seed).to_string();
+        let reparsed: Recipe = printed.parse().expect("printed recipe must parse");
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+}

@@ -37,11 +37,7 @@ impl ShapeError {
 
 impl fmt::Display for ShapeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "shape mismatch in {}: expected {}, found {}",
-            self.op, self.expected, self.found
-        )
+        write!(f, "shape mismatch in {}: expected {}, found {}", self.op, self.expected, self.found)
     }
 }
 

@@ -54,9 +54,7 @@ impl Init {
             Init::KaimingNormal => {
                 let std = (2.0 / rows as f32).sqrt();
                 let normal = StandardNormal;
-                (0..rows * cols)
-                    .map(|_| normal.sample(&mut rng) * std)
-                    .collect()
+                (0..rows * cols).map(|_| normal.sample(&mut rng) * std).collect()
             }
             Init::SmallUniform => (0..rows * cols).map(|_| rng.gen_range(-0.1..=0.1)).collect(),
         };
@@ -111,10 +109,7 @@ mod tests {
         let w = Init::KaimingNormal.matrix(256, 64, 3);
         let var = w.as_slice().iter().map(|&x| x * x).sum::<f32>() / w.len() as f32;
         let expected = 2.0 / 256.0;
-        assert!(
-            (var - expected).abs() < expected,
-            "variance {var} far from {expected}"
-        );
+        assert!((var - expected).abs() < expected, "variance {var} far from {expected}");
     }
 
     #[test]

@@ -40,9 +40,9 @@ mod sparse;
 pub use error::ShapeError;
 pub use init::{Init, SeedRng};
 pub use kernels::{
-    layernorm_backward, layernorm_forward, log_softmax_rows, softmax_backward_rows,
-    softmax_rows, LayerNormCache,
+    layernorm_backward, layernorm_forward, log_softmax_rows, softmax_backward_rows, softmax_rows,
+    LayerNormCache,
 };
 pub use matrix::Matrix;
-pub use sparse::CsrMatrix;
 pub use parallel::{available_threads, parallel_chunks, parallel_chunks_with, set_threads};
+pub use sparse::CsrMatrix;

@@ -70,6 +70,7 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         match Self::try_from_vec(rows, cols, data) {
             Ok(m) => m,
+            // analyze: allow(panic-free-paths) — documented panicking wrapper; fallible callers use try_from_vec
             Err(e) => panic!("{e}"),
         }
     }
@@ -177,11 +178,7 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -201,12 +198,7 @@ impl Matrix {
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -493,13 +485,15 @@ impl Matrix {
         let mut out = Self::zeros(batch * self.cols, n);
         for bi in 0..batch {
             for kk in 0..br_a {
-                let arow = &self.data[(bi * br_a + kk) * self.cols..(bi * br_a + kk + 1) * self.cols];
+                let arow =
+                    &self.data[(bi * br_a + kk) * self.cols..(bi * br_a + kk + 1) * self.cols];
                 let brow = &other.data[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
                 for (i, &av) in arow.iter().enumerate() {
                     if av == 0.0 {
                         continue;
                     }
-                    let orow = &mut out.data[(bi * self.cols + i) * n..(bi * self.cols + i + 1) * n];
+                    let orow =
+                        &mut out.data[(bi * self.cols + i) * n..(bi * self.cols + i + 1) * n];
                     for (ov, &bv) in orow.iter_mut().zip(brow) {
                         *ov += av * bv;
                     }
@@ -575,10 +569,7 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
         self.assert_same_shape(other, "max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
     }
 }
 
@@ -717,15 +708,9 @@ mod tests {
             let idx: Vec<usize> = (bi * 3..bi * 3 + 3).collect();
             let ab = a.select_rows(&idx);
             let bb = b.select_rows(&idx);
-            assert!(nt
-                .select_rows(&idx)
-                .max_abs_diff(&ab.matmul(&bb.transpose()))
-                < 1e-5);
+            assert!(nt.select_rows(&idx).max_abs_diff(&ab.matmul(&bb.transpose())) < 1e-5);
             let tn_idx: Vec<usize> = (bi * 4..bi * 4 + 4).collect();
-            assert!(tn
-                .select_rows(&tn_idx)
-                .max_abs_diff(&ab.transpose().matmul(&bb))
-                < 1e-5);
+            assert!(tn.select_rows(&tn_idx).max_abs_diff(&ab.transpose().matmul(&bb)) < 1e-5);
         }
     }
 

@@ -27,11 +27,8 @@ pub fn available_threads() -> usize {
         return over;
     }
     static DETECTED: OnceLock<usize> = OnceLock::new();
-    *DETECTED.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get().min(16))
-            .unwrap_or(1)
-    })
+    *DETECTED
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1))
 }
 
 /// Overrides the kernel thread count; `0` restores auto-detection.

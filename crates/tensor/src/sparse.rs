@@ -66,11 +66,8 @@ impl CsrMatrix {
         let mut out_values = Vec::with_capacity(values.len());
         for r in 0..rows {
             let (lo, hi) = (indptr_raw[r], indptr_raw[r + 1]);
-            let mut row: Vec<(u32, f32)> = indices[lo..hi]
-                .iter()
-                .copied()
-                .zip(values[lo..hi].iter().copied())
-                .collect();
+            let mut row: Vec<(u32, f32)> =
+                indices[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()).collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             for (c, v) in row {
                 if let Some(last) = out_indices.last() {
@@ -110,10 +107,7 @@ impl CsrMatrix {
     /// Panics if `r >= self.rows()`.
     pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
-        self.indices[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&c, &v)| (c as usize, v))
+        self.indices[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
     }
 
     /// Sparse × dense product `self · x`, parallelized over output rows.
@@ -163,9 +157,7 @@ impl CsrMatrix {
     /// Panics if `self.cols() != x.len()`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, x.len(), "shape mismatch in spmv");
-        (0..self.rows)
-            .map(|r| self.row_entries(r).map(|(c, v)| v * x[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row_entries(r).map(|(c, v)| v * x[c]).sum()).collect()
     }
 
     /// Transposed copy (CSR of `selfᵀ`).

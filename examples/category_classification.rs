@@ -76,7 +76,8 @@ fn main() {
         for p in prepared.iter().filter(|p| p.train) {
             let mut tape = Tape::new();
             let out = model.forward(&mut tape, &p.stack, p.nodes);
-            let logits = head.logits(&mut tape, &model.params, out.representations, vec![(0, p.nodes)]);
+            let logits =
+                head.logits(&mut tape, &model.params, out.representations, vec![(0, p.nodes)]);
             let loss = tape.cross_entropy_mean(logits, &[p.label]);
             last = tape.value(loss)[(0, 0)];
             let grads = tape.backward(loss);
@@ -94,7 +95,8 @@ fn main() {
         for p in prepared.iter().filter(|p| p.train == subset) {
             let mut tape = Tape::new();
             let out = model.forward(&mut tape, &p.stack, p.nodes);
-            let logits = head.logits(&mut tape, &model.params, out.representations, vec![(0, p.nodes)]);
+            let logits =
+                head.logits(&mut tape, &model.params, out.representations, vec![(0, p.nodes)]);
             let guess = argmax_rows(tape.value(logits))[0];
             truth.push(p.label);
             pred.push(guess);

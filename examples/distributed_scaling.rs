@@ -20,10 +20,7 @@ fn main() {
         train: TrainConfig { hidden_dim: 32, epochs: 3, ..TrainConfig::default() },
         worker_counts: [1, 2, 4],
     };
-    println!(
-        "training HOGA on a {}-bit Booth multiplier with 1/2/4 workers...",
-        cfg.width
-    );
+    println!("training HOGA on a {}-bit Booth multiplier with 1/2/4 workers...", cfg.width);
     let result = run(&cfg);
     println!("\n{}", result.render());
     println!(

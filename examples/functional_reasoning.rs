@@ -9,12 +9,10 @@
 //! ```
 
 use hoga_repro::datasets::gamora::ReasoningConfig;
+use hoga_repro::datasets::gamora::{build_reasoning_graph, MultiplierKind};
 use hoga_repro::eval::experiments::fig6::{run_panel, Fig6Config};
 use hoga_repro::eval::metrics::ConfusionMatrix;
-use hoga_repro::eval::trainer::{
-    predict_reasoning, train_reasoning, ReasonModelKind, TrainConfig,
-};
-use hoga_repro::datasets::gamora::{build_reasoning_graph, MultiplierKind};
+use hoga_repro::eval::trainer::{predict_reasoning, train_reasoning, ReasonModelKind, TrainConfig};
 use hoga_repro::gen::reason::NodeClass;
 use hoga_repro::hoga::model::Aggregator;
 
@@ -50,11 +48,8 @@ fn main() {
 
 fn print_panel(panel: &hoga_repro::eval::experiments::fig6::Fig6Panel) {
     for s in &panel.series {
-        let pts: Vec<String> = s
-            .points
-            .iter()
-            .map(|(w, a)| format!("{w}-bit: {:.1}%", a * 100.0))
-            .collect();
+        let pts: Vec<String> =
+            s.points.iter().map(|(w, a)| format!("{w}-bit: {:.1}%", a * 100.0)).collect();
         println!("  {:<10} {}", s.model, pts.join("  "));
     }
 }

@@ -10,10 +10,7 @@ use hoga_repro::gen::ipgen::{generate_ip, OPENABCD_DESIGNS};
 use hoga_repro::synth::{random_recipe, run_recipe, Recipe};
 
 fn main() {
-    let spec = OPENABCD_DESIGNS
-        .iter()
-        .find(|d| d.name == "fir")
-        .expect("fir is in Table 1");
+    let spec = OPENABCD_DESIGNS.iter().find(|d| d.name == "fir").expect("fir is in Table 1");
     let aig = generate_ip(spec, 8);
     println!(
         "design `{}` ({:?}): {} AND gates, {} PIs, {} POs",
@@ -37,10 +34,7 @@ fn main() {
         result.final_ands,
         result.reduction() * 100.0
     );
-    assert!(
-        probably_equivalent(&aig, &result.aig, 4, 0),
-        "synthesis must preserve functionality"
-    );
+    assert!(probably_equivalent(&aig, &result.aig, 4, 0), "synthesis must preserve functionality");
     println!("functionality verified by 256 random simulation patterns ✓");
 
     // Different random recipes give different QoR — the signal the QoR

@@ -13,6 +13,8 @@
 //!
 //! All commands print the reproduced table/series to stdout.
 
+#![forbid(unsafe_code)]
+
 use hoga_repro::datasets::gamora::ReasoningConfig;
 use hoga_repro::eval::experiments::{ablation, fig4, fig5, fig6, fig7, table1, table2};
 use hoga_repro::eval::trainer::TrainConfig;
@@ -69,9 +71,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let key = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected flag, found `{flag}`"))?;
+        let key =
+            flag.strip_prefix("--").ok_or_else(|| format!("expected flag, found `{flag}`"))?;
         let value = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
         out.insert(key.to_string(), value.clone());
     }
@@ -79,10 +80,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    flags
-        .get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn widths(flags: &HashMap<String, String>, default: &[usize]) -> Vec<usize> {
@@ -242,17 +240,14 @@ fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("error: unknown design `{name}`; available: {}", names.join(", "));
         return ExitCode::FAILURE;
     };
-    let recipe: Recipe = match flags
-        .get("recipe")
-        .map(|r| r.parse())
-        .unwrap_or_else(|| Ok(Recipe::resyn2()))
-    {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let recipe: Recipe =
+        match flags.get("recipe").map(|r| r.parse()).unwrap_or_else(|| Ok(Recipe::resyn2())) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let aig = generate_ip(spec, get(flags, "scale", 32));
     println!("design `{}`: {} AND gates", spec.name, aig.num_ands());
     let result = run_recipe(&aig, &recipe);

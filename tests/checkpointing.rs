@@ -42,11 +42,8 @@ fn trained_hoga_survives_checkpoint_roundtrip() {
         seed: 77,
         ..TrainConfig::default()
     };
-    let (model, _) = train_reasoning(
-        &graph,
-        ReasonModelKind::Hoga(Aggregator::GatedSelfAttention),
-        &cfg,
-    );
+    let (model, _) =
+        train_reasoning(&graph, ReasonModelKind::Hoga(Aggregator::GatedSelfAttention), &cfg);
     let ReasonModel::Hoga(trained, _) = &model else { unreachable!() };
 
     // Serialize the trained parameters.

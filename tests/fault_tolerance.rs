@@ -54,9 +54,8 @@ fn panicked_worker_converges_to_the_fault_free_model() {
     assert_eq!(clean_report.recoveries(), 0);
 
     let plan = FaultPlan::new(vec![Fault::WorkerPanic { epoch: 1, step: 0, worker: 0 }]);
-    let (model, _, _, report) =
-        train_reasoning_parallel_supervised(&graph, &cfg, workers, &plan)
-            .expect("supervised run survives a worker panic");
+    let (model, _, _, report) = train_reasoning_parallel_supervised(&graph, &cfg, workers, &plan)
+        .expect("supervised run survives a worker panic");
 
     assert_eq!(report.recoveries(), 1, "the panic must be recorded");
     assert!(

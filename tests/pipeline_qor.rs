@@ -54,8 +54,7 @@ fn hoga_trains_and_beats_trivial_predictor_on_unseen_designs() {
     let evals = eval_qor(&ds, &model, false);
     let hoga_mape = average_mape(&evals);
     // Trivial predictor: always predict the train-set mean ratio.
-    let mean_ratio: f32 =
-        ds.train.iter().map(|s| s.ratio()).sum::<f32>() / ds.train.len() as f32;
+    let mean_ratio: f32 = ds.train.iter().map(|s| s.ratio()).sum::<f32>() / ds.train.len() as f32;
     let trivial: Vec<f32> = ds
         .test
         .iter()

@@ -37,13 +37,7 @@ fn valid_params_bytes() -> Vec<u8> {
 fn valid_checkpoint_bytes() -> Vec<u8> {
     let mut p = hoga_repro::autograd::ParamSet::new();
     p.add("w", Matrix::from_fn(2, 2, |r, c| (r + c) as f32));
-    let ck = Checkpoint {
-        epoch: 3,
-        seed: 41,
-        lr_scale: 0.5,
-        params: p,
-        opt_state: vec![7; 33],
-    };
+    let ck = Checkpoint { epoch: 3, seed: 41, lr_scale: 0.5, params: p, opt_state: vec![7; 33] };
     encode_checkpoint(&ck).to_vec()
 }
 

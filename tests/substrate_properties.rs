@@ -15,25 +15,28 @@ use proptest::prelude::*;
 /// Strategy: a random AIG over `pis` inputs with up to `max_gates` gates
 /// encoded as a list of (operand picks, complement flags).
 fn arb_aig(pis: usize, max_gates: usize) -> impl Strategy<Value = Aig> {
-    proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()), 1..max_gates)
-        .prop_map(move |gates| {
-            let mut aig = Aig::new(pis);
-            let mut pool: Vec<Lit> = (0..pis).map(|i| aig.pi_lit(i)).collect();
-            for (xa, xb, ca, cb) in gates {
-                let a = pool[xa as usize % pool.len()];
-                let b = pool[xb as usize % pool.len()];
-                let a = if ca { !a } else { a };
-                let b = if cb { !b } else { b };
-                let l = aig.and(a, b);
-                pool.push(l);
-            }
-            // Last few pool entries become outputs.
-            let take = pool.len().min(3);
-            for &l in &pool[pool.len() - take..] {
-                aig.add_po(l);
-            }
-            aig
-        })
+    proptest::collection::vec(
+        (any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()),
+        1..max_gates,
+    )
+    .prop_map(move |gates| {
+        let mut aig = Aig::new(pis);
+        let mut pool: Vec<Lit> = (0..pis).map(|i| aig.pi_lit(i)).collect();
+        for (xa, xb, ca, cb) in gates {
+            let a = pool[xa as usize % pool.len()];
+            let b = pool[xb as usize % pool.len()];
+            let a = if ca { !a } else { a };
+            let b = if cb { !b } else { b };
+            let l = aig.and(a, b);
+            pool.push(l);
+        }
+        // Last few pool entries become outputs.
+        let take = pool.len().min(3);
+        for &l in &pool[pool.len() - take..] {
+            aig.add_po(l);
+        }
+        aig
+    })
 }
 
 proptest! {

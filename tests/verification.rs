@@ -29,10 +29,7 @@ fn synthesis_result_is_sat_proven_equivalent() {
 fn techmap_is_sat_proven_equivalent_on_small_multiplier() {
     let tc = csa_multiplier(3);
     let mapped = lut_map(&tc.aig, 4);
-    assert_eq!(
-        check_equivalence(&tc.aig, &mapped.aig, 2_000_000),
-        Equivalence::Equivalent
-    );
+    assert_eq!(check_equivalence(&tc.aig, &mapped.aig, 2_000_000), Equivalence::Equivalent);
 }
 
 #[test]
