@@ -7,6 +7,10 @@
 //! happens on tokens, occurrences inside string literals and comments are
 //! never flagged.
 //!
+//! Two layers run over the workspace: token-level rules, and graph-aware
+//! rules on a [`symbols::SymbolGraph`] assembled from the item-level
+//! [`parser`] (defs, refs and liveness edges across all crates).
+//!
 //! Rule catalogue (details in `docs/STATIC_ANALYSIS.md`):
 //!
 //! * `panic-free-paths` — no `panic!`/`.unwrap()`/`.expect(`/`unreachable!`
@@ -17,6 +21,15 @@
 //! * `test-panic-ok` — not a diagnostic: `panic-free-paths` and
 //!   `lossy-cast` auto-relax inside `#[cfg(test)]` items and `tests/`
 //!   directories.
+//! * `dead-public-api` — a `pub` item the workspace symbol graph proves is
+//!   never used outside its defining crate.
+//! * `float-equality` — `==`/`!=` against float literals on numeric paths;
+//!   use `hoga_tensor::approx_eq`.
+//! * `lock-discipline` — lock acquisitions must follow the declared
+//!   workspace lock order (`rules::LOCK_ORDER`); `.lock().unwrap()` is a
+//!   poisoning hazard.
+//! * `thread-hygiene` — every `spawn` handle is joined; no bare
+//!   `std::thread::spawn` in `eval`.
 //!
 //! Findings are suppressed inline with a justified directive:
 //!
@@ -29,10 +42,13 @@
 //! accumulate.
 
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 pub use rules::{analyze_source, FileProfile, Finding};
+pub use symbols::SymbolGraph;
 pub use workspace::analyze_workspace;
 
 /// Renders findings one per line as `file:line:col: [rule] message`.
@@ -46,19 +62,27 @@ pub fn render_text(findings: &[Finding]) -> String {
 }
 
 /// Renders findings as a JSON array of objects with `file`, `line`,
-/// `col`, `rule`, and `message` fields.
+/// `col`, `rule`, `severity`, `symbol` (string or `null`), and `message`
+/// fields — the schema CI archives as an artifact.
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let symbol = match &f.symbol {
+            Some(s) => json_string(s),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "\n  {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            "\n  {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"severity\": {}, \
+             \"symbol\": {}, \"message\": {}}}",
             json_string(&f.file),
             f.line,
             f.col,
             json_string(f.rule),
+            json_string(f.severity()),
+            symbol,
             json_string(&f.message)
         ));
     }
@@ -118,6 +142,7 @@ mod render_tests {
             col: 9,
             rule: "panic-free-paths",
             message: "say \"no\"\tto panics".to_string(),
+            symbol: None,
         }]
     }
 
@@ -138,5 +163,24 @@ mod render_tests {
     #[test]
     fn json_empty_is_empty_array() {
         assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn json_has_severity_and_symbol_fields() {
+        let mut findings = sample();
+        findings[0].symbol = Some("dead_fn".to_string());
+        let json = render_json(&findings);
+        assert!(json.contains("\"severity\": \"error\""), "severity present: {json}");
+        assert!(json.contains("\"symbol\": \"dead_fn\""), "symbol present: {json}");
+        let none = render_json(&sample());
+        assert!(none.contains("\"symbol\": null"), "null symbol: {none}");
+    }
+
+    #[test]
+    fn severity_splits_warnings_from_errors() {
+        assert_eq!(rules::severity_of("dead-public-api"), "warning");
+        assert_eq!(rules::severity_of("todo-tracker"), "warning");
+        assert_eq!(rules::severity_of("lock-discipline"), "error");
+        assert_eq!(rules::severity_of("float-equality"), "error");
     }
 }

@@ -2,14 +2,18 @@
 //! Command-line front end for the workspace linter.
 //!
 //! ```text
-//! cargo run -p hoga-analyze [--root PATH] [--format text|json]
+//! cargo run -p hoga-analyze [--root PATH] [--format text|json] [--report PATH]
 //! ```
+//!
+//! `--report` additionally writes the JSON findings report to a file (the
+//! artifact CI archives) regardless of the console `--format`.
 //!
 //! Exit status: 0 = clean, 1 = findings reported, 2 = usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use hoga_analyze::rules::Finding;
 use hoga_analyze::{analyze_workspace, render_json, render_text};
 
 enum Format {
@@ -20,6 +24,7 @@ enum Format {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut report: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,6 +32,10 @@ fn main() -> ExitCode {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report = Some(PathBuf::from(p)),
+                None => return usage("--report needs a path"),
             },
             "--format" => match args.next().as_deref() {
                 Some("text") => format = Format::Text,
@@ -37,10 +46,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "hoga-analyze: workspace linter + invariant auditor\n\n\
-                     USAGE: hoga-analyze [--root PATH] [--format text|json]\n\n\
+                     USAGE: hoga-analyze [--root PATH] [--format text|json] [--report PATH]\n\n\
                      Walks every .rs file under the workspace root and reports\n\
-                     rule violations as file:line:col diagnostics. Exits 0 when\n\
-                     clean, 1 when findings exist, 2 on error. See\n\
+                     rule violations as file:line:col diagnostics. --report\n\
+                     writes the JSON findings report to PATH for CI archiving.\n\
+                     Exits 0 when clean, 1 when findings exist, 2 on error. See\n\
                      docs/STATIC_ANALYSIS.md for the rule catalogue."
                 );
                 return ExitCode::SUCCESS;
@@ -62,13 +72,20 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = report {
+        if let Err(e) = std::fs::write(&path, render_json(&findings)) {
+            eprintln!("hoga-analyze: error writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     match format {
         Format::Text => {
             print!("{}", render_text(&findings));
             if findings.is_empty() {
                 eprintln!("hoga-analyze: workspace clean");
             } else {
-                eprintln!("hoga-analyze: {} violation(s)", findings.len());
+                eprintln!("hoga-analyze: {}", severity_summary(&findings));
             }
         }
         Format::Json => print!("{}", render_json(&findings)),
@@ -79,6 +96,12 @@ fn main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+fn severity_summary(findings: &[Finding]) -> String {
+    let errors = findings.iter().filter(|f| f.severity() == "error").count();
+    let warnings = findings.len() - errors;
+    format!("{} violation(s): {errors} error(s), {warnings} warning(s)", findings.len())
 }
 
 fn usage(msg: &str) -> ExitCode {

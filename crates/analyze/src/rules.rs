@@ -12,14 +12,34 @@ use crate::lexer::{lex, TokKind, Token};
 
 /// Stable identifiers for every rule the engine can emit. Suppression
 /// comments name these ids.
-pub const RULE_IDS: &[&str] = &[
+pub(crate) const RULE_IDS: &[&str] = &[
     "panic-free-paths",
     "lossy-cast",
     "unsafe-forbidden",
     "todo-tracker",
     "invalid-suppression",
     "unused-suppression",
+    "dead-public-api",
+    "float-equality",
+    "lock-discipline",
+    "thread-hygiene",
 ];
+
+/// Diagnostic severity of a rule id: `"error"` or `"warning"`. Both fail
+/// the binary; severity is reporting metadata for the JSON consumer.
+pub(crate) fn severity_of(rule: &str) -> &'static str {
+    match rule {
+        "todo-tracker" | "dead-public-api" => "warning",
+        _ => "error",
+    }
+}
+
+/// The single declared workspace lock order (rule R8). A guard for a name
+/// earlier in this list may be held while acquiring a later one; the
+/// reverse (or re-acquiring the same name) is a deadlock hazard and is
+/// flagged. Locks are matched by the *field or variable name* the guard
+/// is taken from, e.g. `shared.grad_slots.lock()`.
+pub(crate) const LOCK_ORDER: &[&str] = &["grad_slots", "event_log"];
 
 /// One diagnostic: a rule violation at a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +54,16 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// The symbol the finding is about, when the rule knows one (R6 names
+    /// the dead definition; token-level rules leave this `None`).
+    pub symbol: Option<String>,
+}
+
+impl Finding {
+    /// `"error"` or `"warning"` (see [`severity_of`]).
+    pub fn severity(&self) -> &'static str {
+        severity_of(self.rule)
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -55,33 +85,59 @@ pub struct FileProfile {
     /// R5: the whole file is test code (under a `tests/` directory), which
     /// relaxes R1 and R2 everywhere in it.
     pub all_test: bool,
+    /// R7: this file is on a numeric path (`tensor`/`autograd`/`eval`
+    /// library sources), where float `==`/`!=` is flagged.
+    pub numeric: bool,
+    /// R9: this file lives in `crates/eval/src`, where unscoped
+    /// `std::thread::spawn` is banned outright.
+    pub eval_path: bool,
 }
 
-/// Analyzes one source file and returns its findings.
-///
-/// `rel_path` is used verbatim in diagnostics. This is the pure core the
-/// fixture tests drive; [`crate::workspace::analyze_workspace`] wraps it
-/// with file discovery.
-pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Finding> {
+/// The per-file analysis before suppression matching. Token-level rules
+/// fill [`FileAnalysis::raw`] immediately; cross-file rules (R6, which
+/// needs the whole workspace symbol graph) append their findings with
+/// [`FileAnalysis::push_raw`] before [`FileAnalysis::finish`] runs the
+/// shared suppression/unused-suppression machinery over everything.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    rel_path: String,
+    /// Findings that bypass suppression matching (malformed directives).
+    pre: Vec<Finding>,
+    raw: Vec<Finding>,
+    suppressions: Vec<Suppression>,
+}
+
+/// Runs every token-level rule over one source file. Combine with
+/// [`FileAnalysis::push_raw`] + [`FileAnalysis::finish`], or use
+/// [`analyze_source`] when no cross-file findings apply.
+pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> FileAnalysis {
     let tokens = lex(src);
-    let test_spans =
-        if profile.all_test { vec![0..src.len()] } else { cfg_test_spans(&tokens, src) };
-    let mut suppressions = collect_suppressions(rel_path, &tokens, src);
-    let mut findings = Vec::new();
+    let test_spans = if profile.all_test {
+        std::iter::once(0..src.len()).collect()
+    } else {
+        cfg_test_spans(&tokens, src)
+    };
+    let suppressions = collect_suppressions(rel_path, &tokens, src);
+    let mut pre = Vec::new();
 
     // Suppression parse errors surface regardless of any rule firing.
     for s in &suppressions {
         if let Some(msg) = &s.error {
-            findings.push(Finding {
+            pre.push(Finding {
                 file: rel_path.to_string(),
                 line: s.line,
                 col: s.col,
                 rule: "invalid-suppression",
                 message: msg.clone(),
+                symbol: None,
             });
         }
     }
 
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
+        .collect();
     let mut raw = Vec::new();
     if profile.panic_free {
         rule_panic_free(rel_path, &tokens, src, &test_spans, &mut raw);
@@ -93,45 +149,83 @@ pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Fi
         rule_unsafe_forbidden(rel_path, &tokens, src, &mut raw);
     }
     rule_todo_tracker(rel_path, &tokens, src, &mut raw);
+    if profile.numeric {
+        rule_float_equality(rel_path, &code, src, &test_spans, &mut raw);
+    }
+    rule_lock_discipline(rel_path, &code, src, &test_spans, &mut raw);
+    rule_thread_hygiene(rel_path, &code, src, profile.eval_path, &mut raw);
 
-    // Apply suppressions: a finding is dropped when a valid suppression for
-    // its rule sits on the same line or the line directly above.
-    for f in raw {
-        let mut matched = false;
-        for s in suppressions.iter_mut() {
-            if s.error.is_none() && s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line) {
-                s.used = true;
-                matched = true;
+    FileAnalysis { rel_path: rel_path.to_string(), pre, raw, suppressions }
+}
+
+impl FileAnalysis {
+    /// Adds a finding produced outside the token-level rules (R6). It goes
+    /// through the same suppression matching as everything else, so a
+    /// justified `// analyze: allow(dead-public-api) — why` at the
+    /// definition site works.
+    pub(crate) fn push_raw(&mut self, f: Finding) {
+        self.raw.push(f);
+    }
+
+    /// Applies suppressions, reports unused ones, and returns the final
+    /// sorted findings for this file.
+    pub fn finish(mut self) -> Vec<Finding> {
+        let mut findings = self.pre;
+
+        // Apply suppressions: a finding is dropped when a valid suppression
+        // for its rule sits on the same line or the line directly above.
+        for f in self.raw {
+            let mut matched = false;
+            for s in self.suppressions.iter_mut() {
+                if s.error.is_none()
+                    && s.rule == f.rule
+                    && (s.line == f.line || s.line + 1 == f.line)
+                {
+                    s.used = true;
+                    matched = true;
+                }
+            }
+            if !matched {
+                findings.push(f);
             }
         }
-        if !matched {
-            findings.push(f);
-        }
-    }
 
-    for s in &suppressions {
-        if s.error.is_none() && !s.used {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: s.line,
-                col: s.col,
-                rule: "unused-suppression",
-                message: format!(
-                    "suppression for `{}` matches no finding on this or the next line; remove it",
-                    s.rule
-                ),
-            });
+        for s in &self.suppressions {
+            if s.error.is_none() && !s.used {
+                findings.push(Finding {
+                    file: self.rel_path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    rule: "unused-suppression",
+                    message: format!(
+                        "suppression for `{}` matches no finding on this or the next line; remove it",
+                        s.rule
+                    ),
+                    symbol: None,
+                });
+            }
         }
-    }
 
-    findings.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
-    findings
+        findings.sort_by_key(|f| (f.line, f.col));
+        findings
+    }
+}
+
+/// Analyzes one source file and returns its findings.
+///
+/// `rel_path` is used verbatim in diagnostics. This is the pure core the
+/// fixture tests drive; [`crate::workspace::analyze_workspace`] wraps it
+/// with file discovery and the workspace symbol graph.
+// analyze: allow(dead-public-api) — single-file entry point of the re-exported library surface; exercised by the fixture tests and kept public for external tooling that lints sources outside a workspace
+pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Finding> {
+    analyze_file(rel_path, src, profile).finish()
 }
 
 // ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
+#[derive(Debug)]
 struct Suppression {
     line: u32,
     col: u32,
@@ -200,8 +294,10 @@ fn parse_allow(s: &str) -> Result<(&str, &str), String> {
 // ---------------------------------------------------------------------------
 
 /// Byte spans covered by items annotated `#[cfg(test)]` (typically
-/// `mod tests { ... }` blocks). R1/R2 findings inside them are dropped.
-fn cfg_test_spans(tokens: &[Token], src: &str) -> Vec<std::ops::Range<usize>> {
+/// `mod tests { ... }` blocks). R1/R2 findings inside them are dropped;
+/// [`crate::symbols`] uses the same spans to exempt test-only definitions
+/// from R6.
+pub(crate) fn cfg_test_spans(tokens: &[Token], src: &str) -> Vec<std::ops::Range<usize>> {
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
@@ -354,6 +450,7 @@ fn rule_panic_free(
                 message: message
                     + "; return a typed error (or justify with \
                        `// analyze: allow(panic-free-paths) — <why>`)",
+                symbol: None,
             });
         }
     }
@@ -393,6 +490,7 @@ fn rule_lossy_cast(
                      `{target}::try_from(...)` and map the error (or justify with \
                      `// analyze: allow(lossy-cast) — <why>`)"
                 ),
+                symbol: None,
             });
         }
     }
@@ -425,6 +523,7 @@ fn rule_unsafe_forbidden(rel_path: &str, tokens: &[Token], src: &str, out: &mut 
             col: 1,
             rule: "unsafe-forbidden",
             message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            symbol: None,
         });
     }
 }
@@ -453,6 +552,7 @@ fn rule_todo_tracker(rel_path: &str, tokens: &[Token], src: &str, out: &mut Vec<
                         "`{marker}` comment without an issue reference; write \
                          `{marker}(#<issue>): ...`"
                     ),
+                    symbol: None,
                 });
             }
         }
@@ -484,6 +584,351 @@ fn has_issue_ref(text: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// R7: float-equality
+// ---------------------------------------------------------------------------
+
+/// Does a float literal *end* at `code[i]`? The lexer splits `1.0` into
+/// `Number('.')Number`, so a float literal is a number preceded by `.` and
+/// another number, or a number with an `e`/`f32`/`f64` marker in its text.
+fn float_literal_ends_at(code: &[&Token], i: usize, src: &str) -> bool {
+    let Some(t) = code.get(i) else { return false };
+    if t.kind != TokKind::Number {
+        return false;
+    }
+    let text = t.text(src);
+    if text.contains(['e', 'E']) && !text.starts_with("0x") {
+        return true;
+    }
+    if text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    i >= 2
+        && matches!(code[i - 1].kind, TokKind::Punct('.'))
+        && code[i - 2].kind == TokKind::Number
+        // Adjacency distinguishes `1.0` from a method-ish `x.0`-style chain.
+        && code[i - 1].end == t.start
+        && code[i - 2].end == code[i - 1].start
+}
+
+/// Does a float literal *start* at `code[i]`?
+fn float_literal_starts_at(code: &[&Token], i: usize, src: &str) -> bool {
+    let Some(t) = code.get(i) else { return false };
+    if t.kind != TokKind::Number {
+        return false;
+    }
+    let text = t.text(src);
+    if (text.contains(['e', 'E']) && !text.starts_with("0x"))
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+    {
+        return true;
+    }
+    code.get(i + 1).is_some_and(|d| matches!(d.kind, TokKind::Punct('.')) && d.start == t.end)
+        && code.get(i + 2).is_some_and(|n| n.kind == TokKind::Number)
+}
+
+/// R7: exact `==`/`!=` against a float literal in numeric-path code. Exact
+/// comparison is almost always wrong after arithmetic; use
+/// `hoga_tensor::approx_eq` (ULP-based) or `approx_eq_eps`.
+fn rule_float_equality(
+    rel_path: &str,
+    code: &[&Token],
+    src: &str,
+    test_spans: &[std::ops::Range<usize>],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len().saturating_sub(1) {
+        let (a, b) = (code[i], code[i + 1]);
+        let op = match (a.kind, b.kind) {
+            (TokKind::Punct('='), TokKind::Punct('=')) if a.end == b.start => "==",
+            (TokKind::Punct('!'), TokKind::Punct('=')) if a.end == b.start => "!=",
+            _ => continue,
+        };
+        // Skip `<=`, `>=`, `===`-like runs and `a != =` oddities.
+        if i > 0 && matches!(code[i - 1].kind, TokKind::Punct('=' | '<' | '>' | '!')) {
+            continue;
+        }
+        if matches!(code.get(i + 2).map(|t| t.kind), Some(TokKind::Punct('='))) {
+            continue;
+        }
+        if in_spans(a.start, test_spans) {
+            continue;
+        }
+        let lhs_float = i >= 1 && float_literal_ends_at(code, i - 1, src);
+        let rhs_float = float_literal_starts_at(code, i + 2, src);
+        if lhs_float || rhs_float {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: "float-equality",
+                message: format!(
+                    "float `{op}` is an exact bitwise comparison; use \
+                     `hoga_tensor::approx_eq`/`approx_eq_eps` (or justify an exact check with \
+                     `// analyze: allow(float-equality) — <why>`)"
+                ),
+                symbol: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R8: lock-discipline
+// ---------------------------------------------------------------------------
+
+/// An acquisition site: `<name> . lock|read|write ( )` with `name` taken
+/// from the token directly before the dot (field or variable name).
+fn lock_acquisition(code: &[&Token], i: usize, src: &str) -> Option<&'static str> {
+    let t = code.get(i)?;
+    if t.kind != TokKind::Ident || !matches!(t.text(src), "lock" | "read" | "write") {
+        return None;
+    }
+    let dotted = i >= 1 && matches!(code[i - 1].kind, TokKind::Punct('.'));
+    let zero_arg = matches!(code.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')))
+        && matches!(code.get(i + 2).map(|t| t.kind), Some(TokKind::Punct(')')));
+    if !(dotted && zero_arg) {
+        return None;
+    }
+    let recv = code.get(i.checked_sub(2)?)?;
+    if recv.kind != TokKind::Ident {
+        return None;
+    }
+    let name = recv.text(src);
+    LOCK_ORDER.iter().find(|n| **n == name).copied()
+}
+
+/// R8: lock discipline over the declared [`LOCK_ORDER`].
+///
+/// Tracks `let guard = <name>.lock()...` bindings per brace depth (released
+/// at end of scope or by `drop(guard)`) and flags (a) acquisitions that
+/// violate the declared order or re-acquire a held lock, (b) any
+/// `.lock()/.read()/.write()` immediately unwrapped with `.unwrap()` —
+/// poisoning must be handled (`PoisonError::into_inner`) or propagated.
+fn rule_lock_discipline(
+    rel_path: &str,
+    code: &[&Token],
+    src: &str,
+    test_spans: &[std::ops::Range<usize>],
+    out: &mut Vec<Finding>,
+) {
+    struct Held {
+        order: usize,
+        depth: i64,
+        var: Option<String>,
+        name: &'static str,
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i64;
+    for i in 0..code.len() {
+        let t = code[i];
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            _ => {}
+        }
+        // `drop(guard)` releases early.
+        if t.kind == TokKind::Ident
+            && t.text(src) == "drop"
+            && matches!(code.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')))
+        {
+            if let Some(arg) = code.get(i + 2).filter(|a| a.kind == TokKind::Ident) {
+                let arg = arg.text(src);
+                held.retain(|h| h.var.as_deref() != Some(arg));
+            }
+        }
+        let Some(name) = lock_acquisition(code, i, src) else {
+            // Not a declared lock — but `.lock().unwrap()` on *any* receiver
+            // is still a poisoning hazard.
+            maybe_flag_lock_unwrap(rel_path, code, i, src, test_spans, out);
+            continue;
+        };
+        maybe_flag_lock_unwrap(rel_path, code, i, src, test_spans, out);
+        let order = LOCK_ORDER.iter().position(|n| *n == name).unwrap_or(usize::MAX);
+        for h in &held {
+            if h.order >= order {
+                let relation =
+                    if h.order == order { "re-acquires" } else { "is out of order with" };
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "lock-discipline",
+                    message: format!(
+                        "acquiring `{name}` while a `{}` guard is held {relation} the declared \
+                         workspace lock order ({}); restructure or release the guard first",
+                        h.name,
+                        LOCK_ORDER.join(" -> ")
+                    ),
+                    symbol: Some(name.to_string()),
+                });
+            }
+        }
+        // A `let` at the start of the statement binds the guard.
+        if let Some((var, bind)) = binding_of(code, i, src) {
+            if bind {
+                held.push(Held { order, depth, var, name });
+            }
+        }
+    }
+}
+
+/// Flags `.lock()/.read()/.write()` (zero-arg, after a dot) chained
+/// directly into `.unwrap()`.
+fn maybe_flag_lock_unwrap(
+    rel_path: &str,
+    code: &[&Token],
+    i: usize,
+    src: &str,
+    test_spans: &[std::ops::Range<usize>],
+    out: &mut Vec<Finding>,
+) {
+    let t = code[i];
+    if t.kind != TokKind::Ident || !matches!(t.text(src), "lock" | "read" | "write") {
+        return;
+    }
+    let shape = i >= 1
+        && matches!(code[i - 1].kind, TokKind::Punct('.'))
+        && matches!(code.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')))
+        && matches!(code.get(i + 2).map(|t| t.kind), Some(TokKind::Punct(')')))
+        && matches!(code.get(i + 3).map(|t| t.kind), Some(TokKind::Punct('.')))
+        && code.get(i + 4).is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == "unwrap");
+    if shape && !in_spans(t.start, test_spans) {
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "lock-discipline",
+            message: format!(
+                "`.{}().unwrap()` panics on a poisoned lock; recover with \
+                 `.unwrap_or_else(std::sync::PoisonError::into_inner)` or propagate a typed error",
+                t.text(src)
+            ),
+            symbol: None,
+        });
+    }
+}
+
+/// If the statement containing the acquisition at `code[i]` is a `let`,
+/// returns `(bound variable, true)`; transient (unbound) acquisitions
+/// return `None` from the caller's perspective via `(None, false)`.
+fn binding_of(code: &[&Token], i: usize, src: &str) -> Option<(Option<String>, bool)> {
+    // Walk back to the statement boundary.
+    let mut j = i;
+    while j > 0 && !matches!(code[j - 1].kind, TokKind::Punct(';' | '{' | '}')) {
+        j -= 1;
+    }
+    let first = code.get(j)?;
+    if first.kind == TokKind::Ident && first.text(src) == "let" {
+        let mut k = j + 1;
+        if code.get(k).is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == "mut") {
+            k += 1;
+        }
+        let var = code.get(k).filter(|t| t.kind == TokKind::Ident).map(|t| t.text(src).to_string());
+        Some((var, true))
+    } else {
+        Some((None, false))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R9: thread-hygiene
+// ---------------------------------------------------------------------------
+
+/// R9: scoped-thread hygiene. Every `.spawn(...)` result must be bound (and
+/// joined) — a discarded handle silently swallows worker panics until the
+/// scope exit, losing the per-worker recovery point. In `crates/eval/src`
+/// bare `std::thread::spawn` is banned outright: worker lifetimes must be
+/// bounded by a `crossbeam::scope`.
+fn rule_thread_hygiene(
+    rel_path: &str,
+    code: &[&Token],
+    src: &str,
+    eval_path: bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident || t.text(src) != "spawn" {
+            continue;
+        }
+        // `thread::spawn` (any receiver-less path ending in thread::spawn).
+        let path_call = i >= 2
+            && matches!(code[i - 1].kind, TokKind::Punct(':'))
+            && matches!(code[i - 2].kind, TokKind::Punct(':'))
+            && code
+                .get(i.wrapping_sub(3))
+                .is_some_and(|p| p.kind == TokKind::Ident && p.text(src) == "thread");
+        if path_call && eval_path {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "thread-hygiene",
+                message: "unscoped `std::thread::spawn` in `eval`; use `crossbeam::scope` so \
+                          worker lifetimes are bounded and panics surface at `join`"
+                    .to_string(),
+                symbol: None,
+            });
+            continue;
+        }
+        // `<receiver>.spawn(...)` used as a bare statement discards the
+        // JoinHandle.
+        let method_call = i >= 1
+            && matches!(code[i - 1].kind, TokKind::Punct('.'))
+            && matches!(code.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')));
+        if !method_call {
+            continue;
+        }
+        // Find the matching `)` of the argument list.
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        let mut close = None;
+        while j < code.len() {
+            match code[j].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(close) = close else { continue };
+        if !matches!(code.get(close + 1).map(|t| t.kind), Some(TokKind::Punct(';'))) {
+            continue;
+        }
+        // Walk back over the receiver chain (`a.b.spawn`, `x::y.spawn`); if
+        // the chain starts a statement, the handle is discarded.
+        let mut k = i - 1; // the `.`
+        while k > 0 && matches!(code[k - 1].kind, TokKind::Punct('.' | ':') | TokKind::Ident) {
+            k -= 1;
+        }
+        let discarded = k == 0 || matches!(code[k - 1].kind, TokKind::Punct(';' | '{' | '}'));
+        if discarded {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "thread-hygiene",
+                message: "spawn result discarded; bind the handle and `join()` it so worker \
+                          panics are observed (or justify with \
+                          `// analyze: allow(thread-hygiene) — <why>`)"
+                    .to_string(),
+                symbol: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fixture-based rule tests
 // ---------------------------------------------------------------------------
 
@@ -492,7 +937,7 @@ mod tests {
     use super::*;
 
     fn hardened() -> FileProfile {
-        FileProfile { panic_free: true, lossy_cast: true, crate_root: false, all_test: false }
+        FileProfile { panic_free: true, lossy_cast: true, ..FileProfile::default() }
     }
 
     fn run(src: &str) -> Vec<Finding> {
@@ -652,8 +1097,7 @@ mod tests {
 
     #[test]
     fn crate_root_without_forbid_unsafe_is_flagged() {
-        let mut profile = FileProfile::default();
-        profile.crate_root = true;
+        let profile = FileProfile { crate_root: true, ..FileProfile::default() };
         let f = analyze_source("src/lib.rs", "pub fn f() {}\n", profile);
         assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
         assert_eq!((f[0].line, f[0].col), (1, 1));
@@ -664,8 +1108,7 @@ mod tests {
 
     #[test]
     fn forbid_in_comment_does_not_satisfy_unsafe_rule() {
-        let mut profile = FileProfile::default();
-        profile.crate_root = true;
+        let profile = FileProfile { crate_root: true, ..FileProfile::default() };
         let f =
             analyze_source("src/lib.rs", "// #![forbid(unsafe_code)]\npub fn f() {}\n", profile);
         assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
@@ -714,5 +1157,178 @@ mod tests {
         let f = run("fn f() { panic!(\"x\"); }\n");
         let line = f[0].to_string();
         assert!(line.starts_with("fixture.rs:1:10: [panic-free-paths]"), "got: {line}");
+    }
+
+    // --- R7: float-equality ------------------------------------------------
+
+    fn numeric() -> FileProfile {
+        FileProfile { numeric: true, ..FileProfile::default() }
+    }
+
+    fn run_numeric(src: &str) -> Vec<Finding> {
+        analyze_source("fixture.rs", src, numeric())
+    }
+
+    #[test]
+    fn float_eq_against_literal_is_flagged_both_sides() {
+        let f = run_numeric("fn f(y: f32) -> bool { y == 0.0 }\n");
+        assert_eq!(rules_of(&f), ["float-equality"]);
+        let f = run_numeric("fn f(y: f32) -> bool { 1.5 != y }\n");
+        assert_eq!(rules_of(&f), ["float-equality"]);
+        let f = run_numeric("fn f(y: f32) -> bool { y == 1e-6 }\n");
+        assert_eq!(rules_of(&f), ["float-equality"]);
+    }
+
+    #[test]
+    fn integer_eq_and_ordering_comparisons_are_fine() {
+        let src = "fn f(n: usize, y: f32) -> bool { n == 0 && y <= 0.5 && y >= 0.5 && n != 3 }\n";
+        assert!(run_numeric(src).is_empty(), "got: {:?}", run_numeric(src));
+    }
+
+    #[test]
+    fn float_eq_outside_numeric_profile_or_in_tests_is_fine() {
+        let src = "fn f(y: f32) -> bool { y == 0.0 }\n";
+        assert!(run(src).is_empty(), "non-numeric profile: {:?}", run(src));
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t(y: f32) -> bool { y == 0.0 }\n}\n";
+        assert!(run_numeric(test_src).is_empty(), "got: {:?}", run_numeric(test_src));
+    }
+
+    #[test]
+    fn float_eq_suppression_works() {
+        let src = "fn f(y: f32) -> bool {\n\
+                   y == 0.0 // analyze: allow(float-equality) — exact-zero sparsity fast path\n\
+                   }\n";
+        assert!(run_numeric(src).is_empty(), "got: {:?}", run_numeric(src));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float_literal() {
+        let src = "fn f(p: (u32, u32)) -> bool { p.0 == p.1 }\n";
+        assert!(run_numeric(src).is_empty(), "got: {:?}", run_numeric(src));
+    }
+
+    // --- R8: lock-discipline -----------------------------------------------
+
+    /// Plain profile: only the always-on rules (R4, R8, R9) run, so lock
+    /// and thread fixtures don't also trip R1's unwrap check.
+    fn run_plain(src: &str) -> Vec<Finding> {
+        analyze_source("fixture.rs", src, FileProfile::default())
+    }
+
+    #[test]
+    fn lock_order_violation_is_flagged() {
+        // event_log (idx 1) held while grad_slots (idx 0) is acquired.
+        let src = "fn f(s: &Shared) {\n\
+                   let log = s.event_log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   let slots = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   }\n";
+        let f = run_plain(src);
+        assert_eq!(rules_of(&f), ["lock-discipline"]);
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].symbol.as_deref(), Some("grad_slots"));
+    }
+
+    #[test]
+    fn declared_lock_order_is_accepted() {
+        let src = "fn f(s: &Shared) {\n\
+                   let slots = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   let log = s.event_log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   }\n";
+        assert!(run_plain(src).is_empty(), "got: {:?}", run_plain(src));
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_flagged() {
+        let src = "fn f(s: &Shared) {\n\
+                   let a = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   let b = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                   }\n";
+        let f = run_plain(src);
+        assert_eq!(rules_of(&f), ["lock-discipline"]);
+        assert!(f[0].message.contains("re-acquires"), "got: {}", f[0].message);
+    }
+
+    #[test]
+    fn guard_release_by_scope_or_drop_clears_the_order_state() {
+        let scoped = "fn f(s: &Shared) {\n\
+                      {\n\
+                      let log = s.event_log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                      }\n\
+                      let slots = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                      }\n";
+        assert!(run_plain(scoped).is_empty(), "scope release: {:?}", run_plain(scoped));
+        let dropped = "fn f(s: &Shared) {\n\
+                       let log = s.event_log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                       drop(log);\n\
+                       let slots = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                       }\n";
+        assert!(run_plain(dropped).is_empty(), "drop release: {:?}", run_plain(dropped));
+    }
+
+    #[test]
+    fn lock_unwrap_is_flagged_everywhere_but_tests() {
+        let f = run_plain("fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap() }\n");
+        assert_eq!(rules_of(&f), ["lock-discipline"]);
+        assert!(f[0].message.contains("poisoned"), "got: {}", f[0].message);
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap() }\n}\n";
+        assert!(run_plain(test_src).is_empty(), "got: {:?}", run_plain(test_src));
+    }
+
+    #[test]
+    fn read_with_arguments_is_not_a_lock() {
+        let src =
+            "fn f(r: &mut impl std::io::Read, buf: &mut [u8]) { let _ = r.read(buf).unwrap(); }\n";
+        assert!(run_plain(src).is_empty(), "got: {:?}", run_plain(src));
+    }
+
+    // --- R9: thread-hygiene ------------------------------------------------
+
+    #[test]
+    fn discarded_spawn_handle_is_flagged() {
+        let src = "fn f() {\n\
+                   crossbeam::scope(|s| {\n\
+                   s.spawn(|_| work());\n\
+                   }).unwrap_or(());\n\
+                   }\n";
+        let f = run_plain(src);
+        assert_eq!(rules_of(&f), ["thread-hygiene"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn bound_or_collected_spawn_handles_are_fine() {
+        let src = "fn f() {\n\
+                   crossbeam::scope(|s| {\n\
+                   let h = s.spawn(|_| work());\n\
+                   handles.push(s.spawn(|_| more()));\n\
+                   h.join().unwrap_or_default();\n\
+                   }).unwrap_or(());\n\
+                   }\n";
+        assert!(run_plain(src).is_empty(), "got: {:?}", run_plain(src));
+    }
+
+    #[test]
+    fn std_thread_spawn_is_flagged_only_on_eval_paths() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let eval = FileProfile { eval_path: true, ..FileProfile::default() };
+        let f = analyze_source("crates/eval/src/x.rs", src, eval);
+        assert_eq!(rules_of(&f), ["thread-hygiene"]);
+        assert!(f[0].message.contains("crossbeam::scope"));
+        // Outside eval the same code only gets the discard check (the
+        // handle IS discarded here, so suppress that case with a binding).
+        let bound = "fn f() { let h = std::thread::spawn(|| {}); h.join().unwrap_or(()); }\n";
+        assert!(run_plain(bound).is_empty(), "got: {:?}", run_plain(bound));
+    }
+
+    #[test]
+    fn thread_hygiene_suppression_works() {
+        let src = "fn f() {\n\
+                   crossbeam::scope(|s| {\n\
+                   // analyze: allow(thread-hygiene) — fire-and-forget logger, scope join bounds it\n\
+                   s.spawn(|_| log());\n\
+                   }).unwrap_or(());\n\
+                   }\n";
+        assert!(run_plain(src).is_empty(), "got: {:?}", run_plain(src));
     }
 }

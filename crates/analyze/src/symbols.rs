@@ -1,0 +1,345 @@
+//! The workspace symbol graph — definitions, references and liveness.
+//!
+//! Built from every `.rs` file at once: [`crate::parser`] supplies the
+//! definitions, a second pass counts every identifier occurrence as a
+//! (name, unit) reference, and a worklist propagates liveness along two
+//! kinds of edges:
+//!
+//! * **type edges** — a live item keeps every workspace definition named in
+//!   its type positions alive (a caller of `pub fn stats() -> RunStats`
+//!   uses `RunStats` even if it never writes the name);
+//! * **owner edges** — a live method keeps its `impl` subject alive.
+//!
+//! Roots are definitions referenced from *outside* their source unit
+//! (another crate, or a `tests/`/`benches/`/`examples/` target — those are
+//! separate linked crates, so demoting an item they name would not
+//! compile). A `pub` definition in a library source unit that never
+//! becomes live is dead public API (rule R6).
+//!
+//! Resolution is by name, not by path: two definitions sharing a name
+//! shadow each other, which can only *under*-report dead API. That is the
+//! right failure mode for a lint that demands action on every finding.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, TokKind};
+use crate::parser::{parse_items, ItemKind, Visibility};
+use crate::rules::cfg_test_spans;
+
+/// One definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct SymbolDef {
+    /// Declared name.
+    pub name: String,
+    /// Source unit that owns it (see [`source_unit`]).
+    pub unit: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Visibility as written.
+    pub vis: Visibility,
+    /// Defined inside a `#[cfg(test)]` item (never part of the API).
+    pub in_test_item: bool,
+    /// Names this definition's type positions mention (liveness edges).
+    dep_names: Vec<String>,
+    /// `impl` subject for methods (owner edge).
+    owner: Option<String>,
+}
+
+/// The assembled graph plus its liveness fixpoint.
+#[derive(Debug)]
+pub struct SymbolGraph {
+    defs: Vec<SymbolDef>,
+    live: Vec<bool>,
+    /// name → unit → identifier occurrences.
+    refs: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Type/owner edges actually traversed, as (from def, to def) indices.
+    edge_count: usize,
+}
+
+/// The source unit a workspace-relative path belongs to.
+///
+/// A unit is a separately compiled target: `crates/X/src` is the library
+/// `crates/X`; `crates/X/tests` (or `benches`, `examples`) are distinct
+/// units because each file there links against the *public* API of the
+/// library. Root-package paths map to `root`, `tests`, `examples`, ...
+pub(crate) fn source_unit(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Binary targets (`src/main.rs`, `src/bin/*`) consume the sibling
+    // library's *public* API, so they form their own unit.
+    let is_bin = |tail: &[&str]| tail.last() == Some(&"main.rs") || tail.first() == Some(&"bin");
+    if parts.first() == Some(&"crates") && parts.len() >= 3 {
+        if parts[2] == "src" {
+            if is_bin(&parts[3..]) {
+                format!("crates/{}/main", parts[1])
+            } else {
+                format!("crates/{}", parts[1])
+            }
+        } else {
+            format!("crates/{}/{}", parts[1], parts[2])
+        }
+    } else if parts.first() == Some(&"src") {
+        if is_bin(&parts[1..]) {
+            "root/main".to_string()
+        } else {
+            "root".to_string()
+        }
+    } else {
+        parts.first().unwrap_or(&"root").to_string()
+    }
+}
+
+/// Is `unit` a library/binary source unit (whose `pub` items are API)?
+pub(crate) fn is_src_unit(unit: &str) -> bool {
+    unit == "root" || (unit.starts_with("crates/") && unit.matches('/').count() == 1)
+}
+
+impl SymbolGraph {
+    /// Builds the graph over `(workspace-relative path, source)` pairs and
+    /// runs the liveness fixpoint.
+    pub fn build(files: &[(String, String)]) -> SymbolGraph {
+        let mut defs: Vec<SymbolDef> = Vec::new();
+        let mut lexed = Vec::with_capacity(files.len());
+        for (rel, src) in files {
+            let tokens = lex(src);
+            let unit = source_unit(rel);
+            let test_spans = cfg_test_spans(&tokens, src);
+            for item in parse_items(&tokens, src) {
+                if matches!(item.kind, ItemKind::Use | ItemKind::Impl) {
+                    continue;
+                }
+                let Some(name) = item.name else { continue };
+                defs.push(SymbolDef {
+                    name,
+                    unit: unit.clone(),
+                    file: rel.clone(),
+                    line: item.line,
+                    col: item.col,
+                    kind: item.kind,
+                    vis: item.vis,
+                    in_test_item: test_spans.iter().any(|s| s.contains(&item.start)),
+                    dep_names: item.dep_names,
+                    owner: item.owner,
+                });
+            }
+            lexed.push((rel, src, tokens));
+        }
+
+        let names: BTreeSet<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        let mut refs: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for (rel, src, tokens) in &lexed {
+            let unit = source_unit(rel);
+            for t in tokens.iter().filter(|t| t.kind == TokKind::Ident) {
+                let text = t.text(src);
+                let text = text.strip_prefix("r#").unwrap_or(text);
+                if names.contains(text) {
+                    *refs.entry(text.to_string()).or_default().entry(unit.clone()).or_insert(0) +=
+                        1;
+                }
+            }
+        }
+
+        let mut graph = SymbolGraph { live: vec![false; defs.len()], defs, refs, edge_count: 0 };
+        graph.propagate();
+        graph
+    }
+
+    /// Worklist liveness: roots are externally referenced defs, edges are
+    /// type deps and method owners.
+    fn propagate(&mut self) {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, d) in self.defs.iter().enumerate() {
+            by_name.entry(d.name.as_str()).or_default().push(i);
+        }
+        let mut work: Vec<usize> =
+            (0..self.defs.len()).filter(|&i| self.external_refs(&self.defs[i]) > 0).collect();
+        for &i in &work {
+            self.live[i] = true;
+        }
+        let mut edges = 0usize;
+        while let Some(i) = work.pop() {
+            let mut reached: Vec<usize> = Vec::new();
+            for dep in &self.defs[i].dep_names {
+                if let Some(targets) = by_name.get(dep.as_str()) {
+                    reached.extend_from_slice(targets);
+                }
+            }
+            if let Some(owner) = &self.defs[i].owner {
+                if let Some(targets) = by_name.get(owner.as_str()) {
+                    reached.extend_from_slice(targets);
+                }
+            }
+            for j in reached {
+                edges += 1;
+                if !self.live[j] {
+                    self.live[j] = true;
+                    work.push(j);
+                }
+            }
+        }
+        self.edge_count = edges;
+    }
+
+    /// Identifier occurrences of `def.name` outside `def.unit`.
+    pub(crate) fn external_refs(&self, def: &SymbolDef) -> usize {
+        self.refs
+            .get(&def.name)
+            .map(|per_unit| per_unit.iter().filter(|(u, _)| **u != def.unit).map(|(_, n)| *n).sum())
+            .unwrap_or(0)
+    }
+
+    /// All definitions.
+    pub fn defs(&self) -> &[SymbolDef] {
+        &self.defs
+    }
+
+    /// Did the fixpoint reach this definition?
+    pub fn is_live(&self, idx: usize) -> bool {
+        self.live[idx]
+    }
+
+    /// Liveness edges traversed (for the bench report).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total (name, unit) reference entries (for the bench report).
+    pub fn ref_entries(&self) -> usize {
+        self.refs.values().map(|m| m.len()).sum()
+    }
+
+    /// Dead public API: `pub` definitions in library source units that the
+    /// liveness fixpoint never reached. `main`/`mod` definitions and items
+    /// inside `#[cfg(test)]` are exempt.
+    pub(crate) fn dead_public(&self) -> Vec<&SymbolDef> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                !self.live[*i]
+                    && d.vis == Visibility::Public
+                    && is_src_unit(&d.unit)
+                    && !d.in_test_item
+                    && d.name != "main"
+                    && d.kind != ItemKind::Mod
+            })
+            .map(|(_, d)| d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(list: &[(&str, &str)]) -> Vec<(String, String)> {
+        list.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect()
+    }
+
+    #[test]
+    fn source_units_split_library_from_test_targets() {
+        assert_eq!(source_unit("crates/tensor/src/matrix.rs"), "crates/tensor");
+        assert_eq!(source_unit("crates/tensor/tests/it.rs"), "crates/tensor/tests");
+        assert_eq!(source_unit("crates/bench/benches/fig5.rs"), "crates/bench/benches");
+        assert_eq!(source_unit("crates/analyze/src/main.rs"), "crates/analyze/main");
+        assert_eq!(source_unit("crates/x/src/bin/tool.rs"), "crates/x/main");
+        assert_eq!(source_unit("src/main.rs"), "root/main");
+        assert_eq!(source_unit("src/lib.rs"), "root");
+        assert_eq!(source_unit("examples/demo.rs"), "examples");
+        assert!(is_src_unit("crates/tensor"));
+        assert!(!is_src_unit("crates/tensor/tests"));
+        assert!(!is_src_unit("crates/analyze/main"));
+        assert!(is_src_unit("root"));
+    }
+
+    #[test]
+    fn bin_target_use_counts_as_external() {
+        let g = SymbolGraph::build(&files(&[
+            ("crates/a/src/lib.rs", "pub fn run() {}\n"),
+            ("crates/a/src/main.rs", "fn main() { a::run(); }\n"),
+        ]));
+        assert!(g.dead_public().is_empty(), "dead: {:?}", g.dead_public());
+    }
+
+    #[test]
+    fn externally_used_pub_fn_is_live_and_unused_one_is_dead() {
+        let g = SymbolGraph::build(&files(&[
+            ("crates/a/src/lib.rs", "pub fn used() {}\npub fn unused() {}\n"),
+            ("crates/b/src/lib.rs", "fn f() { a::used(); }\n"),
+        ]));
+        let dead: Vec<&str> = g.dead_public().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(dead, ["unused"]);
+    }
+
+    #[test]
+    fn use_from_own_tests_dir_counts_as_external() {
+        // tests/ is a separate linked crate: demoting the item would break it.
+        let g = SymbolGraph::build(&files(&[
+            ("crates/a/src/lib.rs", "pub fn helper() {}\n"),
+            ("crates/a/tests/it.rs", "#[test]\nfn t() { a::helper(); }\n"),
+        ]));
+        assert!(g.dead_public().is_empty());
+    }
+
+    #[test]
+    fn return_type_of_live_fn_is_kept_alive() {
+        // `Stats` is never written outside crates/a, but `stats()` is used
+        // and returns it — the type edge keeps it alive.
+        let g = SymbolGraph::build(&files(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct Stats { pub n: usize }\npub fn stats() -> Stats { Stats { n: 0 } }\n",
+            ),
+            ("crates/b/src/lib.rs", "fn f() { let s = a::stats(); let _ = s.n; }\n"),
+        ]));
+        assert!(g.dead_public().is_empty(), "dead: {:?}", g.dead_public());
+    }
+
+    #[test]
+    fn live_method_keeps_its_impl_subject_alive() {
+        let g = SymbolGraph::build(&files(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct Acc;\nimpl Acc {\n    pub fn push(&mut self) {}\n}\n\
+                 pub fn acc() -> Acc { Acc }\n",
+            ),
+            ("crates/b/src/lib.rs", "fn f() { a::acc().push(); }\n"),
+        ]));
+        assert!(g.dead_public().is_empty(), "dead: {:?}", g.dead_public());
+    }
+
+    #[test]
+    fn cfg_test_items_and_main_are_exempt() {
+        let g = SymbolGraph::build(&files(&[(
+            "crates/a/src/main.rs",
+            "fn main() {}\n#[cfg(test)]\nmod tests {\n    pub fn fixture() {}\n}\n",
+        )]));
+        assert!(g.dead_public().is_empty(), "dead: {:?}", g.dead_public());
+    }
+
+    #[test]
+    fn pub_crate_items_are_never_dead_api() {
+        let g = SymbolGraph::build(&files(&[(
+            "crates/a/src/lib.rs",
+            "pub(crate) fn internal() {}\nfn private() {}\n",
+        )]));
+        assert!(g.dead_public().is_empty());
+    }
+
+    #[test]
+    fn dead_chain_is_not_kept_alive_by_itself() {
+        // `only_dead_caller` mentions `Lost` in its signature, but is dead
+        // itself — liveness must not leak from dead definitions.
+        let g = SymbolGraph::build(&files(&[(
+            "crates/a/src/lib.rs",
+            "pub struct Lost;\npub fn only_dead_caller() -> Lost { Lost }\n",
+        )]));
+        let dead: Vec<&str> = g.dead_public().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(dead, ["Lost", "only_dead_caller"]);
+    }
+}

@@ -4,20 +4,28 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{analyze_source, FileProfile, Finding};
+use crate::rules::{analyze_file, FileProfile, Finding};
+use crate::symbols::SymbolGraph;
 
 /// Modules that must stay panic-free on non-test paths (R1).
-pub const HARDENED_MODULES: &[&str] = &[
+pub(crate) const HARDENED_MODULES: &[&str] = &[
     "crates/circuit/src/aiger.rs",
     "crates/datasets/src/io.rs",
     "crates/eval/src/trainer.rs",
     "crates/eval/src/parallel_train.rs",
+    "crates/eval/src/sched.rs",
     "crates/tensor/src/matrix.rs",
 ];
 
 /// Decode/parse files where `as u32`/`as usize`/`as i64` casts must be
 /// checked conversions (R2).
-pub const DECODE_MODULES: &[&str] = &["crates/circuit/src/aiger.rs", "crates/datasets/src/io.rs"];
+pub(crate) const DECODE_MODULES: &[&str] =
+    &["crates/circuit/src/aiger.rs", "crates/datasets/src/io.rs"];
+
+/// Library sources on the numeric path, where float `==`/`!=` is exact
+/// bit comparison after arithmetic and therefore flagged (R7).
+pub(crate) const NUMERIC_MODULES: &[&str] =
+    &["crates/tensor/src/", "crates/autograd/src/", "crates/eval/src/"];
 
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
@@ -37,41 +45,97 @@ impl std::fmt::Display for WalkError {
 
 impl std::error::Error for WalkError {}
 
-/// Analyzes every `.rs` file under `root` and returns all findings,
-/// sorted by (file, line, col).
-pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, WalkError> {
+/// Every workspace `.rs` file as `(workspace-relative path, absolute
+/// path)`, sorted by relative path. Exposed so the lexer differential test
+/// and the analyzer bench iterate exactly the files the linter sees.
+pub fn workspace_rs_files(root: &Path) -> Result<Vec<(String, PathBuf)>, WalkError> {
     let mut rs_files = Vec::new();
     collect_rs_files(root, &mut rs_files)?;
-    rs_files.sort();
+    let mut out: Vec<(String, PathBuf)> =
+        rs_files.into_iter().map(|p| (rel_string(root, &p), p)).collect();
+    out.sort();
+    Ok(out)
+}
 
+/// Reads every workspace `.rs` file into `(relative path, source)` pairs —
+/// the input shape [`SymbolGraph::build`] wants.
+pub fn read_workspace_sources(root: &Path) -> Result<Vec<(String, String)>, WalkError> {
+    let mut sources = Vec::new();
+    for (rel, path) in workspace_rs_files(root)? {
+        let src = fs::read_to_string(&path).map_err(|source| WalkError { path, source })?;
+        sources.push((rel, src));
+    }
+    Ok(sources)
+}
+
+/// Analyzes every `.rs` file under `root` and returns all findings,
+/// sorted by (file, line, col).
+///
+/// Two layers run: the per-file token rules (R1–R5, R7–R9) and the
+/// workspace [`SymbolGraph`] (R6), whose findings are folded into each
+/// file's suppression pass so a justified allow at the definition site
+/// works the same way for both layers.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, WalkError> {
+    let sources = read_workspace_sources(root)?;
     let crate_roots = discover_crate_roots(root)?;
+    let graph = SymbolGraph::build(&sources);
+    let mut dead = dead_api_findings(&graph);
 
     let mut findings = Vec::new();
-    for path in &rs_files {
-        let rel = rel_string(root, path);
-        let src =
-            fs::read_to_string(path).map_err(|source| WalkError { path: path.clone(), source })?;
-        let profile = profile_for(&rel, &crate_roots);
-        findings.extend(analyze_source(&rel, &src, profile));
+    for (rel, src) in &sources {
+        let profile = profile_for(rel, &crate_roots);
+        let mut fa = analyze_file(rel, src, profile);
+        for f in dead.remove(rel.as_str()).unwrap_or_default() {
+            fa.push_raw(f);
+        }
+        findings.extend(fa.finish());
     }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
     Ok(findings)
 }
 
+/// R6 findings from the symbol graph, grouped by file.
+pub(crate) fn dead_api_findings(
+    graph: &SymbolGraph,
+) -> std::collections::BTreeMap<String, Vec<Finding>> {
+    let mut by_file: std::collections::BTreeMap<String, Vec<Finding>> =
+        std::collections::BTreeMap::new();
+    for def in graph.dead_public() {
+        by_file.entry(def.file.clone()).or_default().push(Finding {
+            file: def.file.clone(),
+            line: def.line,
+            col: def.col,
+            rule: "dead-public-api",
+            message: format!(
+                "pub {} `{}` has no references outside `{}`; demote to pub(crate)/private, \
+                 delete it, or justify with `// analyze: allow(dead-public-api) — <why>`",
+                def.kind.label(),
+                def.name,
+                def.unit
+            ),
+            symbol: Some(def.name.clone()),
+        });
+    }
+    by_file
+}
+
 /// Decides which rules apply to a workspace-relative path.
-pub fn profile_for(rel: &str, crate_roots: &[String]) -> FileProfile {
+pub(crate) fn profile_for(rel: &str, crate_roots: &[String]) -> FileProfile {
+    let all_test = rel.split('/').any(|c| c == "tests" || c == "benches" || c == "examples");
     FileProfile {
         panic_free: HARDENED_MODULES.contains(&rel),
         lossy_cast: DECODE_MODULES.contains(&rel),
         crate_root: crate_roots.iter().any(|r| r == rel),
-        all_test: rel.split('/').any(|c| c == "tests" || c == "benches" || c == "examples"),
+        all_test,
+        numeric: !all_test && NUMERIC_MODULES.iter().any(|m| rel.starts_with(m)),
+        eval_path: rel.starts_with("crates/eval/src/"),
     }
 }
 
 /// Crate roots are `src/lib.rs` / `src/main.rs` siblings of a `Cargo.toml`
 /// that has a `[package]` section (virtual workspace manifests don't count).
-pub fn discover_crate_roots(root: &Path) -> Result<Vec<String>, WalkError> {
+pub(crate) fn discover_crate_roots(root: &Path) -> Result<Vec<String>, WalkError> {
     let mut manifests = Vec::new();
     collect_manifests(root, &mut manifests)?;
     let mut roots = Vec::new();

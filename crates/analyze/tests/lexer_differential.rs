@@ -1,0 +1,108 @@
+//! Differential test: the lexer must account for every byte of every
+//! workspace source file.
+//!
+//! For each `.rs` file the linter walks, re-concatenating the lexed token
+//! spans together with the inter-token gaps must reproduce the file
+//! byte-for-byte, the gaps must be pure whitespace (the lexer tokenizes
+//! everything else, comments included), and spans must be strictly
+//! monotonic and non-overlapping. Running against the live workspace makes
+//! the whole repository the test corpus, so any construct the lexer
+//! mishandles shows up as soon as someone writes it.
+
+use std::fs;
+use std::path::Path;
+
+use hoga_analyze::lexer::{lex, Token};
+use hoga_analyze::workspace::workspace_rs_files;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let files = workspace_rs_files(&workspace_root()).expect("workspace walk");
+    assert!(files.len() >= 20, "workspace corpus suspiciously small: {} files", files.len());
+    files
+        .into_iter()
+        .map(|(rel, path)| {
+            let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+            (rel, src)
+        })
+        .collect()
+}
+
+/// Reconstructs the source from token spans plus inter-token gaps.
+fn reassemble(src: &str, tokens: &[Token]) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    for t in tokens {
+        out.push_str(&src[cursor..t.start]);
+        out.push_str(t.text(src));
+        cursor = t.end;
+    }
+    out.push_str(&src[cursor..]);
+    out
+}
+
+#[test]
+fn token_spans_reassemble_every_file_byte_for_byte() {
+    for (rel, src) in corpus() {
+        let tokens = lex(&src);
+        assert_eq!(reassemble(&src, &tokens), src, "byte-level mismatch in {rel}");
+    }
+}
+
+#[test]
+fn token_spans_are_strictly_monotonic_and_in_bounds() {
+    for (rel, src) in corpus() {
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for (i, t) in tokens.iter().enumerate() {
+            assert!(t.start < t.end, "{rel}: token {i} has an empty span ({}..{})", t.start, t.end);
+            assert!(
+                t.start >= prev_end,
+                "{rel}: token {i} at {} overlaps the previous token ending at {prev_end}",
+                t.start
+            );
+            assert!(t.end <= src.len(), "{rel}: token {i} ends past EOF");
+            assert!(
+                src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+                "{rel}: token {i} splits a UTF-8 character"
+            );
+            prev_end = t.end;
+        }
+    }
+}
+
+#[test]
+fn inter_token_gaps_are_pure_whitespace() {
+    for (rel, src) in corpus() {
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for (i, t) in tokens.iter().enumerate() {
+            let gap = &src[cursor..t.start];
+            assert!(
+                gap.chars().all(char::is_whitespace),
+                "{rel}: non-whitespace bytes {gap:?} before token {i} — the lexer skipped them"
+            );
+            cursor = t.end;
+        }
+        assert!(
+            src[cursor..].chars().all(char::is_whitespace),
+            "{rel}: non-whitespace trailing bytes after the last token"
+        );
+    }
+}
+
+#[test]
+fn line_and_column_positions_match_spans() {
+    for (rel, src) in corpus() {
+        let tokens = lex(&src);
+        for (i, t) in tokens.iter().enumerate() {
+            let before = &src[..t.start];
+            let line = 1 + before.matches('\n').count() as u32;
+            let col = 1 + before.rsplit('\n').next().unwrap_or("").chars().count() as u32;
+            assert_eq!((t.line, t.col), (line, col), "{rel}: token {i} position drift");
+        }
+    }
+}

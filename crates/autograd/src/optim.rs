@@ -186,6 +186,7 @@ impl Adam {
     }
 
     /// Adds decoupled (AdamW-style) weight decay.
+    // analyze: allow(dead-public-api) — decoupled weight decay is part of the optimizer's public configuration surface; exercised by the unit tests
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         self.weight_decay = wd;
         self
@@ -342,6 +343,7 @@ impl Sgd {
     }
 
     /// Adds classical momentum.
+    // analyze: allow(dead-public-api) — momentum is part of the optimizer's public configuration surface; exercised by the unit tests
     pub fn with_momentum(mut self, momentum: f32) -> Self {
         self.momentum = momentum;
         self

@@ -64,6 +64,7 @@ impl ParamSet {
     }
 
     /// Total number of scalar weights across all parameters.
+    // analyze: allow(dead-public-api) — public capacity-reporting helper for model summaries; exercised by the unit tests
     pub fn num_weights(&self) -> usize {
         self.values.iter().map(Matrix::len).sum()
     }

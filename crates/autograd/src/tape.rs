@@ -82,6 +82,7 @@ impl Gradients {
     }
 
     /// Rescales so the global norm does not exceed `max_norm`.
+    // analyze: allow(dead-public-api) — public gradient-clipping utility of the training API; exercised by the unit tests
     pub fn clip_global_norm(&mut self, max_norm: f32) {
         let n = self.global_norm();
         if n > max_norm && n > 0.0 {
@@ -462,6 +463,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if the mask shape differs from `x`.
+    // analyze: allow(dead-public-api) — public regularization op of the tape API; its backward pass is covered by gradcheck tests
     pub fn dropout(&mut self, x: Var, mask: Matrix) -> Var {
         let v = self.nodes[x.0].value.hadamard(&mask);
         self.push(v, Op::Dropout { x, mask })

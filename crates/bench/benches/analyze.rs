@@ -1,0 +1,80 @@
+//! Benchmarks the workspace linter itself: full `analyze_workspace` wall
+//! time plus lexer throughput, written to `BENCH_analyze.json` at the
+//! workspace root so CI can archive linter performance next to its report.
+//!
+//! A plain `harness = false` main (no Criterion): the workload is one
+//! deterministic pass over the repository, so min-of-N wall clock is the
+//! honest statistic and the JSON stays trivially machine-readable.
+
+use std::path::Path;
+use std::time::Instant;
+
+use hoga_analyze::lexer::lex;
+use hoga_analyze::workspace::{read_workspace_sources, workspace_rs_files};
+use hoga_analyze::{analyze_workspace, SymbolGraph};
+
+const RUNS: usize = 5;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = workspace_rs_files(&root).expect("workspace walk");
+    let sources = read_workspace_sources(&root).expect("workspace read");
+    let total_bytes: usize = sources.iter().map(|(_, s)| s.len()).sum();
+
+    // Lexer throughput: tokens/sec over the whole corpus, best of RUNS.
+    let mut total_tokens = 0usize;
+    let mut best_lex = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        total_tokens = sources.iter().map(|(_, s)| lex(s).len()).sum();
+        best_lex = best_lex.min(t0.elapsed().as_secs_f64());
+    }
+    let tokens_per_sec = total_tokens as f64 / best_lex.max(1e-12);
+
+    // Symbol graph construction on pre-read sources.
+    let mut best_graph = f64::INFINITY;
+    let mut edges = 0usize;
+    let (mut defs, mut live_defs, mut ref_entries) = (0usize, 0usize, 0usize);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let graph = SymbolGraph::build(&sources);
+        edges = graph.edge_count();
+        best_graph = best_graph.min(t0.elapsed().as_secs_f64());
+        defs = graph.defs().len();
+        live_defs = (0..defs).filter(|&i| graph.is_live(i)).count();
+        ref_entries = graph.ref_entries();
+    }
+
+    // End-to-end: walk + lex + parse + graph + every rule.
+    let mut best_full = f64::INFINITY;
+    let mut findings = 0usize;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        findings = analyze_workspace(&root).expect("analyze").len();
+        best_full = best_full.min(t0.elapsed().as_secs_f64());
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"analyze_workspace\",\n  \"files\": {},\n  \"bytes\": {},\n  \
+         \"tokens\": {},\n  \"tokens_per_sec\": {:.0},\n  \"lex_wall_s\": {:.6},\n  \
+         \"symbol_graph_wall_s\": {:.6},\n  \"symbol_graph_edges\": {},\n  \
+         \"symbol_defs\": {},\n  \"symbol_defs_live\": {},\n  \"symbol_ref_entries\": {},\n  \
+         \"full_analyze_wall_s\": {:.6},\n  \"findings\": {}\n}}\n",
+        files.len(),
+        total_bytes,
+        total_tokens,
+        tokens_per_sec,
+        best_lex,
+        best_graph,
+        edges,
+        defs,
+        live_defs,
+        ref_entries,
+        best_full,
+        findings
+    );
+    print!("{json}");
+    let out = root.join("BENCH_analyze.json");
+    std::fs::write(&out, json).expect("write BENCH_analyze.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -26,6 +26,7 @@ pub fn undirected(aig: &Aig) -> CsrMatrix {
 
 /// Directed fanin→gate adjacency (rows = destinations), used by
 /// direction-aware models and by the random-walk sampler.
+// analyze: allow(dead-public-api) — direction-aware companion of the public adjacency API; kept for directed-model baselines and covered by tests
 pub fn directed(aig: &Aig) -> CsrMatrix {
     let n = aig.num_nodes();
     let mut triplets = Vec::with_capacity(aig.num_edges());

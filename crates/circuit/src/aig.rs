@@ -140,6 +140,7 @@ impl Aig {
     ///
     /// Panics if any AND gate already exists (PIs must precede gates to keep
     /// node order topological).
+    // analyze: allow(dead-public-api) — incremental-construction entry of the public AIG builder API; generators use with_pis, tests use this path
     pub fn add_pi(&mut self) -> Lit {
         assert_eq!(self.nodes.len(), self.num_pis + 1, "PIs must be added before any gate");
         self.nodes.push(NodeKind::Pi(self.num_pis as u32));
@@ -189,7 +190,7 @@ impl Aig {
     ///
     /// Returns an error if either fanin references a node that does not
     /// exist yet (which would break topological order).
-    pub fn and_raw(&mut self, a: Lit, b: Lit) -> Result<Lit, String> {
+    pub(crate) fn and_raw(&mut self, a: Lit, b: Lit) -> Result<Lit, String> {
         if a.node() as usize >= self.nodes.len() || b.node() as usize >= self.nodes.len() {
             return Err(format!("fanin {a} or {b} out of range"));
         }
@@ -292,7 +293,7 @@ impl Aig {
     }
 
     /// Marks the nodes reachable from the POs (transitive fanin).
-    pub fn live_nodes(&self) -> Vec<bool> {
+    pub(crate) fn live_nodes(&self) -> Vec<bool> {
         let mut live = vec![false; self.nodes.len()];
         live[0] = true;
         let mut stack: Vec<NodeId> = self.pos.iter().map(|l| l.node()).collect();
@@ -363,6 +364,7 @@ impl Aig {
     ///
     /// Panics if `num_nodes` would remove the constant or a PI, or if any
     /// primary output references a removed node.
+    // analyze: allow(dead-public-api) — public rollback primitive for speculative synthesis edits; covered by tests
     pub fn truncate_nodes(&mut self, num_nodes: usize) {
         assert!(num_nodes > self.num_pis, "cannot truncate PIs");
         assert!(
@@ -374,16 +376,6 @@ impl Aig {
         }
         self.nodes.truncate(num_nodes);
         self.strash.retain(|_, &mut id| (id as usize) < num_nodes);
-    }
-
-    /// Rebuilds the structural-hash table (needed after deserialization).
-    pub fn rebuild_strash(&mut self) {
-        self.strash.clear();
-        for (i, kind) in self.nodes.iter().enumerate() {
-            if let NodeKind::And(a, b) = kind {
-                self.strash.insert((a.raw(), b.raw()), i as NodeId);
-            }
-        }
     }
 
     /// Directed fanin→gate edge list as `(src, dst, src_complemented)`.

@@ -133,7 +133,7 @@ fn read_delta(r: &mut impl Read) -> Result<u64, ParseAigerError> {
 ///
 /// Only combinational AIGs are accepted (`L` must be 0). Structural
 /// hashing is **not** re-applied during the read, so a round-trip is
-/// exact; call [`Aig::rebuild_strash`]-using passes as usual afterwards.
+/// exact; gates are still registered for future hashing.
 ///
 /// # Errors
 ///

@@ -22,6 +22,7 @@ use std::io::Write;
 /// # Panics
 ///
 /// Panics if `labels` is `Some` but shorter than the node count.
+// analyze: allow(dead-public-api) — Graphviz export is a debugging surface for humans, not the pipeline; covered by tests
 pub fn write_dot(aig: &Aig, labels: Option<&[String]>, mut w: impl Write) -> std::io::Result<()> {
     if let Some(l) = labels {
         assert!(l.len() >= aig.num_nodes(), "need one label per node");

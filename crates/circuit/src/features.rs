@@ -61,6 +61,7 @@ pub fn node_features(aig: &Aig) -> Matrix {
 /// # Panics
 ///
 /// Panics if `base` is empty while `extra` is not.
+// analyze: allow(dead-public-api) — public feature-assembly helper mirroring the OpenABC-D pipeline; covered by tests
 pub fn append_global_features(base: &Matrix, extra: &[f32]) -> Matrix {
     let bcast = Matrix::from_fn(base.rows(), extra.len(), |_, c| extra[c]);
     base.concat_cols(&bcast)

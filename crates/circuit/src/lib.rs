@@ -47,6 +47,4 @@ pub mod simulate;
 mod topo;
 
 pub use aig::{Aig, Lit, NodeId, NodeKind};
-pub use topo::{
-    cone_sizes, depth, drives_po, fanout_counts, inverted_fanin_counts, levels, stats, AigStats,
-};
+pub use topo::{cone_sizes, depth, fanout_counts, levels, stats, AigStats};

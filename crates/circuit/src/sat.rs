@@ -18,7 +18,7 @@ use crate::{Aig, Lit, NodeKind};
 
 /// Outcome of a SAT query.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SatResult {
+pub(crate) enum SatResult {
     /// A satisfying assignment of the primary inputs was found.
     Sat(Vec<bool>),
     /// The formula is unsatisfiable.

@@ -55,6 +55,7 @@ pub fn simulate_pos(aig: &Aig, pi_words: &[u64]) -> Vec<u64> {
 ///
 /// Two functionally equivalent AIGs over the same PI order produce equal
 /// signatures for any seed; differing signatures prove inequivalence.
+// analyze: allow(dead-public-api) — public semantic-fingerprint API complementing check_equivalence; covered by tests
 pub fn po_signature(aig: &Aig, seed: u64) -> Vec<u64> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let pi_words: Vec<u64> = (0..aig.num_pis()).map(|_| rng.gen()).collect();

@@ -46,7 +46,7 @@ pub fn depth(aig: &Aig) -> u32 {
 }
 
 /// Per-node count of complemented fanin edges (0, 1 or 2 for AND gates).
-pub fn inverted_fanin_counts(aig: &Aig) -> Vec<u8> {
+pub(crate) fn inverted_fanin_counts(aig: &Aig) -> Vec<u8> {
     let mut counts = vec![0u8; aig.num_nodes()];
     for (id, a, b) in aig.and_gates() {
         counts[id as usize] = a.is_complemented() as u8 + b.is_complemented() as u8;
@@ -55,7 +55,7 @@ pub fn inverted_fanin_counts(aig: &Aig) -> Vec<u8> {
 }
 
 /// Whether each node drives at least one primary output.
-pub fn drives_po(aig: &Aig) -> Vec<bool> {
+pub(crate) fn drives_po(aig: &Aig) -> Vec<bool> {
     let mut out = vec![false; aig.num_nodes()];
     for po in aig.pos() {
         out[po.node() as usize] = true;
@@ -104,6 +104,7 @@ pub fn stats(aig: &Aig) -> AigStats {
 
 /// Size of each node's transitive fanin cone, capped at `cap` (used by the
 /// refactor pass to pick cone roots).
+// analyze: allow(dead-public-api) — public cone-profiling diagnostic of the topology API; covered by tests
 pub fn cone_sizes(aig: &Aig, cap: usize) -> Vec<usize> {
     let mut sizes = vec![0usize; aig.num_nodes()];
     for (id, a, b) in aig.and_gates() {

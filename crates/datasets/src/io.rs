@@ -78,6 +78,7 @@ pub fn encode_aig(aig: &Aig) -> Bytes {
 /// # Errors
 ///
 /// Returns [`DecodeError`] on truncation, bad magic, or invalid structure.
+// analyze: allow(dead-public-api) — decode half of the public AIG codec, paired with encode_aig; covered by round-trip tests
 pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
     need(&buf, 7, "header")?;
     if buf.get_u32() != MAGIC {
@@ -130,7 +131,7 @@ pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
 }
 
 /// Serializes a matrix (shape + little-endian f32 payload).
-pub fn encode_matrix(m: &Matrix) -> Bytes {
+pub(crate) fn encode_matrix(m: &Matrix) -> Bytes {
     let mut out = BytesMut::with_capacity(16 + m.len() * 4);
     out.put_u32(MAGIC);
     out.put_u16(VERSION);
@@ -148,7 +149,7 @@ pub fn encode_matrix(m: &Matrix) -> Bytes {
 /// # Errors
 ///
 /// Returns [`DecodeError`] on truncation or bad headers.
-pub fn decode_matrix(mut buf: impl Buf) -> Result<Matrix, DecodeError> {
+pub(crate) fn decode_matrix(mut buf: impl Buf) -> Result<Matrix, DecodeError> {
     need(&buf, 7, "header")?;
     if buf.get_u32() != MAGIC {
         return Err(err("bad magic"));

@@ -19,8 +19,9 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
-/// Width of the encoded recipe vector fed to the regression head.
-pub const RECIPE_ENCODING_WIDTH: usize = 20;
+/// Width of the encoded recipe vector fed to the regression head — one
+/// slot per step of the OpenABC-D synthesis budget.
+pub const RECIPE_ENCODING_WIDTH: usize = hoga_synth::STEP_BUDGET;
 
 /// Configuration for [`build_qor_dataset`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,7 +30,8 @@ pub struct QorDatasetConfig {
     pub scale_divisor: usize,
     /// Random recipes per design (paper: 1500; CPU default: 24).
     pub recipes_per_design: usize,
-    /// Steps per random recipe (OpenABC-D uses 20).
+    /// Steps per random recipe (OpenABC-D uses
+    /// [`hoga_synth::STEP_BUDGET`]).
     pub recipe_len: usize,
     /// Hops `K` for hop-feature precomputation (paper: 5).
     pub num_hops: usize,
@@ -47,7 +49,7 @@ impl Default for QorDatasetConfig {
         Self {
             scale_divisor: 8,
             recipes_per_design: 24,
-            recipe_len: 20,
+            recipe_len: hoga_synth::STEP_BUDGET,
             num_hops: 5,
             nodes_per_graph: 256,
             max_scaled_nodes: 0,

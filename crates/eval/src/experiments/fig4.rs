@@ -85,7 +85,10 @@ impl Fig4 {
             vx += (x as f64 - mx).powi(2);
             vy += (y as f64 - my).powi(2);
         }
-        if vx == 0.0 || vy == 0.0 {
+        // A (near-)constant series has no meaningful correlation.
+        if hoga_tensor::approx_eq_eps(vx as f32, 0.0, f32::EPSILON)
+            || hoga_tensor::approx_eq_eps(vy as f32, 0.0, f32::EPSILON)
+        {
             return None;
         }
         Some((cov / (vx * vy).sqrt()) as f32)

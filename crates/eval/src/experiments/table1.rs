@@ -70,6 +70,7 @@ impl Table1 {
     }
 
     /// Largest relative deviation between target and generated node counts.
+    // analyze: allow(dead-public-api) — public acceptance metric for generated-size fidelity; covered by tests
     pub fn worst_size_deviation(&self) -> f64 {
         self.rows
             .iter()

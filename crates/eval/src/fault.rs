@@ -204,7 +204,7 @@ impl FaultInjector {
 
     /// Claims (at most once each) the worker faults scheduled for this
     /// `(epoch, step, worker)` coordinate.
-    pub fn worker_faults(&self, epoch: usize, step: usize, worker: usize) -> Vec<Fault> {
+    pub(crate) fn worker_faults(&self, epoch: usize, step: usize, worker: usize) -> Vec<Fault> {
         self.claim(|f| match *f {
             Fault::WorkerPanic { epoch: e, step: s, worker: w }
             | Fault::WorkerDelay { epoch: e, step: s, worker: w, .. }
@@ -216,7 +216,7 @@ impl FaultInjector {
     }
 
     /// Claims a NaN-loss fault scheduled for this `(epoch, step)`, if any.
-    pub fn nan_loss(&self, epoch: usize, step: usize) -> bool {
+    pub(crate) fn nan_loss(&self, epoch: usize, step: usize) -> bool {
         !self
             .claim(
                 |f| matches!(*f, Fault::NanLoss { epoch: e, step: s } if e == epoch && s == step),
@@ -359,7 +359,7 @@ impl Default for RecoveryPolicy {
 
 /// `true` when every gradient in `g` is finite (the supervisor's
 /// corrupted-shard detector).
-pub fn gradients_finite(g: &Gradients) -> bool {
+pub(crate) fn gradients_finite(g: &Gradients) -> bool {
     g.iter().all(|(_, m)| m.is_finite())
 }
 

@@ -13,6 +13,10 @@
 //! * [`resilient`] — divergence-recovering training loop: rolls back to
 //!   the last good checkpoint and backs the learning rate off instead of
 //!   aborting on a non-finite loss.
+//! * [`sched`] — loom-style deterministic schedule explorer: enumerates
+//!   every bounded interleaving of the shard-reduce/step/checkpoint
+//!   critical section and asserts bitwise-identical gradients and
+//!   checkpoint CRCs across all of them (see `docs/SCHEDULE_TESTING.md`).
 //! * [`experiments`] — one driver per paper artifact (Table 1, Table 2,
 //!   Figures 4–7 and the §III-B ablation); each returns typed results and
 //!   renders the same rows/series the paper reports. The Criterion harness
@@ -26,6 +30,7 @@ pub mod fault;
 pub mod metrics;
 pub mod parallel_train;
 pub mod resilient;
+pub mod sched;
 pub mod trainer;
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ pub struct ParallelRunStats {
 /// shard's share of the batch's total sample weight. Used both by the
 /// spawned workers and by the supervisor when it recomputes a shard lost
 /// to a panic or corruption.
-fn shard_grad(
+pub(crate) fn shard_grad(
     graph: &ReasoningGraph,
     model: &HogaModel,
     cls: &NodeClassifier,

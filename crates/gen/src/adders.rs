@@ -37,7 +37,12 @@ fn is_gate(aig: &Aig, lit: Lit) -> bool {
 
 /// Builds a half adder, returning `(sum, carry)`; records a trace unless
 /// constant folding degenerated the cell to wires.
-pub fn half_adder(aig: &mut Aig, a: Lit, b: Lit, traces: &mut Vec<AdderTrace>) -> (Lit, Lit) {
+pub(crate) fn half_adder(
+    aig: &mut Aig,
+    a: Lit,
+    b: Lit,
+    traces: &mut Vec<AdderTrace>,
+) -> (Lit, Lit) {
     let sum = aig.xor(a, b);
     let carry = aig.and(a, b);
     if is_gate(aig, sum) && is_gate(aig, carry) {
@@ -70,7 +75,12 @@ pub fn full_adder(
 /// # Panics
 ///
 /// Panics if the operand widths differ.
-pub fn ripple_adder(aig: &mut Aig, a: &[Lit], b: &[Lit], traces: &mut Vec<AdderTrace>) -> Vec<Lit> {
+pub(crate) fn ripple_adder(
+    aig: &mut Aig,
+    a: &[Lit],
+    b: &[Lit],
+    traces: &mut Vec<AdderTrace>,
+) -> Vec<Lit> {
     assert_eq!(a.len(), b.len(), "operand width mismatch");
     let mut out = Vec::with_capacity(a.len() + 1);
     let mut carry = Lit::FALSE;
@@ -92,7 +102,7 @@ pub fn ripple_adder(aig: &mut Aig, a: &[Lit], b: &[Lit], traces: &mut Vec<AdderT
 ///
 /// All vectors are LSB-first and may differ in length; missing bits are
 /// treated as constant false.
-pub fn carry_save_step(
+pub(crate) fn carry_save_step(
     aig: &mut Aig,
     x: &[Lit],
     y: &[Lit],

@@ -59,6 +59,7 @@ impl GraphRegressor {
     ///
     /// `segments[g]` is the contiguous row range of graph `g`'s nodes inside
     /// `reps`. Returns a `(num_graphs, 1)` variable.
+    // analyze: allow(dead-public-api) — plain-pooling prediction path of the public head API; the trainer uses predict_with_extra, tests use this one
     pub fn predict(
         &self,
         tape: &mut Tape,

@@ -68,6 +68,7 @@ pub fn hop_stack(hops: &[Matrix], nodes: &[usize]) -> Matrix {
 
 /// Brute-force reference for [`hop_features`] used by tests: explicit
 /// neighbor accumulation instead of SpMM.
+// analyze: allow(dead-public-api) — O(n*k) reference implementation kept public as the differential-testing oracle for the optimized kernel
 pub fn hop_features_reference(adj: &CsrMatrix, x: &Matrix, k: usize) -> Vec<Matrix> {
     let mut hops = vec![x.clone()];
     for _ in 0..k {

@@ -68,6 +68,7 @@ impl HogaConfig {
     ///
     /// Panics (at [`HogaModel::new`]) if `hidden_dim` is not divisible by
     /// the head count.
+    // analyze: allow(dead-public-api) — builder knob of the public model-configuration API; exercised by the unit tests
     pub fn with_heads(mut self, num_heads: usize) -> Self {
         self.num_heads = num_heads;
         self
@@ -80,6 +81,7 @@ impl HogaConfig {
     }
 
     /// Replaces the layer count.
+    // analyze: allow(dead-public-api) — builder knob of the public model-configuration API; exercised by the unit tests
     pub fn with_layers(mut self, num_layers: usize) -> Self {
         self.num_layers = num_layers;
         self

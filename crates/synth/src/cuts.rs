@@ -115,11 +115,6 @@ impl CutSet {
         &self.cuts[node as usize]
     }
 
-    /// The best (smallest non-trivial, else trivial) cut of `node`.
-    pub fn best_cut(&self, node: NodeId) -> Cut {
-        self.cuts[node as usize].first().cloned().unwrap_or_else(|| Cut::trivial(node))
-    }
-
     /// The cut-size limit `k` this set was computed with.
     pub fn k(&self) -> usize {
         self.k

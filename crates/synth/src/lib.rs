@@ -58,7 +58,7 @@ mod rewrite;
 mod runner;
 
 pub use balance::balance;
-pub use recipe::{random_recipe, ParseRecipeError, Recipe, RecipeLint, SynthStep};
+pub use recipe::{random_recipe, ParseRecipeError, Recipe, RecipeLint, SynthStep, STEP_BUDGET};
 pub use refactor::{build_from_tt, refactor};
 pub use resub::{resub, signature_classes};
 pub use rewrite::rewrite;

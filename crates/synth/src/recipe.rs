@@ -189,7 +189,21 @@ pub enum RecipeLint {
         /// Position of the second `balance` token.
         position: usize,
     },
+    /// More steps than the OpenABC-D synthesis budget: the dataset the
+    /// paper trains QoR prediction on fixes every recipe at
+    /// [`STEP_BUDGET`] steps, so longer recipes are outside the model's
+    /// training distribution.
+    ExceedsStepBudget {
+        /// Number of parsed steps in the recipe.
+        steps: usize,
+        /// Position of the first step past the budget.
+        position: usize,
+    },
 }
+
+/// Synthesis-recipe length used by OpenABC-D (and therefore the longest
+/// recipe the QoR models are trained on).
+pub const STEP_BUDGET: usize = 20;
 
 impl fmt::Display for RecipeLint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -202,6 +216,13 @@ impl fmt::Display for RecipeLint {
             }
             RecipeLint::RedundantBalance { position } => {
                 write!(f, "{position}: redundant consecutive `balance` (idempotent)")
+            }
+            RecipeLint::ExceedsStepBudget { steps, position } => {
+                write!(
+                    f,
+                    "{position}: recipe has {steps} steps, exceeding the {STEP_BUDGET}-step \
+                     OpenABC-D budget"
+                )
             }
         }
     }
@@ -218,6 +239,8 @@ pub fn lint(s: &str) -> Vec<RecipeLint> {
     let mut out = Vec::new();
     let mut prev: Option<SynthStep> = None;
     let mut offset = 0usize;
+    let mut parsed = 0usize;
+    let mut over_budget_at: Option<usize> = None;
     let segments: Vec<&str> = s.split(';').collect();
     let last = segments.len() - 1;
     for (i, raw) in segments.iter().enumerate() {
@@ -234,6 +257,10 @@ pub fn lint(s: &str) -> Vec<RecipeLint> {
                     if step == SynthStep::Balance && prev == Some(SynthStep::Balance) {
                         out.push(RecipeLint::RedundantBalance { position });
                     }
+                    parsed += 1;
+                    if parsed == STEP_BUDGET + 1 {
+                        over_budget_at = Some(position);
+                    }
                     prev = Some(step);
                 }
                 None => {
@@ -243,6 +270,9 @@ pub fn lint(s: &str) -> Vec<RecipeLint> {
             }
         }
         offset += raw.len() + 1;
+    }
+    if let Some(position) = over_budget_at {
+        out.push(RecipeLint::ExceedsStepBudget { steps: parsed, position });
     }
     out
 }
@@ -347,6 +377,34 @@ mod tests {
         assert!(lint("b; rw; b").is_empty());
         // Long aliases count too.
         assert_eq!(lint("balance; balance").len(), 1);
+    }
+
+    #[test]
+    fn lint_flags_recipes_over_the_openabcd_budget() {
+        // Exactly at the budget is fine — OpenABC-D recipes are 20 steps.
+        let at_budget = (0..STEP_BUDGET)
+            .map(|i| if i % 2 == 0 { "b" } else { "rw" })
+            .collect::<Vec<_>>()
+            .join("; ");
+        assert!(
+            !lint(&at_budget).iter().any(|l| matches!(l, RecipeLint::ExceedsStepBudget { .. })),
+            "20 steps is the budget, not over it"
+        );
+        // One step past it is flagged, with the count and the position of
+        // the first excess step.
+        let over = format!("{at_budget}; rs");
+        let lints = lint(&over);
+        let budget_lints: Vec<_> =
+            lints.iter().filter(|l| matches!(l, RecipeLint::ExceedsStepBudget { .. })).collect();
+        assert_eq!(budget_lints.len(), 1, "got: {lints:?}");
+        if let RecipeLint::ExceedsStepBudget { steps, position } = budget_lints[0] {
+            assert_eq!(*steps, STEP_BUDGET + 1);
+            assert_eq!(*position, at_budget.len() + 3, "position of the 21st step");
+        }
+        assert!(budget_lints[0].to_string().contains("20-step"));
+        // Unknown tokens don't count toward the step budget.
+        let decoys = "x; ".repeat(25) + "b";
+        assert!(!lint(&decoys).iter().any(|l| matches!(l, RecipeLint::ExceedsStepBudget { .. })));
     }
 
     #[test]

@@ -139,6 +139,7 @@ pub fn resub(aig: &Aig, seed: u64) -> Aig {
 
 /// Counts structurally distinct simulation classes — a diagnostic used by
 /// tests and by the dataset generator to gauge redundancy.
+// analyze: allow(dead-public-api) — public redundancy diagnostic re-exported by the crate root; covered by tests
 pub fn signature_classes(aig: &Aig, seed: u64) -> usize {
     let sig = node_signature(aig, seed);
     let mut classes: HashMap<u64, ()> = HashMap::new();

@@ -10,7 +10,7 @@ use rand_chacha::ChaCha8Rng;
 
 /// The seeded RNG used across the workspace (ChaCha8: fast, portable,
 /// reproducible across platforms).
-pub type SeedRng = ChaCha8Rng;
+pub(crate) type SeedRng = ChaCha8Rng;
 
 /// Weight-initialization schemes.
 ///
@@ -62,6 +62,7 @@ impl Init {
     }
 
     /// Materializes a length-`n` vector using this scheme and `seed`.
+    // analyze: allow(dead-public-api) — vector-shaped companion of Init::matrix in the public init API; covered by tests
     pub fn vector(self, n: usize, seed: u64) -> Vec<f32> {
         self.matrix(1, n, seed).into_vec()
     }

@@ -39,6 +39,7 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 }
 
 /// Row-wise numerically stable log-softmax, used by the cross-entropy loss.
+// analyze: allow(dead-public-api) — numerically-stable companion of softmax_rows in the public kernel API; covered by tests
 pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
     for r in 0..out.rows() {

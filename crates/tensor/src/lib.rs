@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod approx;
 mod error;
 mod init;
 mod kernels;
@@ -37,12 +38,13 @@ mod matrix;
 mod parallel;
 mod sparse;
 
+pub use approx::{approx_eq, approx_eq_eps, approx_eq_ulps};
 pub use error::ShapeError;
-pub use init::{Init, SeedRng};
+pub use init::Init;
 pub use kernels::{
     layernorm_backward, layernorm_forward, log_softmax_rows, softmax_backward_rows, softmax_rows,
     LayerNormCache,
 };
 pub use matrix::Matrix;
-pub use parallel::{available_threads, parallel_chunks, parallel_chunks_with, set_threads};
+pub use parallel::{available_threads, parallel_chunks_with, set_threads};
 pub use sparse::CsrMatrix;

@@ -313,6 +313,7 @@ impl Matrix {
                 let arow = &a[(row_start + i) * k..(row_start + i + 1) * k];
                 let crow = &mut chunk[i * n..(i + 1) * n];
                 for (kk, &av) in arow.iter().enumerate() {
+                    // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
                     if av == 0.0 {
                         continue;
                     }
@@ -383,6 +384,7 @@ impl Matrix {
             let arow = &self.data[kk * m..(kk + 1) * m];
             let brow = &other.data[kk * n..(kk + 1) * n];
             for (i, &av) in arow.iter().enumerate() {
+                // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
                 if av == 0.0 {
                     continue;
                 }
@@ -423,6 +425,7 @@ impl Matrix {
                 let arow = &self.data[(bi * br_a + i) * self.cols..(bi * br_a + i + 1) * self.cols];
                 let orow = &mut out.data[(bi * br_a + i) * n..(bi * br_a + i + 1) * n];
                 for (kk, &av) in arow.iter().enumerate() {
+                    // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
                     if av == 0.0 {
                         continue;
                     }
@@ -489,6 +492,7 @@ impl Matrix {
                     &self.data[(bi * br_a + kk) * self.cols..(bi * br_a + kk + 1) * self.cols];
                 let brow = &other.data[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
                 for (i, &av) in arow.iter().enumerate() {
+                    // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
                     if av == 0.0 {
                         continue;
                     }

@@ -45,7 +45,7 @@ pub fn set_threads(n: usize) {
 /// # Panics
 ///
 /// Panics if `row_width` is zero or does not divide `out.len()`.
-pub fn parallel_chunks<F>(out: &mut [f32], row_width: usize, f: F)
+pub(crate) fn parallel_chunks<F>(out: &mut [f32], row_width: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
@@ -61,15 +61,18 @@ where
     crossbeam::scope(|s| {
         let mut rest = out;
         let mut row = 0;
+        let mut handles = Vec::new();
         while !rest.is_empty() {
             let take = (rows_per * row_width).min(rest.len());
             let (chunk, tail) = rest.split_at_mut(take);
             let start_row = row;
             let fref = &f;
-            s.spawn(move |_| fref(start_row, chunk));
+            let handle = s.spawn(move |_| fref(start_row, chunk));
+            handles.push(handle);
             row += take / row_width;
             rest = tail;
         }
+        join_all(handles);
     })
     .expect("worker thread panicked");
 }
@@ -80,6 +83,7 @@ where
 /// # Panics
 ///
 /// Panics if `row_width` is zero or does not divide `out.len()`.
+// analyze: allow(dead-public-api) — index-carrying variant of the public chunked-parallelism API; covered by tests
 pub fn parallel_chunks_with<F>(out: &mut [f32], row_width: usize, f: F)
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
@@ -97,19 +101,32 @@ where
         let mut rest = out;
         let mut row = 0;
         let mut chunk_idx = 0;
+        let mut handles = Vec::new();
         while !rest.is_empty() {
             let take = (rows_per * row_width).min(rest.len());
             let (chunk, tail) = rest.split_at_mut(take);
             let start_row = row;
             let ci = chunk_idx;
             let fref = &f;
-            s.spawn(move |_| fref(ci, start_row, chunk));
+            let handle = s.spawn(move |_| fref(ci, start_row, chunk));
+            handles.push(handle);
             row += take / row_width;
             chunk_idx += 1;
             rest = tail;
         }
+        join_all(handles);
     })
     .expect("worker thread panicked");
+}
+
+/// Joins every chunk worker, re-raising the first panic payload so the
+/// failure surfaces on the caller's thread with its original message.
+fn join_all(handles: Vec<crossbeam::thread::ScopedJoinHandle<'_, ()>>) {
+    for handle in handles {
+        if let Err(payload) = handle.join() {
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 #[cfg(test)]

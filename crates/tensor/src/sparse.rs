@@ -155,6 +155,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != x.len()`.
+    // analyze: allow(dead-public-api) — sparse mat-vec product of the public CSR API; covered by tests
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, x.len(), "shape mismatch in spmv");
         (0..self.rows).map(|r| self.row_entries(r).map(|(c, v)| v * x[c]).sum()).collect()

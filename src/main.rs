@@ -9,9 +9,12 @@
 //! hoga-repro fig7     [--train-width N] [--vis-width N] [--epochs N]
 //! hoga-repro ablation [--train-width N] [--widths a,b,c] [--epochs N]
 //! hoga-repro synth    --design NAME [--scale N] [--recipe "b; rw; rf"]
+//! hoga-repro sched    [--workers N] [--max-schedules N]
 //! ```
 //!
-//! All commands print the reproduced table/series to stdout.
+//! All commands print the reproduced table/series to stdout. `sched` runs
+//! the deterministic schedule explorer over the data-parallel trainer's
+//! critical section (see `docs/SCHEDULE_TESTING.md`).
 
 #![forbid(unsafe_code)]
 
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         "fig7" => cmd_fig7(&flags),
         "ablation" => cmd_ablation(&flags),
         "synth" => return cmd_synth(&flags),
+        "sched" => cmd_sched(&flags),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -53,7 +57,8 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-const USAGE: &str = "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth> [flags]
+const USAGE: &str =
+    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched> [flags]
   --scale N        Table-1 size divisor (default 32)
   --max-nodes N    skip designs above N scaled nodes (default 1500)
   --recipes N      synthesis recipes per design (default 8)
@@ -65,7 +70,9 @@ const USAGE: &str = "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablati
   --widths a,b,c   reasoning evaluation widths (default 12,16,24)
   --design NAME    synth: Table-1 design to synthesize
   --recipe STR     synth: recipe string (default resyn2)
-  --target depth   table2: predict optimized depth instead of gate count";
+  --target depth   table2: predict optimized depth instead of gate count
+  --workers N      sched: worker shards to model (default 3)
+  --max-schedules N sched: interleavings to explore per policy (default 4096)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -240,6 +247,13 @@ fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("error: unknown design `{name}`; available: {}", names.join(", "));
         return ExitCode::FAILURE;
     };
+    if let Some(raw) = flags.get("recipe") {
+        // Surface every recipe problem (not just the first parse error),
+        // including recipes longer than the OpenABC-D training budget.
+        for l in hoga_repro::synth::recipe::lint(raw) {
+            eprintln!("warning: recipe: {l}");
+        }
+    }
     let recipe: Recipe =
         match flags.get("recipe").map(|r| r.parse()).unwrap_or_else(|| Ok(Recipe::resyn2())) {
             Ok(r) => r,
@@ -262,4 +276,37 @@ fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
         result.reduction() * 100.0
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_sched(flags: &HashMap<String, String>) {
+    use hoga_repro::eval::sched::{
+        explore, ExploreConfig, ExploreReport, ReducePolicy, SyntheticShardSource,
+    };
+    let workers = get(flags, "workers", 3usize).max(1);
+    let cfg = ExploreConfig {
+        max_schedules: get(flags, "max-schedules", 4096usize).max(1),
+        ..ExploreConfig::default()
+    };
+    let render = |policy: &str, r: &ExploreReport| {
+        println!(
+            "{policy:>16}: {} interleavings -> {} distinct outcome(s), {} replay error(s)",
+            r.schedules,
+            r.outcomes.len(),
+            r.replay_errors
+        );
+        for o in &r.outcomes {
+            println!(
+                "                  loss_bits={:#010x} grad_crc={:#010x} param_crc={:#010x} \
+                 checkpoint_crc={:#010x}",
+                o.loss_bits, o.grad_crc, o.param_crc, o.checkpoint_crc
+            );
+        }
+    };
+    println!(
+        "schedule explorer: {workers} workers, cancellation-heavy synthetic shards \
+         (see docs/SCHEDULE_TESTING.md)"
+    );
+    let make = || SyntheticShardSource::adversarial(workers);
+    render("shard-order", &explore(make, ReducePolicy::ShardOrder, &cfg));
+    render("completion-order", &explore(make, ReducePolicy::CompletionOrder, &cfg));
 }
