@@ -1,0 +1,142 @@
+//! Microbenchmarks of the performance-critical kernels:
+//! hop-feature generation (Eq. 3), the gated self-attention forward pass,
+//! SpMM, and the synthesis passes that label the QoR dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoga_circuit::{adjacency, features};
+use hoga_core::hopfeat::{hop_features, hop_stack};
+use hoga_core::model::{HogaConfig, HogaModel};
+use hoga_gen::multiplier::booth_multiplier;
+use hoga_synth::{balance, resub, rewrite, Recipe};
+use std::hint::black_box;
+
+fn bench_hop_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hop_features");
+    for width in [16usize, 32] {
+        let tc = booth_multiplier(width);
+        let adj = adjacency::normalized_symmetric(&tc.aig);
+        let x = features::node_features(&tc.aig);
+        group.bench_with_input(BenchmarkId::new("k8_booth", width), &width, |b, _| {
+            b.iter(|| black_box(hop_features(&adj, &x, 8).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let tc = booth_multiplier(16);
+    let adj = adjacency::normalized_symmetric(&tc.aig);
+    let x = features::node_features(&tc.aig);
+    let hops = hop_features(&adj, &x, 8);
+    let cfg = HogaConfig::new(x.cols(), 64, 8);
+    let model = HogaModel::new(&cfg, 0);
+    let mut group = c.benchmark_group("attention");
+    for batch in [256usize, 1024] {
+        let nodes: Vec<usize> = (0..batch.min(tc.aig.num_nodes())).collect();
+        let stack = hop_stack(&hops, &nodes);
+        group.bench_with_input(BenchmarkId::new("forward", batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut tape = hoga_autograd::Tape::new();
+                let out = model.forward(&mut tape, &stack, nodes.len());
+                black_box(tape.value(out.representations).sum())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthesis_passes(c: &mut Criterion) {
+    let tc = booth_multiplier(12);
+    let mut aig = tc.aig;
+    aig.compact();
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.bench_function("balance", |b| b.iter(|| black_box(balance(&aig).num_ands())));
+    group.bench_function("rewrite", |b| b.iter(|| black_box(rewrite(&aig, false).num_ands())));
+    group.bench_function("resub", |b| b.iter(|| black_box(resub(&aig, 1).num_ands())));
+    group.bench_function("resyn2", |b| {
+        b.iter(|| black_box(hoga_synth::run_recipe(&aig, &Recipe::resyn2()).final_ands))
+    });
+    group.finish();
+}
+
+/// The paper's scalability argument, measured directly: a GCN training step
+/// is full-graph (cost grows with circuit size), a HOGA step is a fixed
+/// node minibatch (cost independent of circuit size once hop features are
+/// precomputed). The crossover in favor of HOGA appears as circuits grow.
+fn bench_step_scaling(c: &mut Criterion) {
+    use hoga_autograd::{ParamSet, Tape};
+    use hoga_baselines::gcn::Gcn;
+    use hoga_core::heads::NodeClassifier;
+    use hoga_core::model::HogaConfig;
+    use hoga_core::model::HogaModel;
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("step_scaling");
+    group.sample_size(10);
+    for width in [8usize, 16, 32] {
+        let tc = booth_multiplier(width);
+        let mut aig = tc.aig;
+        aig.compact();
+        let n = aig.num_nodes();
+        let adj = Arc::new(adjacency::normalized_symmetric(&aig));
+        let x = features::node_features(&aig);
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+
+        // GCN full-graph step.
+        let gcn = Gcn::new(x.cols(), 64, 5, 0);
+        let mut gcn_params = gcn.params.clone();
+        let gcn_head = NodeClassifier::new(&mut gcn_params, 64, 4, 1);
+        group.bench_with_input(
+            BenchmarkId::new(format!("gcn_full_graph_n{n}"), width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let reps = gcn.forward(&mut tape, &adj, &x);
+                    let logits = gcn_head.logits(&mut tape, &gcn_params, reps);
+                    let loss = tape.cross_entropy_mean(logits, &labels);
+                    black_box(tape.backward(loss).global_norm())
+                });
+            },
+        );
+
+        // HOGA fixed-512-node minibatch step (hop features precomputed).
+        let hops = hop_features(&adj, &x, 8);
+        let hcfg = HogaConfig::new(x.cols(), 64, 8);
+        let mut hoga = HogaModel::new(&hcfg, 0);
+        let hoga_head = {
+            let mut p = ParamSet::new();
+            std::mem::swap(&mut p, &mut hoga.params);
+            let head = NodeClassifier::new(&mut p, 64, 4, 1);
+            hoga.params = p;
+            head
+        };
+        let nodes: Vec<usize> = (0..512.min(n)).collect();
+        let stack = hop_stack(&hops, &nodes);
+        let batch_labels: Vec<usize> = nodes.iter().map(|&i| labels[i]).collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("hoga_512_batch_n{n}"), width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let out = hoga.forward(&mut tape, &stack, nodes.len());
+                    let logits = hoga_head.logits(&mut tape, &hoga.params, out.representations);
+                    let loss = tape.cross_entropy_mean(logits, &batch_labels);
+                    black_box(tape.backward(loss).global_norm())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hop_features,
+    bench_attention_forward,
+    bench_synthesis_passes,
+    bench_step_scaling
+);
+criterion_main!(benches);

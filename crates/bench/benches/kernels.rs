@@ -1,142 +1,198 @@
-//! Microbenchmarks of the performance-critical kernels:
-//! hop-feature generation (Eq. 3), the gated self-attention forward pass,
-//! SpMM, and the synthesis passes that label the QoR dataset.
+//! Benchmarks the dense-kernel hot path at the trainer's real shapes and
+//! writes `BENCH_kernels.json` to the workspace root so CI can archive
+//! kernel throughput next to the linter report.
+//!
+//! A plain `harness = false` main (no Criterion): each kernel runs at 1 and
+//! at 8 threads, min-of-N wall clock, and the JSON records MACs/s plus the
+//! parallel speedup and a bitwise-equality flag — the determinism contract
+//! (`docs/PERFORMANCE.md`) says thread count must never change a single bit.
+//!
+//! Shapes follow the HOGA trainer: a hop stack of `batch * (K+1)` rows
+//! (batch 512, K+1 = 5) at hidden widths d = 64 and d = 256. Pass `--smoke`
+//! for a reduced-size run suitable for CI gating.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hoga_circuit::{adjacency, features};
-use hoga_core::hopfeat::{hop_features, hop_stack};
-use hoga_core::model::{HogaConfig, HogaModel};
-use hoga_gen::multiplier::booth_multiplier;
-use hoga_synth::{balance, resub, rewrite, Recipe};
-use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
 
-fn bench_hop_features(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hop_features");
-    for width in [16usize, 32] {
-        let tc = booth_multiplier(width);
-        let adj = adjacency::normalized_symmetric(&tc.aig);
-        let x = features::node_features(&tc.aig);
-        group.bench_with_input(BenchmarkId::new("k8_booth", width), &width, |b, _| {
-            b.iter(|| black_box(hop_features(&adj, &x, 8).len()));
-        });
-    }
-    group.finish();
+use hoga_tensor::{set_threads, CsrMatrix, Matrix};
+
+/// Deterministic, RNG-free fill in roughly [-1, 1] (the stub `rand` in some
+/// validation environments panics at seed time, so benches avoid it).
+fn dense(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = r.wrapping_mul(2654435761).wrapping_add(c.wrapping_mul(40503)).wrapping_add(salt);
+        ((h % 2003) as f32 / 1001.5) - 1.0
+    })
 }
 
-fn bench_attention_forward(c: &mut Criterion) {
-    let tc = booth_multiplier(16);
-    let adj = adjacency::normalized_symmetric(&tc.aig);
-    let x = features::node_features(&tc.aig);
-    let hops = hop_features(&adj, &x, 8);
-    let cfg = HogaConfig::new(x.cols(), 64, 8);
-    let model = HogaModel::new(&cfg, 0);
-    let mut group = c.benchmark_group("attention");
-    for batch in [256usize, 1024] {
-        let nodes: Vec<usize> = (0..batch.min(tc.aig.num_nodes())).collect();
-        let stack = hop_stack(&hops, &nodes);
-        group.bench_with_input(BenchmarkId::new("forward", batch), &batch, |b, _| {
-            b.iter(|| {
-                let mut tape = hoga_autograd::Tape::new();
-                let out = model.forward(&mut tape, &stack, nodes.len());
-                black_box(tape.value(out.representations).sum())
-            });
-        });
-    }
-    group.finish();
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
-fn bench_synthesis_passes(c: &mut Criterion) {
-    let tc = booth_multiplier(12);
-    let mut aig = tc.aig;
-    aig.compact();
-    let mut group = c.benchmark_group("synthesis");
-    group.sample_size(10);
-    group.bench_function("balance", |b| b.iter(|| black_box(balance(&aig).num_ands())));
-    group.bench_function("rewrite", |b| b.iter(|| black_box(rewrite(&aig, false).num_ands())));
-    group.bench_function("resub", |b| b.iter(|| black_box(resub(&aig, 1).num_ands())));
-    group.bench_function("resyn2", |b| {
-        b.iter(|| black_box(hoga_synth::run_recipe(&aig, &Recipe::resyn2()).final_ands))
+/// Times `op` at `threads` kernel threads, best of `runs`, returning the
+/// wall seconds and the output bits of the last run.
+fn time_at(threads: usize, runs: usize, op: &dyn Fn() -> Matrix) -> (f64, Vec<u32>) {
+    set_threads(threads);
+    let mut best = f64::INFINITY;
+    let mut out_bits = Vec::new();
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let out = op();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out_bits = bits(&out);
+    }
+    set_threads(0);
+    (best, out_bits)
+}
+
+struct KernelRow {
+    name: String,
+    macs: u64,
+    wall_1t: f64,
+    wall_8t: f64,
+    bitwise_equal: bool,
+}
+
+impl KernelRow {
+    fn measure(name: String, macs: u64, runs: usize, op: &dyn Fn() -> Matrix) -> Self {
+        let (wall_1t, bits_1t) = time_at(1, runs, op);
+        let (wall_8t, bits_8t) = time_at(8, runs, op);
+        Self { name, macs, wall_1t, wall_8t, bitwise_equal: bits_1t == bits_8t }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"kernel\": \"{}\",\n      \"macs\": {},\n      \
+             \"wall_1t_s\": {:.6},\n      \"wall_8t_s\": {:.6},\n      \
+             \"macs_per_sec_1t\": {:.0},\n      \"macs_per_sec_8t\": {:.0},\n      \
+             \"speedup_8t\": {:.3},\n      \"bitwise_equal\": {}\n    }}",
+            self.name,
+            self.macs,
+            self.wall_1t,
+            self.wall_8t,
+            self.macs as f64 / self.wall_1t.max(1e-12),
+            self.macs as f64 / self.wall_8t.max(1e-12),
+            self.wall_1t / self.wall_8t.max(1e-12),
+            self.bitwise_equal
+        )
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (batch, runs) = if smoke { (64usize, 2usize) } else { (512usize, 5usize) };
+    let hops = 5usize; // K+1 hop rows per node
+    let rows = batch * hops;
+
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    for &d in &[64usize, 256] {
+        let a = dense(rows, d, 11);
+        let b = dense(d, d, 22);
+        let q = dense(rows, d, 33);
+        let k = dense(rows, d, 44);
+        let s = dense(rows, hops, 55);
+
+        let mm = (rows * d * d) as u64;
+        kernels
+            .push(KernelRow::measure(format!("matmul_{rows}x{d}x{d}"), mm, runs, &|| a.matmul(&b)));
+        kernels.push(KernelRow::measure(format!("matmul_nt_{rows}x{d}x{d}"), mm, runs, &|| {
+            a.matmul_nt(&b)
+        }));
+        // Backward-pass shape: Xᵀ·dY with the long axis contracted.
+        kernels.push(KernelRow::measure(format!("matmul_tn_{d}x{rows}x{d}"), mm, runs, &|| {
+            a.matmul_tn(&k)
+        }));
+        // Eq. 7 attention logits: per-node (K+1)×d · d×(K+1) blocks.
+        let bmm_nt = (batch * hops * d * hops) as u64;
+        kernels.push(KernelRow::measure(
+            format!("batched_matmul_nt_b{batch}_{hops}x{d}x{hops}"),
+            bmm_nt,
+            runs,
+            &|| q.batched_matmul_nt(&k, batch),
+        ));
+        // Eq. 7 weighted sum: per-node (K+1)×(K+1) · (K+1)×d blocks.
+        let bmm = (batch * hops * hops * d) as u64;
+        kernels.push(KernelRow::measure(
+            format!("batched_matmul_b{batch}_{hops}x{hops}x{d}"),
+            bmm,
+            runs,
+            &|| s.batched_matmul(&a, batch),
+        ));
+        let bmm_tn = (batch * hops * hops * d) as u64;
+        kernels.push(KernelRow::measure(
+            format!("batched_matmul_tn_b{batch}_{hops}x{hops}x{d}"),
+            bmm_tn,
+            runs,
+            &|| s.batched_matmul_tn(&a, batch),
+        ));
+    }
+
+    // COO → CSR build throughput (triplets/s reported in the macs field) on
+    // an adjacency-sized input, plus SpMM at hop-propagation shape.
+    let n = if smoke { 512usize } else { 4096usize };
+    let nnz = n * 8;
+    let triplets: Vec<(usize, usize, f32)> = (0..nnz)
+        .map(|i| {
+            let r = i.wrapping_mul(2654435761) % n;
+            let c = i.wrapping_mul(40503) % n;
+            (r, c, ((i % 7) as f32) * 0.5 - 1.5)
+        })
+        .collect();
+    set_threads(1);
+    let mut best_coo_1t = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let m = CsrMatrix::from_coo(n, n, &triplets);
+        best_coo_1t = best_coo_1t.min(t0.elapsed().as_secs_f64());
+        assert!(m.nnz() <= nnz);
+    }
+    set_threads(8);
+    let mut best_coo_8t = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let m = CsrMatrix::from_coo(n, n, &triplets);
+        best_coo_8t = best_coo_8t.min(t0.elapsed().as_secs_f64());
+        assert!(m.nnz() <= nnz);
+    }
+    set_threads(0);
+    kernels.push(KernelRow {
+        name: format!("from_coo_{n}x{n}_nnz{nnz}"),
+        macs: nnz as u64,
+        wall_1t: best_coo_1t,
+        wall_8t: best_coo_8t,
+        bitwise_equal: {
+            set_threads(1);
+            let m1 = CsrMatrix::from_coo(n, n, &triplets);
+            set_threads(8);
+            let m8 = CsrMatrix::from_coo(n, n, &triplets);
+            set_threads(0);
+            m1 == m8
+        },
     });
-    group.finish();
-}
 
-/// The paper's scalability argument, measured directly: a GCN training step
-/// is full-graph (cost grows with circuit size), a HOGA step is a fixed
-/// node minibatch (cost independent of circuit size once hop features are
-/// precomputed). The crossover in favor of HOGA appears as circuits grow.
-fn bench_step_scaling(c: &mut Criterion) {
-    use hoga_autograd::{ParamSet, Tape};
-    use hoga_baselines::gcn::Gcn;
-    use hoga_core::heads::NodeClassifier;
-    use hoga_core::model::HogaConfig;
-    use hoga_core::model::HogaModel;
-    use std::sync::Arc;
+    let adj = CsrMatrix::from_coo(n, n, &triplets);
+    let x = dense(n, 64, 66);
+    let spmm_macs = (adj.nnz() * 64) as u64;
+    kernels
+        .push(KernelRow::measure(format!("spmm_{n}x{n}_d64"), spmm_macs, runs, &|| adj.spmm(&x)));
 
-    let mut group = c.benchmark_group("step_scaling");
-    group.sample_size(10);
-    for width in [8usize, 16, 32] {
-        let tc = booth_multiplier(width);
-        let mut aig = tc.aig;
-        aig.compact();
-        let n = aig.num_nodes();
-        let adj = Arc::new(adjacency::normalized_symmetric(&aig));
-        let x = features::node_features(&aig);
-        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    let rows_json: Vec<String> = kernels.iter().map(KernelRow::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"smoke\": {},\n  \"batch\": {},\n  \
+         \"hop_blocks\": {},\n  \"runs\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        smoke,
+        batch,
+        hops,
+        runs,
+        rows_json.join(",\n")
+    );
+    print!("{json}");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let out = root.join("BENCH_kernels.json");
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {}", out.display());
 
-        // GCN full-graph step.
-        let gcn = Gcn::new(x.cols(), 64, 5, 0);
-        let mut gcn_params = gcn.params.clone();
-        let gcn_head = NodeClassifier::new(&mut gcn_params, 64, 4, 1);
-        group.bench_with_input(
-            BenchmarkId::new(format!("gcn_full_graph_n{n}"), width),
-            &width,
-            |b, _| {
-                b.iter(|| {
-                    let mut tape = Tape::new();
-                    let reps = gcn.forward(&mut tape, &adj, &x);
-                    let logits = gcn_head.logits(&mut tape, &gcn_params, reps);
-                    let loss = tape.cross_entropy_mean(logits, &labels);
-                    black_box(tape.backward(loss).global_norm())
-                });
-            },
-        );
-
-        // HOGA fixed-512-node minibatch step (hop features precomputed).
-        let hops = hop_features(&adj, &x, 8);
-        let hcfg = HogaConfig::new(x.cols(), 64, 8);
-        let mut hoga = HogaModel::new(&hcfg, 0);
-        let hoga_head = {
-            let mut p = ParamSet::new();
-            std::mem::swap(&mut p, &mut hoga.params);
-            let head = NodeClassifier::new(&mut p, 64, 4, 1);
-            hoga.params = p;
-            head
-        };
-        let nodes: Vec<usize> = (0..512.min(n)).collect();
-        let stack = hop_stack(&hops, &nodes);
-        let batch_labels: Vec<usize> = nodes.iter().map(|&i| labels[i]).collect();
-        group.bench_with_input(
-            BenchmarkId::new(format!("hoga_512_batch_n{n}"), width),
-            &width,
-            |b, _| {
-                b.iter(|| {
-                    let mut tape = Tape::new();
-                    let out = hoga.forward(&mut tape, &stack, nodes.len());
-                    let logits = hoga_head.logits(&mut tape, &hoga.params, out.representations);
-                    let loss = tape.cross_entropy_mean(logits, &batch_labels);
-                    black_box(tape.backward(loss).global_norm())
-                });
-            },
-        );
+    for row in &kernels {
+        assert!(row.bitwise_equal, "{} output differs between 1 and 8 threads", row.name);
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_hop_features,
-    bench_attention_forward,
-    bench_synthesis_passes,
-    bench_step_scaling
-);
-criterion_main!(benches);

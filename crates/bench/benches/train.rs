@@ -1,0 +1,70 @@
+//! End-to-end training throughput at 1 vs 8 kernel threads, written to
+//! `BENCH_train.json` at the workspace root.
+//!
+//! A plain `harness = false` main (no Criterion): trains the HOGA reasoning
+//! model on a small multiplier for a few epochs at each thread count and
+//! records the mean per-epoch wall clock ([`TrainStats::epoch_time`]), the
+//! end-to-end speedup, and the final losses — which must match bitwise,
+//! because the kernel determinism contract (`docs/PERFORMANCE.md`) makes the
+//! whole trajectory thread-count invariant. Pass `--smoke` for a reduced
+//! run suitable for CI gating.
+
+use std::path::Path;
+
+use hoga_core::model::Aggregator;
+use hoga_datasets::gamora::{
+    build_reasoning_benchmark, MultiplierKind, ReasoningConfig, ReasoningGraph,
+};
+use hoga_eval::trainer::{train_reasoning, ReasonModelKind, TrainConfig, TrainStats};
+use hoga_tensor::set_threads;
+
+fn run_at(threads: usize, graph: &ReasoningGraph, cfg: &TrainConfig) -> TrainStats {
+    set_threads(threads);
+    let (_, stats) =
+        train_reasoning(graph, ReasonModelKind::Hoga(Aggregator::GatedSelfAttention), cfg);
+    set_threads(0);
+    stats
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (width, hidden, epochs) =
+        if smoke { (6usize, 32usize, 2usize) } else { (8usize, 64usize, 5usize) };
+    let gcfg = ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 4, label_k: 4 };
+    let (graph, _) = build_reasoning_benchmark(MultiplierKind::Csa, width, &[], &gcfg);
+    let cfg = TrainConfig { hidden_dim: hidden, epochs, lr: 3e-3, ..TrainConfig::default() };
+
+    let s1 = run_at(1, &graph, &cfg);
+    let s8 = run_at(8, &graph, &cfg);
+
+    let e1 = s1.epoch_time().as_secs_f64();
+    let e8 = s8.epoch_time().as_secs_f64();
+    let json = format!(
+        "{{\n  \"bench\": \"train\",\n  \"smoke\": {},\n  \"model\": \"hoga_gated_self_attention\",\n  \
+         \"multiplier_width\": {},\n  \"hidden_dim\": {},\n  \"epochs\": {},\n  \"steps\": {},\n  \
+         \"epoch_wall_1t_s\": {:.6},\n  \"epoch_wall_8t_s\": {:.6},\n  \"speedup_8t\": {:.3},\n  \
+         \"final_loss_1t\": {:.6},\n  \"final_loss_8t\": {:.6},\n  \"loss_bitwise_equal\": {}\n}}\n",
+        smoke,
+        width,
+        hidden,
+        epochs,
+        s1.steps,
+        e1,
+        e8,
+        e1 / e8.max(1e-12),
+        s1.final_loss,
+        s8.final_loss,
+        s1.final_loss.to_bits() == s8.final_loss.to_bits()
+    );
+    print!("{json}");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let out = root.join("BENCH_train.json");
+    std::fs::write(&out, json).expect("write BENCH_train.json");
+    eprintln!("wrote {}", out.display());
+
+    assert_eq!(
+        s1.final_loss.to_bits(),
+        s8.final_loss.to_bits(),
+        "training loss diverged between 1 and 8 kernel threads"
+    );
+}

@@ -117,16 +117,29 @@ impl ConfusionMatrix {
 }
 
 /// Argmax over each row of a logits matrix → predicted class indices.
+///
+/// Deterministic tie-breaking: the **first** index attaining the maximum
+/// wins. NaN policy: NaN logits are ignored (never selected); a row whose
+/// logits are all NaN (or a width-0 row) predicts class 0. The previous
+/// `max_by(partial_cmp ... unwrap_or(Equal))` implementation resolved ties
+/// to the *last* index and let a NaN reset the running maximum, so the
+/// predicted class could depend on column order and NaN position.
 pub fn argmax_rows(logits: &hoga_tensor::Matrix) -> Vec<usize> {
     (0..logits.rows())
         .map(|r| {
-            logits
-                .row(r)
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
+            let mut best: Option<(usize, f32)> = None;
+            for (i, &v) in logits.row(r).iter().enumerate() {
+                if v.is_nan() {
+                    continue;
+                }
+                match best {
+                    // Strictly-greater keeps the earliest index on ties.
+                    Some((_, bv)) if v > bv => best = Some((i, v)),
+                    None => best = Some((i, v)),
+                    _ => {}
+                }
+            }
+            best.map(|(i, _)| i).unwrap_or(0)
         })
         .collect()
 }
@@ -178,5 +191,32 @@ mod tests {
     fn argmax_rows_picks_largest() {
         let m = Matrix::from_rows(&[&[0.1, 0.9], &[2.0, -1.0]]);
         assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+
+    /// Regression: ties used to resolve to the *last* tied index because
+    /// `max_by` keeps the later element on `Ordering::Equal`.
+    #[test]
+    fn argmax_rows_breaks_ties_to_first_index() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[0.0, 3.0, 3.0], &[-2.0, -2.0, -5.0]]);
+        assert_eq!(argmax_rows(&m), vec![0, 1, 0]);
+    }
+
+    /// Regression: a NaN logit used to reset the running maximum (any
+    /// comparison with NaN mapped to `Equal`), so the picked class depended
+    /// on where the NaN sat. NaNs are now ignored; all-NaN rows predict 0.
+    #[test]
+    fn argmax_rows_ignores_nan_logits() {
+        let m = Matrix::from_rows(&[
+            &[5.0, f32::NAN, 1.0],
+            &[f32::NAN, 2.0, 7.0],
+            &[f32::NAN, f32::NAN, f32::NAN],
+        ]);
+        assert_eq!(argmax_rows(&m), vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn argmax_rows_width_zero_predicts_class_zero() {
+        let m = Matrix::zeros(2, 0);
+        assert_eq!(argmax_rows(&m), vec![0, 0]);
     }
 }

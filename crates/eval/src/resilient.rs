@@ -86,6 +86,7 @@ pub fn train_reasoning_resilient(
     let mut epoch = start_epoch;
     let mut steps = 0usize;
     let mut final_loss = 0.0f32;
+    let mut epochs_run = 0usize;
     let start = Instant::now();
 
     'training: while epoch < cfg.epochs {
@@ -148,11 +149,13 @@ pub fn train_reasoning_resilient(
         }
         snapshot = (epoch + 1, model.params.clone(), opt.state_bytes());
         epoch += 1;
+        // Counts completed epoch passes, so rolled-back re-runs add passes.
+        epochs_run += 1;
     }
 
     report.retries = retries;
     report.final_lr = opt.learning_rate();
-    let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+    let stats = TrainStats { train_time: start.elapsed(), final_loss, steps, epochs_run };
     Ok((model, cls, stats, report))
 }
 

@@ -200,6 +200,24 @@ pub struct TrainStats {
     pub final_loss: f32,
     /// Number of optimizer steps taken.
     pub steps: usize,
+    /// Number of epoch passes actually executed (resumed runs count only the
+    /// epochs run in this process; divergence-recovery retries count each
+    /// re-run pass).
+    pub epochs_run: usize,
+}
+
+impl TrainStats {
+    /// Mean wall-clock time per executed epoch; zero when no epochs ran.
+    ///
+    /// This is the end-to-end per-epoch figure recorded by the `train`
+    /// benchmark (`BENCH_train.json`).
+    pub fn epoch_time(&self) -> Duration {
+        if self.epochs_run == 0 {
+            Duration::ZERO
+        } else {
+            self.train_time / self.epochs_run as u32
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -288,6 +306,7 @@ pub fn try_train_reasoning(
     let start = Instant::now();
     let mut steps = 0usize;
     let mut final_loss = 0.0f32;
+    let mut epochs_run = 0usize;
     let model = match kind {
         ReasonModelKind::Hoga(aggregator) => {
             let hcfg = HogaConfig::new(graph.features.cols(), cfg.hidden_dim, graph.hops.len() - 1)
@@ -315,6 +334,7 @@ pub fn try_train_reasoning(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                epochs_run += 1;
                 maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             ReasonModel::Hoga(Box::new(model), cls)
@@ -345,6 +365,7 @@ pub fn try_train_reasoning(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                epochs_run += 1;
                 maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             ReasonModel::Sign(Box::new(model), cls)
@@ -413,12 +434,13 @@ pub fn try_train_reasoning(
                     // analyze: allow(panic-free-paths) — kind is matched exhaustively by the enclosing dispatch
                     _ => unreachable!(),
                 }
+                epochs_run += 1;
                 maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
             ReasonModel::Sage(Box::new(model), cls)
         }
     };
-    let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+    let stats = TrainStats { train_time: start.elapsed(), final_loss, steps, epochs_run };
     Ok((model, stats))
 }
 
@@ -574,6 +596,7 @@ pub fn try_train_qor_with_target(
     let start = Instant::now();
     let mut steps = 0usize;
     let mut final_loss = 0.0f32;
+    let mut epochs_run = 0usize;
     match kind {
         QorModelKind::Hoga { num_hops } => {
             if num_hops + 1 > ds.designs[0].hops.len() {
@@ -604,9 +627,10 @@ pub fn try_train_qor_with_target(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                epochs_run += 1;
                 maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
-            let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+            let stats = TrainStats { train_time: start.elapsed(), final_loss, steps, epochs_run };
             Ok((QorModel::Hoga(Box::new(model), reg), stats))
         }
         QorModelKind::Gcn { layers } => {
@@ -634,9 +658,10 @@ pub fn try_train_qor_with_target(
                     opt.step(&mut model.params, &grads);
                     steps += 1;
                 }
+                epochs_run += 1;
                 maybe_checkpoint(cfg, epoch, &model.params, &opt, lr_scale)?;
             }
-            let stats = TrainStats { train_time: start.elapsed(), final_loss, steps };
+            let stats = TrainStats { train_time: start.elapsed(), final_loss, steps, epochs_run };
             Ok((QorModel::Gcn(Box::new(model), reg), stats))
         }
     }

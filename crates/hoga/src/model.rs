@@ -230,6 +230,9 @@ impl HogaModel {
                             let wk = tape.param(&self.params, head.wk);
                             let q = tape.matmul(h, wq);
                             let kk = tape.matmul(h, wk);
+                            // Per-node QKᵀ and S·V (Eq. 7) run on the
+                            // block-parallel batched kernels; see
+                            // docs/PERFORMANCE.md for the threading scheme.
                             let logits = tape.batched_matmul_nt(q, kk, batch);
                             let s = tape.softmax_rows(logits);
                             let sv = tape.batched_matmul(s, v, batch);

@@ -22,9 +22,20 @@ const LN_EPS: f32 = 1e-5;
 /// ```
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    let width = out.cols();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
+        if row.is_empty() {
+            continue;
+        }
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        if max.is_infinite() && max.is_sign_negative() {
+            // Fully masked row (every logit is -inf): `x - max` would be NaN
+            // for each entry. Fall back to the uniform distribution, matching
+            // the limit of softmax as all logits go to -inf together.
+            row.fill(1.0 / width as f32);
+            continue;
+        }
         let mut sum = 0.0;
         for x in row.iter_mut() {
             *x = (*x - max).exp();
@@ -42,9 +53,19 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 // analyze: allow(dead-public-api) — numerically-stable companion of softmax_rows in the public kernel API; covered by tests
 pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    let width = out.cols();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
+        if row.is_empty() {
+            continue;
+        }
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        if max.is_infinite() && max.is_sign_negative() {
+            // Fully masked row: return the log of the uniform distribution
+            // instead of `-inf - (-inf) = NaN` per entry.
+            row.fill(-(width as f32).ln());
+            continue;
+        }
         let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
         for x in row.iter_mut() {
             *x -= log_sum;
@@ -187,6 +208,51 @@ mod tests {
         assert!(y.is_finite());
         assert!((y[(0, 0)] - 1.0).abs() < 1e-6);
         assert!((y[(1, 0)] - 0.5).abs() < 1e-6);
+    }
+
+    /// Regression: a fully masked row (all `-inf`, as produced by attention
+    /// masks) used to come back all-NaN because `x - max` was `-inf - -inf`.
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let x = Matrix::from_rows(&[
+            &[f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY],
+            &[0.0, f32::NEG_INFINITY, 0.0],
+        ]);
+        let y = softmax_rows(&x);
+        assert!(y.is_finite(), "masked softmax produced non-finite output: {y:?}");
+        for &v in y.row(0) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6, "masked row not uniform: {:?}", y.row(0));
+        }
+        // Partially masked rows keep the usual semantics: -inf entries get
+        // zero mass and the rest renormalizes.
+        assert!((y[(1, 0)] - 0.5).abs() < 1e-6);
+        assert!(y[(1, 1)].abs() < 1e-9);
+        assert!((y[(1, 2)] - 0.5).abs() < 1e-6);
+    }
+
+    /// Regression: log-softmax on a fully masked row used to be all-NaN; it
+    /// now returns the log of the uniform distribution.
+    #[test]
+    fn log_softmax_fully_masked_row_is_log_uniform() {
+        let x = Matrix::from_rows(&[&[f32::NEG_INFINITY, f32::NEG_INFINITY]]);
+        let y = log_softmax_rows(&x);
+        assert!(y.is_finite(), "masked log-softmax produced non-finite output: {y:?}");
+        for &v in y.row(0) {
+            assert!((v - (-(2.0f32).ln())).abs() < 1e-6);
+        }
+    }
+
+    /// Regression: width-0 rows used to hit `1.0 / 0.0` (softmax) and
+    /// `0.0.ln()` (log-softmax); both must now be well-defined no-ops.
+    #[test]
+    fn softmax_width_zero_rows_are_noops() {
+        let x = Matrix::zeros(3, 0);
+        let y = softmax_rows(&x);
+        assert_eq!(y.shape(), (3, 0));
+        assert!(y.is_finite());
+        let ly = log_softmax_rows(&x);
+        assert_eq!(ly.shape(), (3, 0));
+        assert!(ly.is_finite());
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   exposed for the autograd layer,
 //! * deterministic random initializers (Xavier/Glorot, Kaiming/He).
 //!
-//! Parallelism uses `crossbeam::scope` over disjoint row chunks; there is no
-//! unsafe code in this crate.
+//! Parallelism uses `std::thread::scope` over disjoint row (or block, or
+//! k-) chunks; there is no unsafe code in this crate. Every kernel's output
+//! is a pure function of its inputs — never of the thread count — because
+//! chunk decompositions depend only on shapes and partial results are
+//! reduced in a fixed order (see `docs/PERFORMANCE.md`).
 //!
 //! # Examples
 //!

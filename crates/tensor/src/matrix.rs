@@ -1,12 +1,41 @@
-use crate::parallel::parallel_chunks;
+use crate::parallel::{parallel_chunks, parallel_map};
 use crate::ShapeError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Range;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
-/// Threshold (in multiply-accumulate operations) above which `matmul`
-/// parallelizes across row chunks.
+/// Threshold (in multiply-accumulate operations) above which the matmul
+/// family parallelizes across row (or block, or k-) chunks.
 const PARALLEL_MACS: usize = 1 << 18;
+
+/// Tile edge for the cache-blocked [`Matrix::transpose`].
+const TRANSPOSE_TILE: usize = 32;
+
+/// Rows of the shared dimension per cache panel in [`Matrix::matmul`]. The
+/// panel keeps `MATMUL_K_PANEL` rows of `other` hot while sweeping the output
+/// rows of a chunk; per-row accumulation order over `k` stays ascending, so
+/// results are bitwise identical to the unblocked loop.
+const MATMUL_K_PANEL: usize = 64;
+
+/// Rows of the shared dimension per partial accumulator in
+/// [`Matrix::matmul_tn`].
+const TN_K_CHUNK: usize = 128;
+
+/// Upper bound on the number of `matmul_tn` partial accumulators; bounds the
+/// `chunks × m × n` scratch memory.
+const TN_MAX_CHUNKS: usize = 16;
+
+/// Number of `k`-chunks `matmul_tn` decomposes into — a pure function of the
+/// operand shapes, never of the thread count, so the fixed-order reduction
+/// over chunk partials yields bitwise-identical floats at any parallelism.
+fn tn_chunk_count(m: usize, k: usize, n: usize) -> usize {
+    if m * k * n <= PARALLEL_MACS {
+        1
+    } else {
+        k.div_ceil(TN_K_CHUNK).clamp(1, TN_MAX_CHUNKS)
+    }
+}
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -279,8 +308,27 @@ impl Matrix {
         Self { rows: 1, cols: self.cols, data }
     }
 
-    /// Transposed copy.
+    /// Transposed copy, walked in `TRANSPOSE_TILE²` tiles so both the source
+    /// rows and the destination rows stay cache-resident.
     pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(TRANSPOSE_TILE) {
+            let rend = (rb + TRANSPOSE_TILE).min(self.rows);
+            for cb in (0..self.cols).step_by(TRANSPOSE_TILE) {
+                let cend = (cb + TRANSPOSE_TILE).min(self.cols);
+                for r in rb..rend {
+                    for c in cb..cend {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive element-at-a-time transpose kept as the differential-testing
+    /// oracle for the tiled [`Matrix::transpose`].
+    pub fn transpose_reference(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
@@ -291,7 +339,11 @@ impl Matrix {
     }
 
     /// Matrix product `self · other`, parallelized over row chunks for large
-    /// operands.
+    /// operands and cache-blocked over `MATMUL_K_PANEL`-row panels of `other`.
+    ///
+    /// Per output row the accumulation order over the shared dimension stays
+    /// ascending, so results are bitwise identical for every panel size and
+    /// thread count.
     ///
     /// # Panics
     ///
@@ -304,22 +356,28 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Self::zeros(m, n);
+        if out.data.is_empty() {
+            return out;
+        }
         let parallel = m * k * n > PARALLEL_MACS;
         let a = &self.data;
         let b = &other.data;
         let work = |row_start: usize, chunk: &mut [f32]| {
             let rows_here = chunk.len() / n;
-            for i in 0..rows_here {
-                let arow = &a[(row_start + i) * k..(row_start + i + 1) * k];
-                let crow = &mut chunk[i * n..(i + 1) * n];
-                for (kk, &av) in arow.iter().enumerate() {
-                    // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
+            for kb in (0..k).step_by(MATMUL_K_PANEL) {
+                let kend = (kb + MATMUL_K_PANEL).min(k);
+                for i in 0..rows_here {
+                    let arow = &a[(row_start + i) * k + kb..(row_start + i) * k + kend];
+                    let crow = &mut chunk[i * n..(i + 1) * n];
+                    for (dk, &av) in arow.iter().enumerate() {
+                        // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[(kb + dk) * n..(kb + dk + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
                     }
                 }
             }
@@ -368,6 +426,16 @@ impl Matrix {
 
     /// Matrix product `selfᵀ · other` without materializing the transpose.
     ///
+    /// This is the `dW = Xᵀ·dY` kernel in every linear layer's backward pass.
+    /// Because the output is only `cols × other.cols` while the reduction runs
+    /// over all `rows`, it parallelizes over the *shared* dimension: the `k`
+    /// rows are split into [`tn_chunk_count`] fixed chunks (a pure function of
+    /// the shapes), each chunk accumulates its own partial `m × n` buffer, and
+    /// the partials are summed in **ascending chunk order**. Fixing both the
+    /// chunk decomposition and the reduction order makes the float
+    /// reassociation independent of the thread count, so results are bitwise
+    /// identical whether one thread or sixteen ran the chunks.
+    ///
     /// # Panics
     ///
     /// Panics if `self.rows() != other.rows()`.
@@ -378,23 +446,56 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
+        let chunks = tn_chunk_count(m, k, n);
+        if chunks <= 1 {
+            let mut out = Self::zeros(m, n);
+            Self::tn_accumulate(&self.data, &other.data, m, n, 0..k, &mut out.data);
+            return out;
+        }
+        let rows_per = k.div_ceil(chunks);
+        let partials: Vec<Vec<f32>> = parallel_map(chunks, |ci| {
+            let lo = ci * rows_per;
+            let hi = ((ci + 1) * rows_per).min(k);
+            let mut partial = vec![0.0f32; m * n];
+            Self::tn_accumulate(&self.data, &other.data, m, n, lo..hi, &mut partial);
+            partial
+        });
+        // Reduce the partials in ascending chunk order — parallel_map returns
+        // them in task order, so this sum order never depends on scheduling.
         let mut out = Self::zeros(m, n);
-        // Accumulate row-by-row of the shared dimension: out += a_row^T * b_row.
-        for kk in 0..k {
-            let arow = &self.data[kk * m..(kk + 1) * m];
-            let brow = &other.data[kk * n..(kk + 1) * n];
+        for partial in &partials {
+            for (ov, &pv) in out.data.iter_mut().zip(partial) {
+                *ov += pv;
+            }
+        }
+        out
+    }
+
+    /// Accumulates `out += a[kk]ᵀ · b[kk]` for the shared-dimension rows `kk`
+    /// in `range`, in ascending order. Shared by the sequential and chunked
+    /// paths of [`Matrix::matmul_tn`] so both run the identical inner loop.
+    fn tn_accumulate(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        n: usize,
+        range: Range<usize>,
+        out: &mut [f32],
+    ) {
+        for kk in range {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
             for (i, &av) in arow.iter().enumerate() {
                 // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
                 if av == 0.0 {
                     continue;
                 }
-                let orow = &mut out.data[i * n..(i + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
                 for (ov, &bv) in orow.iter_mut().zip(brow) {
                     *ov += av * bv;
                 }
             }
         }
-        out
     }
 
     /// Batched matrix product over `batch` stacked blocks.
@@ -419,22 +520,42 @@ impl Matrix {
             self.cols, other.cols
         );
         let n = other.cols;
+        let k = self.cols;
         let mut out = Self::zeros(batch * br_a, n);
-        for bi in 0..batch {
-            for i in 0..br_a {
-                let arow = &self.data[(bi * br_a + i) * self.cols..(bi * br_a + i + 1) * self.cols];
-                let orow = &mut out.data[(bi * br_a + i) * n..(bi * br_a + i + 1) * n];
-                for (kk, &av) in arow.iter().enumerate() {
-                    // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
+        if out.data.is_empty() {
+            return out;
+        }
+        // Blocks are independent, so parallelize with block-aligned chunks;
+        // per-block arithmetic is unchanged, making the result thread-count
+        // invariant bit for bit.
+        let block_elems = br_a * n;
+        let a = &self.data;
+        let b = &other.data;
+        let work = |block_start: usize, region: &mut [f32]| {
+            for (bo, block) in region.chunks_mut(block_elems).enumerate() {
+                let bi = block_start + bo;
+                for i in 0..br_a {
+                    let arow = &a[(bi * br_a + i) * k..(bi * br_a + i + 1) * k];
+                    let orow = &mut block[i * n..(i + 1) * n];
+                    for (kk, &av) in arow.iter().enumerate() {
+                        // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
+                        for (ov, &bv) in orow.iter_mut().zip(brow) {
+                            *ov += av * bv;
+                        }
                     }
                 }
             }
+        };
+        if batch * br_a * k * n > PARALLEL_MACS {
+            parallel_chunks(&mut out.data, block_elems, |start_block, region| {
+                work(start_block, region)
+            });
+        } else {
+            work(0, &mut out.data);
         }
         out
     }
@@ -458,15 +579,34 @@ impl Matrix {
         let br_b = other.rows / batch;
         let k = self.cols;
         let mut out = Self::zeros(batch * br_a, br_b);
-        for bi in 0..batch {
-            for i in 0..br_a {
-                let arow = &self.data[(bi * br_a + i) * k..(bi * br_a + i + 1) * k];
-                for j in 0..br_b {
-                    let brow = &other.data[(bi * br_b + j) * k..(bi * br_b + j + 1) * k];
-                    let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-                    out.data[(bi * br_a + i) * br_b + j] = dot;
+        if out.data.is_empty() {
+            return out;
+        }
+        // Per-step QKᵀ of Eq. 7: each block is an independent (K+1)×(K+1)
+        // score tile, so parallelize over block-aligned chunks. Every dot
+        // product is computed identically at any thread count.
+        let block_elems = br_a * br_b;
+        let a = &self.data;
+        let b = &other.data;
+        let work = |block_start: usize, region: &mut [f32]| {
+            for (bo, block) in region.chunks_mut(block_elems).enumerate() {
+                let bi = block_start + bo;
+                for i in 0..br_a {
+                    let arow = &a[(bi * br_a + i) * k..(bi * br_a + i + 1) * k];
+                    for j in 0..br_b {
+                        let brow = &b[(bi * br_b + j) * k..(bi * br_b + j + 1) * k];
+                        let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+                        block[i * br_b + j] = dot;
+                    }
                 }
             }
+        };
+        if batch * br_a * k * br_b > PARALLEL_MACS {
+            parallel_chunks(&mut out.data, block_elems, |start_block, region| {
+                work(start_block, region)
+            });
+        } else {
+            work(0, &mut out.data);
         }
         out
     }
@@ -485,22 +625,217 @@ impl Matrix {
         let br_b = other.rows / batch;
         assert_eq!(br_a, br_b, "shape mismatch in batched_matmul_tn: block rows {br_a} vs {br_b}");
         let n = other.cols;
-        let mut out = Self::zeros(batch * self.cols, n);
+        let cols = self.cols;
+        let mut out = Self::zeros(batch * cols, n);
+        if out.data.is_empty() {
+            return out;
+        }
+        // Backward of the batched attention products: blocks are independent,
+        // so parallelize over block-aligned chunks; within a block the shared
+        // dimension is swept in ascending order exactly as before.
+        let block_elems = cols * n;
+        let a = &self.data;
+        let b = &other.data;
+        let work = |block_start: usize, region: &mut [f32]| {
+            for (bo, block) in region.chunks_mut(block_elems).enumerate() {
+                let bi = block_start + bo;
+                for kk in 0..br_a {
+                    let arow = &a[(bi * br_a + kk) * cols..(bi * br_a + kk + 1) * cols];
+                    let brow = &b[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
+                    for (i, &av) in arow.iter().enumerate() {
+                        // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut block[i * n..(i + 1) * n];
+                        for (ov, &bv) in orow.iter_mut().zip(brow) {
+                            *ov += av * bv;
+                        }
+                    }
+                }
+            }
+        };
+        if batch * br_a * cols * n > PARALLEL_MACS {
+            parallel_chunks(&mut out.data, block_elems, |start_block, region| {
+                work(start_block, region)
+            });
+        } else {
+            work(0, &mut out.data);
+        }
+        out
+    }
+
+    /// Naive triple-loop `self · other` kept as the differential-testing
+    /// oracle for the blocked, parallel [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_reference(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "shape mismatch in matmul_reference: ({}, {}) x ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Self::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[i * k + kk] * other.data[kk * n + j];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive `self · otherᵀ` oracle for [`Matrix::matmul_nt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_reference(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "shape mismatch in matmul_nt_reference: ({}, {}) x ({}, {})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Self::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[i * k + kk] * other.data[j * k + kk];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive `selfᵀ · other` oracle for the k-chunked [`Matrix::matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_reference(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "shape mismatch in matmul_tn_reference: ({}, {})^T x ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = Self::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[kk * m + i] * other.data[kk * n + j];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive per-block oracle for [`Matrix::batched_matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same shape conditions as [`Matrix::batched_matmul`].
+    pub fn batched_matmul_reference(&self, other: &Self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        assert_eq!(self.rows % batch, 0, "lhs rows {} not divisible by batch {batch}", self.rows);
+        assert_eq!(other.rows % batch, 0, "rhs rows {} not divisible by batch {batch}", other.rows);
+        let br_a = self.rows / batch;
+        let br_b = other.rows / batch;
+        assert_eq!(
+            self.cols, br_b,
+            "shape mismatch in batched_matmul_reference: block ({br_a}, {}) x ({br_b}, {})",
+            self.cols, other.cols
+        );
+        let n = other.cols;
+        let mut out = Self::zeros(batch * br_a, n);
         for bi in 0..batch {
-            for kk in 0..br_a {
-                let arow =
-                    &self.data[(bi * br_a + kk) * self.cols..(bi * br_a + kk + 1) * self.cols];
-                let brow = &other.data[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
-                for (i, &av) in arow.iter().enumerate() {
-                    // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                    if av == 0.0 {
-                        continue;
+            for i in 0..br_a {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..br_b {
+                        acc += self.data[(bi * br_a + i) * self.cols + kk]
+                            * other.data[(bi * br_b + kk) * n + j];
                     }
-                    let orow =
-                        &mut out.data[(bi * self.cols + i) * n..(bi * self.cols + i + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
+                    out.data[(bi * br_a + i) * n + j] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive per-block oracle for [`Matrix::batched_matmul_nt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same shape conditions as
+    /// [`Matrix::batched_matmul_nt`].
+    pub fn batched_matmul_nt_reference(&self, other: &Self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        assert_eq!(self.rows % batch, 0, "lhs rows {} not divisible by batch {batch}", self.rows);
+        assert_eq!(other.rows % batch, 0, "rhs rows {} not divisible by batch {batch}", other.rows);
+        assert_eq!(
+            self.cols, other.cols,
+            "shape mismatch in batched_matmul_nt_reference: inner dims {} vs {}",
+            self.cols, other.cols
+        );
+        let br_a = self.rows / batch;
+        let br_b = other.rows / batch;
+        let k = self.cols;
+        let mut out = Self::zeros(batch * br_a, br_b);
+        for bi in 0..batch {
+            for i in 0..br_a {
+                for j in 0..br_b {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += self.data[(bi * br_a + i) * k + kk]
+                            * other.data[(bi * br_b + j) * k + kk];
                     }
+                    out.data[(bi * br_a + i) * br_b + j] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive per-block oracle for [`Matrix::batched_matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same shape conditions as
+    /// [`Matrix::batched_matmul_tn`].
+    pub fn batched_matmul_tn_reference(&self, other: &Self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        assert_eq!(self.rows % batch, 0, "lhs rows {} not divisible by batch {batch}", self.rows);
+        assert_eq!(other.rows % batch, 0, "rhs rows {} not divisible by batch {batch}", other.rows);
+        let br_a = self.rows / batch;
+        let br_b = other.rows / batch;
+        assert_eq!(
+            br_a, br_b,
+            "shape mismatch in batched_matmul_tn_reference: block rows {br_a} vs {br_b}"
+        );
+        let n = other.cols;
+        let cols = self.cols;
+        let mut out = Self::zeros(batch * cols, n);
+        for bi in 0..batch {
+            for i in 0..cols {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..br_a {
+                        acc += self.data[(bi * br_a + kk) * cols + i]
+                            * other.data[(bi * br_b + kk) * n + j];
+                    }
+                    out.data[(bi * cols + i) * n + j] = acc;
                 }
             }
         }
@@ -642,20 +977,6 @@ impl fmt::Debug for Matrix {
 mod tests {
     use super::*;
 
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
-                let mut acc = 0.0;
-                for k in 0..a.cols() {
-                    acc += a[(i, k)] * b[(k, j)];
-                }
-                out[(i, j)] = acc;
-            }
-        }
-        out
-    }
-
     #[test]
     fn identity_is_neutral() {
         let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
@@ -667,14 +988,31 @@ mod tests {
     fn matmul_matches_naive() {
         let a = Matrix::from_fn(7, 5, |r, c| ((r * 31 + c * 7) % 11) as f32 - 5.0);
         let b = Matrix::from_fn(5, 9, |r, c| ((r * 13 + c * 3) % 7) as f32 - 3.0);
-        assert!(a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+        assert!(a.matmul(&b).max_abs_diff(&a.matmul_reference(&b)) < 1e-5);
     }
 
     #[test]
     fn large_matmul_parallel_path_matches_naive() {
         let a = Matrix::from_fn(130, 70, |r, c| ((r + 3 * c) % 17) as f32 * 0.25 - 2.0);
         let b = Matrix::from_fn(70, 90, |r, c| ((5 * r + c) % 13) as f32 * 0.5 - 3.0);
-        assert!(a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-3);
+        assert!(a.matmul(&b).max_abs_diff(&a.matmul_reference(&b)) < 1e-3);
+    }
+
+    #[test]
+    fn chunked_matmul_tn_matches_reference() {
+        // 40 × 600 · 600 × 40 exceeds PARALLEL_MACS, so matmul_tn decomposes
+        // the 600-row shared dimension into multiple fixed chunks.
+        let a = Matrix::from_fn(600, 40, |r, c| ((r * 7 + c * 3) % 23) as f32 * 0.125 - 1.0);
+        let b = Matrix::from_fn(600, 40, |r, c| ((r * 5 + c * 11) % 19) as f32 * 0.25 - 2.0);
+        assert!(tn_chunk_count(40, 600, 40) > 1);
+        assert!(a.matmul_tn(&b).max_abs_diff(&a.matmul_tn_reference(&b)) < 1e-2);
+    }
+
+    #[test]
+    fn transpose_matches_reference() {
+        // A shape that is not a multiple of the tile edge in either dimension.
+        let a = Matrix::from_fn(45, 70, |r, c| (r * 70 + c) as f32);
+        assert_eq!(a.transpose(), a.transpose_reference());
     }
 
     #[test]

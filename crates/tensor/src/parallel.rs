@@ -1,12 +1,27 @@
-//! Minimal structured-parallelism helpers built on `crossbeam::scope`.
+//! Minimal structured-parallelism helpers built on `std::thread::scope`.
 //!
 //! The kernels in this crate parallelize over disjoint row chunks of an
 //! output buffer. [`parallel_chunks`] splits a mutable slice into per-thread
 //! chunks aligned to a row width and runs a closure on each chunk inside a
-//! scoped thread.
+//! scoped thread. [`parallel_map`] runs indexed tasks and returns their
+//! results in task order, which is the primitive behind the deterministic
+//! fixed-order reductions of `Matrix::matmul_tn` and `CsrMatrix::from_coo`.
+//!
+//! # Determinism contract
+//!
+//! Every helper here guarantees that the *values* it produces are a pure
+//! function of its inputs, never of the thread count or the scheduler:
+//!
+//! * [`parallel_chunks`] hands each closure a disjoint region and a start
+//!   row; closures compute each row independently, so chunk boundaries only
+//!   affect which thread writes a row, not what is written.
+//! * [`parallel_map`] returns results **in task-index order** regardless of
+//!   which worker ran which task, so callers that reduce the results in
+//!   order get bitwise-identical floats for every thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::thread::ScopedJoinHandle;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -32,6 +47,9 @@ pub fn available_threads() -> usize {
 }
 
 /// Overrides the kernel thread count; `0` restores auto-detection.
+///
+/// Because every kernel's output is thread-count invariant (see the module
+/// docs), changing this affects wall-clock time only, never results.
 pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
@@ -58,7 +76,7 @@ where
         return;
     }
     let rows_per = total_rows.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = out;
         let mut row = 0;
         let mut handles = Vec::new();
@@ -67,14 +85,13 @@ where
             let (chunk, tail) = rest.split_at_mut(take);
             let start_row = row;
             let fref = &f;
-            let handle = s.spawn(move |_| fref(start_row, chunk));
+            let handle = s.spawn(move || fref(start_row, chunk));
             handles.push(handle);
             row += take / row_width;
             rest = tail;
         }
         join_all(handles);
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Like [`parallel_chunks`] but the closure also receives a zero-based chunk
@@ -97,7 +114,7 @@ where
         return;
     }
     let rows_per = total_rows.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = out;
         let mut row = 0;
         let mut chunk_idx = 0;
@@ -108,25 +125,72 @@ where
             let start_row = row;
             let ci = chunk_idx;
             let fref = &f;
-            let handle = s.spawn(move |_| fref(ci, start_row, chunk));
+            let handle = s.spawn(move || fref(ci, start_row, chunk));
             handles.push(handle);
             row += take / row_width;
             chunk_idx += 1;
             rest = tail;
         }
         join_all(handles);
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Joins every chunk worker, re-raising the first panic payload so the
 /// failure surfaces on the caller's thread with its original message.
-fn join_all(handles: Vec<crossbeam::thread::ScopedJoinHandle<'_, ()>>) {
+fn join_all(handles: Vec<ScopedJoinHandle<'_, ()>>) {
     for handle in handles {
         if let Err(payload) = handle.join() {
             std::panic::resume_unwind(payload);
         }
     }
+}
+
+/// Runs `count` independent tasks and returns their results **in task-index
+/// order**, regardless of which worker thread executed which task.
+///
+/// Tasks are assigned to workers round-robin (worker `w` runs tasks
+/// `w, w + W, w + 2W, ...`), so each task runs exactly once and the result
+/// order is a pure function of `count`. Callers that reduce the returned
+/// values in index order therefore get bitwise-identical results for every
+/// thread count; this is the primitive behind the deterministic k-chunked
+/// reduction of `Matrix::matmul_tn` and the sharded `CsrMatrix::from_coo`
+/// build.
+pub(crate) fn parallel_map<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = available_threads().min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let fref = &f;
+            let handle = s.spawn(move || {
+                (w..count).step_by(workers).map(|i| (i, fref(i))).collect::<Vec<_>>()
+            });
+            handles.push(handle);
+        }
+        let mut results = Vec::with_capacity(workers);
+        for handle in handles {
+            match handle.join() {
+                Ok(v) => results.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        results
+    });
+    // Reassemble in task-index order; the round-robin assignment covers
+    // every index exactly once.
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for bucket in &mut per_worker {
+        for (i, v) in bucket.drain(..) {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("round-robin covers every task index")).collect()
 }
 
 #[cfg(test)]
@@ -177,5 +241,17 @@ mod tests {
     fn misaligned_buffer_panics() {
         let mut buf = vec![0.0f32; 7];
         parallel_chunks(&mut buf, 3, |_, _| {});
+    }
+
+    #[test]
+    fn parallel_map_returns_results_in_task_order() {
+        let out = parallel_map(37, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_zero_and_one_task() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 10), vec![10]);
     }
 }

@@ -7,9 +7,33 @@
 //! pipeline, matching the paper's observation that feature generation is
 //! negligible next to training.
 
-use crate::parallel::parallel_chunks;
+use crate::parallel::{available_threads, parallel_chunks, parallel_map};
 use crate::Matrix;
 use serde::{Deserialize, Serialize};
+
+/// Triplet count above which [`CsrMatrix::from_coo`] parallelizes its
+/// counting and per-row merge phases.
+const PARALLEL_NNZ: usize = 1 << 14;
+
+/// Sorts one row's `(col, value)` entries by column and merges duplicate
+/// columns in place, summing their values.
+///
+/// Self-contained by construction: the merge only ever inspects this row's
+/// own entries, never state accumulated from previous rows, so rows can be
+/// merged independently and in parallel.
+fn merge_row(row: &mut Vec<(u32, f32)>) {
+    row.sort_unstable_by_key(|&(c, _)| c);
+    let mut write = 0usize;
+    for read in 0..row.len() {
+        if write > 0 && row[write - 1].0 == row[read].0 {
+            row[write - 1].1 += row[read].1;
+        } else {
+            row[write] = row[read];
+            write += 1;
+        }
+    }
+    row.truncate(write);
+}
 
 /// A sparse `f32` matrix in compressed-sparse-row format.
 ///
@@ -42,15 +66,49 @@ impl CsrMatrix {
     ///
     /// Panics if any coordinate is out of bounds.
     pub fn from_coo(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let parallel = triplets.len() >= PARALLEL_NNZ;
+        // Phase 1: bounds-check and count entries per row. Sharded over the
+        // triplet list for large inputs; per-shard counts merge by integer
+        // addition, which is order-independent, so the shard count can never
+        // change the result.
+        let count_shards =
+            if parallel { available_threads().min(triplets.len().max(1)) } else { 1 };
         let mut counts = vec![0usize; rows + 1];
-        for &(r, c, _) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds for ({rows}, {cols})");
-            counts[r + 1] += 1;
+        if count_shards > 1 {
+            let per = triplets.len().div_ceil(count_shards);
+            let shard_counts = parallel_map(count_shards, |si| {
+                let lo = (si * per).min(triplets.len());
+                let hi = ((si + 1) * per).min(triplets.len());
+                let mut c = vec![0usize; rows + 1];
+                for &(r, col, _) in &triplets[lo..hi] {
+                    assert!(
+                        r < rows && col < cols,
+                        "triplet ({r}, {col}) out of bounds for ({rows}, {cols})"
+                    );
+                    c[r + 1] += 1;
+                }
+                c
+            });
+            for shard in &shard_counts {
+                for (acc, &v) in counts.iter_mut().zip(shard) {
+                    *acc += v;
+                }
+            }
+        } else {
+            for &(r, c, _) in triplets {
+                assert!(
+                    r < rows && c < cols,
+                    "triplet ({r}, {c}) out of bounds for ({rows}, {cols})"
+                );
+                counts[r + 1] += 1;
+            }
         }
         for i in 0..rows {
             counts[i + 1] += counts[i];
         }
-        let indptr_raw = counts.clone();
+        let indptr_raw = counts;
+        // Phase 2: scatter triplets into their row segments, preserving input
+        // order within each row.
         let mut indices = vec![0u32; triplets.len()];
         let mut values = vec![0.0f32; triplets.len()];
         let mut cursor = indptr_raw.clone();
@@ -60,27 +118,44 @@ impl CsrMatrix {
             values[pos] = v;
             cursor[r] += 1;
         }
-        // Sort each row by column and merge duplicates.
-        let mut out_indptr = vec![0usize; rows + 1];
+        // Phase 3: sort each row by column and merge duplicates. merge_row is
+        // self-contained per row, so contiguous row ranges merge in parallel;
+        // shard outputs are concatenated in ascending-row order, making the
+        // result independent of the shard count.
+        let merge_shards = if parallel && rows > 1 { available_threads().min(rows) } else { 1 };
+        let rows_per = rows.div_ceil(merge_shards).max(1);
+        let shards: Vec<(Vec<usize>, Vec<u32>, Vec<f32>)> = parallel_map(merge_shards, |si| {
+            let r_lo = (si * rows_per).min(rows);
+            let r_hi = ((si + 1) * rows_per).min(rows);
+            let mut lens = Vec::with_capacity(r_hi - r_lo);
+            let mut idx = Vec::new();
+            let mut vals = Vec::new();
+            let mut scratch: Vec<(u32, f32)> = Vec::new();
+            for r in r_lo..r_hi {
+                let (lo, hi) = (indptr_raw[r], indptr_raw[r + 1]);
+                scratch.clear();
+                scratch.extend(indices[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+                merge_row(&mut scratch);
+                lens.push(scratch.len());
+                for &(c, v) in &scratch {
+                    idx.push(c);
+                    vals.push(v);
+                }
+            }
+            (lens, idx, vals)
+        });
+        let mut out_indptr = Vec::with_capacity(rows + 1);
+        out_indptr.push(0);
         let mut out_indices = Vec::with_capacity(indices.len());
         let mut out_values = Vec::with_capacity(values.len());
-        for r in 0..rows {
-            let (lo, hi) = (indptr_raw[r], indptr_raw[r + 1]);
-            let mut row: Vec<(u32, f32)> =
-                indices[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()).collect();
-            row.sort_unstable_by_key(|&(c, _)| c);
-            for (c, v) in row {
-                if let Some(last) = out_indices.last() {
-                    if *last == c && out_indptr[r] < out_indices.len() {
-                        let lv = out_values.last_mut().expect("non-empty values");
-                        *lv += v;
-                        continue;
-                    }
-                }
-                out_indices.push(c);
-                out_values.push(v);
+        let mut total = 0usize;
+        for (lens, idx, vals) in shards {
+            for len in lens {
+                total += len;
+                out_indptr.push(total);
             }
-            out_indptr[r + 1] = out_indices.len();
+            out_indices.extend(idx);
+            out_values.extend(vals);
         }
         Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }
     }

@@ -1,0 +1,322 @@
+//! Differential tests of the optimized matmul-family kernels against their
+//! naive `*_reference` oracles, plus bitwise thread-count-invariance checks.
+//!
+//! The determinism contract under test: every kernel's output is a pure
+//! function of its inputs — chunk decompositions depend only on shapes and
+//! partial results reduce in fixed order — so running with 1 thread and with
+//! 8 threads must produce *bitwise identical* floats.
+
+use hoga_tensor::{set_threads, CsrMatrix, Matrix};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that toggle the global thread override so they cannot
+/// observe each other's `set_threads` calls.
+fn thread_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `op` at 1, 3, and 8 threads, asserts the results are bitwise
+/// identical, restores auto-detection, and returns the single-thread result.
+fn assert_thread_invariant(label: &str, op: impl Fn() -> Matrix) -> Matrix {
+    let _guard = thread_lock();
+    set_threads(1);
+    let single = op();
+    for threads in [3usize, 8] {
+        set_threads(threads);
+        let multi = op();
+        assert_eq!(
+            bits(&single),
+            bits(&multi),
+            "{label}: output at {threads} threads differs bitwise from 1 thread"
+        );
+    }
+    set_threads(0);
+    single
+}
+
+/// Deterministic dense test matrix with values in roughly [-2, 2] and a
+/// sprinkling of exact zeros to exercise the sparsity fast paths.
+fn dense(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = r.wrapping_mul(31).wrapping_add(c.wrapping_mul(7)).wrapping_add(salt * 131);
+        if h % 11 == 0 {
+            0.0
+        } else {
+            ((h % 17) as f32) * 0.25 - 2.0
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernels vs naive references at trainer-like shapes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matmul_parallel_is_thread_invariant_and_matches_reference() {
+    let a = dense(130, 70, 1);
+    let b = dense(70, 90, 2);
+    let out = assert_thread_invariant("matmul", || a.matmul(&b));
+    assert!(out.max_abs_diff(&a.matmul_reference(&b)) < 1e-3);
+}
+
+#[test]
+fn matmul_nt_parallel_is_thread_invariant_and_matches_reference() {
+    let a = dense(130, 70, 3);
+    let b = dense(90, 70, 4);
+    let out = assert_thread_invariant("matmul_nt", || a.matmul_nt(&b));
+    assert!(out.max_abs_diff(&a.matmul_nt_reference(&b)) < 1e-3);
+}
+
+#[test]
+fn matmul_tn_chunked_is_thread_invariant_and_matches_reference() {
+    // 40 × 600 · 600 × 44 exceeds the parallel threshold, so the shared
+    // 600-row dimension splits into several fixed k-chunks.
+    let a = dense(600, 40, 5);
+    let b = dense(600, 44, 6);
+    let out = assert_thread_invariant("matmul_tn", || a.matmul_tn(&b));
+    assert!(out.max_abs_diff(&a.matmul_tn_reference(&b)) < 2e-2);
+}
+
+#[test]
+fn batched_matmul_at_trainer_shape_is_thread_invariant() {
+    // The S·V product of Eq. 7 at trainer shape: batch 512, K+1 = 5, d = 64.
+    let batch = 512;
+    let s = dense(batch * 5, 5, 7);
+    let v = dense(batch * 5, 64, 8);
+    let out = assert_thread_invariant("batched_matmul", || s.batched_matmul(&v, batch));
+    assert!(out.max_abs_diff(&s.batched_matmul_reference(&v, batch)) < 1e-3);
+}
+
+#[test]
+fn batched_matmul_nt_at_trainer_shape_is_thread_invariant() {
+    // The QKᵀ product of Eq. 7 at trainer shape: batch 512, K+1 = 5, d = 64.
+    let batch = 512;
+    let q = dense(batch * 5, 64, 9);
+    let k = dense(batch * 5, 64, 10);
+    let out = assert_thread_invariant("batched_matmul_nt", || q.batched_matmul_nt(&k, batch));
+    assert!(out.max_abs_diff(&q.batched_matmul_nt_reference(&k, batch)) < 1e-3);
+}
+
+#[test]
+fn batched_matmul_tn_at_trainer_shape_is_thread_invariant() {
+    let batch = 512;
+    let s = dense(batch * 5, 5, 11);
+    let dy = dense(batch * 5, 64, 12);
+    let out = assert_thread_invariant("batched_matmul_tn", || s.batched_matmul_tn(&dy, batch));
+    assert!(out.max_abs_diff(&s.batched_matmul_tn_reference(&dy, batch)) < 1e-3);
+}
+
+#[test]
+fn spmm_is_thread_invariant() {
+    let mut triplets = Vec::new();
+    for r in 0..400 {
+        for k in 0..5 {
+            triplets.push((r, (r * 7 + k * 13) % 300, ((r + k) % 5) as f32 - 2.0));
+        }
+    }
+    let a = CsrMatrix::from_coo(400, 300, &triplets);
+    let x = dense(300, 48, 13);
+    let out = assert_thread_invariant("spmm", || a.spmm(&x));
+    assert!(out.max_abs_diff(&a.to_dense().matmul_reference(&x)) < 1e-3);
+}
+
+#[test]
+fn transpose_tiled_matches_reference_on_awkward_shapes() {
+    for (r, c) in [(1, 1), (31, 33), (32, 32), (64, 1), (1, 64), (45, 70), (100, 3)] {
+        let a = dense(r, c, r * 100 + c);
+        assert_eq!(a.transpose(), a.transpose_reference(), "transpose mismatch at ({r}, {c})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-dimension edges
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matmul_family_handles_zero_dims() {
+    // (0, 5) · (5, 3) → (0, 3)
+    assert_eq!(Matrix::zeros(0, 5).matmul(&dense(5, 3, 1)).shape(), (0, 3));
+    // (5, 0) · (0, 3) → all-zero (5, 3)
+    let z = Matrix::zeros(5, 0).matmul(&Matrix::zeros(0, 3));
+    assert_eq!(z.shape(), (5, 3));
+    assert_eq!(z, Matrix::zeros(5, 3));
+    // (5, 3) · (3, 0) → (5, 0)
+    assert_eq!(dense(5, 3, 2).matmul(&Matrix::zeros(3, 0)).shape(), (5, 0));
+
+    // matmul_nt: (0, 4) · (6, 4)ᵀ and (3, 0) · (2, 0)ᵀ
+    assert_eq!(Matrix::zeros(0, 4).matmul_nt(&dense(6, 4, 3)).shape(), (0, 6));
+    let znt = dense(3, 0, 4).matmul_nt(&Matrix::zeros(2, 0));
+    assert_eq!(znt.shape(), (3, 2));
+    assert_eq!(znt, Matrix::zeros(3, 2));
+
+    // matmul_tn: (5, 0)ᵀ · (5, 4) → (0, 4); (5, 3)ᵀ · (5, 0) → (3, 0);
+    // (0, 3)ᵀ · (0, 4) → all-zero (3, 4).
+    assert_eq!(Matrix::zeros(5, 0).matmul_tn(&dense(5, 4, 5)).shape(), (0, 4));
+    assert_eq!(dense(5, 3, 6).matmul_tn(&Matrix::zeros(5, 0)).shape(), (3, 0));
+    let ztn = Matrix::zeros(0, 3).matmul_tn(&Matrix::zeros(0, 4));
+    assert_eq!(ztn.shape(), (3, 4));
+    assert_eq!(ztn, Matrix::zeros(3, 4));
+}
+
+#[test]
+fn batched_family_handles_zero_dims() {
+    let batch = 4;
+    // Zero-width value matrix → (batch·br_a, 0).
+    let s = dense(batch * 3, 3, 7);
+    let v = Matrix::zeros(batch * 3, 0);
+    assert_eq!(s.batched_matmul(&v, batch).shape(), (batch * 3, 0));
+    // Zero-row blocks on both sides.
+    let e = Matrix::zeros(0, 5);
+    assert_eq!(e.batched_matmul_nt(&Matrix::zeros(0, 5), batch).shape(), (0, 0));
+    // Zero-column lhs in the tn product → (0, n).
+    let a0 = Matrix::zeros(batch * 3, 0);
+    let b0 = dense(batch * 3, 4, 8);
+    assert_eq!(a0.batched_matmul_tn(&b0, batch).shape(), (0, 4));
+    // transpose of degenerate shapes.
+    assert_eq!(Matrix::zeros(0, 5).transpose().shape(), (5, 0));
+    assert_eq!(Matrix::zeros(5, 0).transpose().shape(), (0, 5));
+}
+
+// ---------------------------------------------------------------------------
+// from_coo: self-contained per-row merge (regression + differential)
+// ---------------------------------------------------------------------------
+
+/// Dense oracle for `from_coo` built on a `BTreeMap<(row, col), f32>`.
+fn coo_oracle(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Matrix {
+    let mut map: BTreeMap<(usize, usize), f32> = BTreeMap::new();
+    for &(r, c, v) in triplets {
+        *map.entry((r, c)).or_insert(0.0) += v;
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for ((r, c), v) in map {
+        out[(r, c)] = v;
+    }
+    out
+}
+
+/// Regression for the old cross-row merge guard: consecutive rows ending and
+/// starting on the same column, with duplicates on both sides of the row
+/// boundary, must merge strictly within their own rows.
+#[test]
+fn from_coo_merges_within_rows_only() {
+    let triplets = [(0, 2, 1.0), (0, 2, 2.0), (1, 2, 3.0), (1, 2, 4.0), (3, 0, 5.0), (3, 0, -5.0)];
+    let a = CsrMatrix::from_coo(4, 3, &triplets);
+    assert_eq!(a.row_entries(0).collect::<Vec<_>>(), vec![(2, 3.0)]);
+    assert_eq!(a.row_entries(1).collect::<Vec<_>>(), vec![(2, 7.0)]);
+    assert_eq!(a.row_entries(2).count(), 0, "empty row must stay empty");
+    // A duplicate summing to zero stays a structural nonzero.
+    assert_eq!(a.row_entries(3).collect::<Vec<_>>(), vec![(0, 0.0)]);
+    assert_eq!(a.nnz(), 3);
+}
+
+#[test]
+fn from_coo_large_input_is_thread_invariant_and_matches_oracle() {
+    // Above PARALLEL_NNZ (2^14) so both the sharded count and the sharded
+    // per-row merge run; heavy duplication exercises the merge everywhere.
+    let rows = 300;
+    let cols = 300;
+    let mut triplets = Vec::with_capacity(20_000);
+    for i in 0..20_000usize {
+        let r = (i * 37) % rows;
+        let c = (i * 101) % cols;
+        // Half-integer values keep duplicate sums exact in f32, so the CSR
+        // and the BTreeMap oracle agree bitwise regardless of sum order.
+        let v = ((i % 9) as f32) * 0.5 - 2.0;
+        triplets.push((r, c, v));
+    }
+    let _guard = thread_lock();
+    set_threads(1);
+    let single = CsrMatrix::from_coo(rows, cols, &triplets);
+    set_threads(8);
+    let multi = CsrMatrix::from_coo(rows, cols, &triplets);
+    set_threads(0);
+    assert_eq!(single, multi, "from_coo output depends on thread count");
+    assert_eq!(bits(&single.to_dense()), bits(&coo_oracle(rows, cols, &triplets)));
+}
+
+// ---------------------------------------------------------------------------
+// Property-based differentials vs the naive references
+// ---------------------------------------------------------------------------
+
+/// Strategy: a pair of matrices with a shared inner dimension.
+fn arb_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=8usize, 1..=8usize, 1..=8usize).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-3.0f32..3.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = proptest::collection::vec(-3.0f32..3.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+/// Strategy: COO triplets with half-integer values (exact duplicate sums).
+fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f32)>)> {
+    (1..=6usize, 1..=6usize).prop_flat_map(|(rows, cols)| {
+        let t = proptest::collection::vec((0..rows, 0..cols, -8i32..8), 0..40)
+            .prop_map(|v| v.into_iter().map(|(r, c, x)| (r, c, x as f32 * 0.5)).collect());
+        (Just(rows), Just(cols), t)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_reference((a, b) in arb_matmul_pair()) {
+        prop_assert!(a.matmul(&b).max_abs_diff(&a.matmul_reference(&b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_reference((a, b) in arb_matmul_pair()) {
+        let bt = b.transpose();
+        prop_assert!(a.matmul_nt(&bt).max_abs_diff(&a.matmul_nt_reference(&bt)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_reference((a, b) in arb_matmul_pair()) {
+        let at = a.transpose();
+        prop_assert!(at.matmul_tn(&b).max_abs_diff(&at.matmul_tn_reference(&b)) < 1e-4);
+    }
+
+    #[test]
+    fn batched_kernels_match_references((a, b) in arb_matmul_pair(), batch in 1..4usize) {
+        let mut big_a = Vec::new();
+        let mut big_b = Vec::new();
+        for _ in 0..batch {
+            big_a.extend_from_slice(a.as_slice());
+            big_b.extend_from_slice(b.as_slice());
+        }
+        let ba = Matrix::from_vec(batch * a.rows(), a.cols(), big_a);
+        let bb = Matrix::from_vec(batch * b.rows(), b.cols(), big_b.clone());
+        prop_assert!(
+            ba.batched_matmul(&bb, batch)
+                .max_abs_diff(&ba.batched_matmul_reference(&bb, batch)) < 1e-4
+        );
+        // nt/tn need equal block-row counts; reuse `ba` against itself.
+        prop_assert!(
+            ba.batched_matmul_nt(&ba, batch)
+                .max_abs_diff(&ba.batched_matmul_nt_reference(&ba, batch)) < 1e-4
+        );
+        prop_assert!(
+            ba.batched_matmul_tn(&ba, batch)
+                .max_abs_diff(&ba.batched_matmul_tn_reference(&ba, batch)) < 1e-4
+        );
+    }
+
+    #[test]
+    fn from_coo_matches_btreemap_oracle((rows, cols, triplets) in arb_triplets()) {
+        let csr = CsrMatrix::from_coo(rows, cols, &triplets);
+        let dense_oracle = coo_oracle(rows, cols, &triplets);
+        prop_assert_eq!(bits(&csr.to_dense()), bits(&dense_oracle));
+        // Columns within each row are strictly ascending (duplicates merged).
+        for r in 0..rows {
+            let row_cols: Vec<usize> = csr.row_entries(r).map(|(c, _)| c).collect();
+            prop_assert!(row_cols.windows(2).all(|w| w[0] < w[1]), "row {} not sorted/merged", r);
+        }
+    }
+}
