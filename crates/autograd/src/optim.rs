@@ -192,11 +192,7 @@ impl Adam {
         self
     }
 
-    fn slot<'a>(
-        store: &'a mut Vec<Option<Matrix>>,
-        idx: usize,
-        shape: (usize, usize),
-    ) -> &'a mut Matrix {
+    fn slot(store: &mut Vec<Option<Matrix>>, idx: usize, shape: (usize, usize)) -> &mut Matrix {
         if store.len() <= idx {
             store.resize(idx + 1, None);
         }

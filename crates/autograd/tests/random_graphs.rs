@@ -3,7 +3,6 @@
 
 use hoga_autograd::gradcheck::check_gradients;
 use hoga_autograd::{ParamSet, Tape, Var};
-use hoga_tensor::Matrix;
 use proptest::prelude::*;
 
 /// A random sequence of smooth ops applied to a parameter matrix.

@@ -401,10 +401,8 @@ impl Aig {
                 NodeKind::Pi(k) if i != k as usize + 1 => {
                     return Err(format!("PI {k} at wrong index {i}"))
                 }
-                NodeKind::And(a, b) => {
-                    if a.node() as usize >= i || b.node() as usize >= i {
-                        return Err(format!("gate {i} has forward fanin"));
-                    }
+                NodeKind::And(a, b) if a.node() as usize >= i || b.node() as usize >= i => {
+                    return Err(format!("gate {i} has forward fanin"))
                 }
                 _ => {}
             }

@@ -107,9 +107,17 @@ fn signed(node_lit: &[i32], l: Lit) -> i32 {
 /// Checks combinational equivalence of two AIGs with identical PI/PO
 /// interfaces.
 ///
-/// `conflict_budget` bounds the DPLL search (counted in backtracks);
-/// budgets of a few hundred thousand decide every circuit in this
-/// repository's test suite.
+/// # Budget contract
+///
+/// `conflict_budget` bounds the DPLL search (counted in backtracks):
+/// the solver returns [`Equivalence::Unknown`] as soon as the number of
+/// conflicts exceeds the budget — it never spins past it, so callers can
+/// rely on bounded work regardless of miter hardness. `Unknown` is a
+/// resource verdict, not a correctness one: `Equivalent` and
+/// `Inequivalent` answers are always sound whatever the budget. Budgets
+/// of a few hundred thousand decide every circuit in this repository's
+/// test suite; a budget of `0` gives up at the first conflict (trivial
+/// miters that unit-propagate to a verdict are still decided).
 ///
 /// # Panics
 ///

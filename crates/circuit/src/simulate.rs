@@ -128,7 +128,7 @@ pub fn exhaustive_equivalent(a: &Aig, b: &Aig) -> bool {
         a.num_pis() <= EXHAUSTIVE_PI_LIMIT,
         "exhaustive check limited to {EXHAUSTIVE_PI_LIMIT} PIs"
     );
-    let blocks = 1u64 << a.num_pis().saturating_sub(6).max(0);
+    let blocks = 1u64 << a.num_pis().saturating_sub(6);
     let tail_mask = if a.num_pis() >= 6 { u64::MAX } else { (1u64 << (1 << a.num_pis())) - 1 };
     for block in 0..blocks {
         let words = exhaustive_block_words(a.num_pis(), block);
@@ -155,7 +155,7 @@ pub fn exhaustive_node_signatures(aig: &Aig) -> Vec<Vec<u64>> {
         aig.num_pis() <= EXHAUSTIVE_PI_LIMIT,
         "exhaustive signatures limited to {EXHAUSTIVE_PI_LIMIT} PIs"
     );
-    let blocks = 1u64 << aig.num_pis().saturating_sub(6).max(0);
+    let blocks = 1u64 << aig.num_pis().saturating_sub(6);
     let tail_mask = if aig.num_pis() >= 6 { u64::MAX } else { (1u64 << (1 << aig.num_pis())) - 1 };
     let mut sigs: Vec<Vec<u64>> = vec![Vec::with_capacity(blocks as usize); aig.num_nodes()];
     for block in 0..blocks {

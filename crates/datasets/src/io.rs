@@ -413,13 +413,26 @@ impl From<DecodeError> for CheckpointError {
 /// Propagates filesystem errors (the temporary file is left behind only if
 /// the rename itself fails).
 pub fn save_checkpoint(path: &Path, ck: &Checkpoint) -> std::io::Result<()> {
-    let bytes = encode_checkpoint(ck);
+    write_atomic(path, &encode_checkpoint(ck))
+}
+
+/// Atomically writes `bytes` to `path`: the payload goes to `<path>.tmp`
+/// in the same directory (so the rename cannot cross filesystems), is
+/// synced, and is renamed over `path`. A crash at any point leaves either
+/// the previous file or the complete new one — never a torn write. Shared
+/// by checkpointing and the dataset-generation manifest.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the temporary file is left behind only if
+/// the rename itself fails).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)

@@ -12,11 +12,15 @@
 //! * [`splits`] — seeded minibatch iteration helpers.
 //! * [`io`] — compact binary (de)serialization so generated datasets can be
 //!   cached on disk.
+//! * [`manifest`] — CRC-checked per-sample records backing the resumable
+//!   QoR sweep ([`openabcd::build_qor_dataset_resumable`]): atomic writes,
+//!   skip-on-resume, and a quarantine directory for guard incidents.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gamora;
 pub mod io;
+pub mod manifest;
 pub mod openabcd;
 pub mod splits;

@@ -11,12 +11,21 @@
 //! counts equals relative error over ratios, so the paper's metric is
 //! computed exactly (see [`hoga_eval`-side metrics]).
 
+use crate::manifest::{
+    fnv1a64, read_record, write_record, SampleRecord, SampleStatus, MANIFEST_DIR, QUARANTINE_DIR,
+};
 use hoga_circuit::{adjacency, features, Aig};
 use hoga_gen::ipgen::{generate_ip, IpSpec, OPENABCD_DESIGNS};
-use hoga_synth::{random_recipe, run_recipe, Recipe};
+use hoga_synth::{
+    random_recipe, run_recipe_guarded, GuardConfig, GuardedRun, Recipe, SynthError, SynthFault,
+    SynthFaultPlan,
+};
 use hoga_tensor::{CsrMatrix, Matrix};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Width of the encoded recipe vector fed to the regression head — one
@@ -42,6 +51,12 @@ pub struct QorDatasetConfig {
     pub max_scaled_nodes: usize,
     /// Master seed.
     pub seed: u64,
+    /// Per-pass equivalence-guard and budget configuration for the
+    /// synthesis runner. The default (2-round simulation filter, no SAT
+    /// arbiter, unlimited budgets) reproduces the historical labels
+    /// exactly; keep `guard.budget.timeout_ms == 0` wherever byte-stable
+    /// resumption matters (wall-clock deadlines are nondeterministic).
+    pub guard: GuardConfig,
 }
 
 impl Default for QorDatasetConfig {
@@ -54,6 +69,7 @@ impl Default for QorDatasetConfig {
             nodes_per_graph: 256,
             max_scaled_nodes: 0,
             seed: 0xABC0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -73,6 +89,7 @@ impl QorDatasetConfig {
             nodes_per_graph: 64,
             max_scaled_nodes: 800,
             seed: 0xABC0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -111,26 +128,49 @@ pub struct QorSample {
     /// Circuit depth after the recipe — a second QoR metric this
     /// reproduction supports beyond the paper (delay-oriented flows).
     pub final_depth: u32,
+    /// `recipe::lint` findings for this sample's recipe (display form);
+    /// empty for well-formed recipes within the OpenABC-D step budget.
+    pub lint_findings: Vec<String>,
+}
+
+/// Smallest label the ratio accessors return. Labels feed relative-error
+/// (MAPE) losses where an exact 0 divides by zero, so a circuit optimized
+/// all the way to constants is clamped to this floor instead.
+pub const RATIO_FLOOR: f32 = 1e-6;
+
+/// Largest label the ratio accessors return. Area recipes occasionally
+/// deepen a circuit, but a ratio beyond this bound indicates a degenerate
+/// denominator rather than a real label.
+pub const RATIO_CEIL: f32 = 16.0;
+
+/// `num / den` clamped into `[RATIO_FLOOR, RATIO_CEIL]`, with degenerate
+/// denominators (zero gates or zero depth before synthesis) mapping to the
+/// neutral label `1.0` — never `NaN`, `inf`, or `0`.
+fn clamped_ratio(num: f32, den: f32) -> f32 {
+    if den <= 0.0 {
+        return 1.0;
+    }
+    let r = num / den;
+    if r.is_finite() {
+        r.clamp(RATIO_FLOOR, RATIO_CEIL)
+    } else {
+        1.0
+    }
 }
 
 impl QorSample {
-    /// The normalized gate-count label `final / initial ∈ (0, 1]`.
+    /// The normalized gate-count label `final / initial`, clamped into
+    /// `[RATIO_FLOOR, RATIO_CEIL]`; zero-gate designs yield the neutral
+    /// `1.0`. Always finite and strictly positive.
     pub fn ratio(&self) -> f32 {
-        if self.initial_ands == 0 {
-            1.0
-        } else {
-            self.final_ands as f32 / self.initial_ands as f32
-        }
+        clamped_ratio(self.final_ands as f32, self.initial_ands as f32)
     }
 
     /// The normalized depth label `final / initial` (can exceed 1: area
-    /// optimization sometimes deepens the circuit).
+    /// optimization sometimes deepens the circuit), clamped like
+    /// [`QorSample::ratio`]. Always finite and strictly positive.
     pub fn depth_ratio(&self) -> f32 {
-        if self.initial_depth == 0 {
-            1.0
-        } else {
-            self.final_depth as f32 / self.initial_depth as f32
-        }
+        clamped_ratio(self.final_depth as f32, self.initial_depth as f32)
     }
 }
 
@@ -146,20 +186,69 @@ pub struct QorDataset {
     pub config: QorDatasetConfig,
 }
 
+/// The Table-1 designs that survive `config`'s size filter, in Table-1
+/// order — the sweep order shared by the in-memory and resumable builders.
+fn filtered_designs(config: &QorDatasetConfig) -> Vec<&'static IpSpec> {
+    let mut design_specs: Vec<&IpSpec> = OPENABCD_DESIGNS.iter().collect();
+    if config.max_scaled_nodes > 0 {
+        design_specs.retain(|s| s.nodes / config.scale_divisor <= config.max_scaled_nodes);
+    }
+    design_specs
+}
+
+/// The `random_recipe` seed for recipe `r` of `design` — shared by both
+/// builders and recorded in the manifest.
+fn recipe_seed(config: &QorDatasetConfig, design: &str, r: usize) -> u64 {
+    config.seed.wrapping_add(hash_name(design)).wrapping_add(r as u64)
+}
+
+/// One synthesized sample plus its guard outcome log: the shared hot path
+/// of both builders. Lints the recipe, runs it under the configured guard
+/// (with `faults` injected), and assembles the [`QorSample`].
+fn synthesize_sample(
+    aig: &Aig,
+    design_idx: usize,
+    config: &QorDatasetConfig,
+    design_name: &str,
+    r: usize,
+    faults: &SynthFaultPlan,
+) -> Result<(QorSample, GuardedRun), SynthError> {
+    let recipe = random_recipe(config.recipe_len, recipe_seed(config, design_name, r));
+    let lint_findings: Vec<String> =
+        hoga_synth::recipe::lint(&recipe.to_string()).iter().map(ToString::to_string).collect();
+    let run = run_recipe_guarded(aig, &recipe, &config.guard, faults)?;
+    let sample = QorSample {
+        design: design_idx,
+        recipe_encoding: recipe.encode(RECIPE_ENCODING_WIDTH),
+        recipe,
+        initial_ands: run.result.initial_ands,
+        final_ands: run.result.final_ands,
+        initial_depth: hoga_circuit::depth(aig),
+        final_depth: hoga_circuit::depth(&run.result.aig),
+        lint_findings,
+    };
+    Ok((sample, run))
+}
+
 /// Builds the benchmark.
 ///
 /// Deterministic in `config.seed`. Runtime scales with
 /// `recipes_per_design × scaled design sizes`; the default configuration
 /// targets minutes on a laptop-class CPU.
+///
+/// Every recipe runs under the configured per-pass equivalence guard (see
+/// [`QorDatasetConfig::guard`]); with the default guard and sound passes
+/// the labels are identical to the historical unguarded builder.
+///
+/// # Panics
+///
+/// Panics if `config.guard` is invalid (`sim_rounds == 0`) — use
+/// [`build_qor_dataset_resumable`] for the typed-error path.
 pub fn build_qor_dataset(config: &QorDatasetConfig) -> QorDataset {
     let mut designs = Vec::new();
     let mut train = Vec::new();
     let mut test = Vec::new();
-    let mut design_specs: Vec<&IpSpec> = OPENABCD_DESIGNS.iter().collect();
-    if config.max_scaled_nodes > 0 {
-        design_specs.retain(|s| s.nodes / config.scale_divisor <= config.max_scaled_nodes);
-    }
-    for spec in design_specs {
+    for spec in filtered_designs(config) {
         let aig = generate_ip(spec, config.scale_divisor);
         let adj = Arc::new(adjacency::normalized_symmetric(&aig));
         let feats = features::node_features(&aig);
@@ -171,20 +260,9 @@ pub fn build_qor_dataset(config: &QorDatasetConfig) -> QorDataset {
         );
         let design_idx = designs.len();
         for r in 0..config.recipes_per_design {
-            let recipe = random_recipe(
-                config.recipe_len,
-                config.seed.wrapping_add(hash_name(spec.name)).wrapping_add(r as u64),
-            );
-            let result = run_recipe(&aig, &recipe);
-            let sample = QorSample {
-                design: design_idx,
-                recipe_encoding: recipe.encode(RECIPE_ENCODING_WIDTH),
-                recipe,
-                initial_ands: result.initial_ands,
-                final_ands: result.final_ands,
-                initial_depth: hoga_circuit::depth(&aig),
-                final_depth: hoga_circuit::depth(&result.aig),
-            };
+            let (sample, _run) =
+                synthesize_sample(&aig, design_idx, config, spec.name, r, &SynthFaultPlan::none())
+                    .expect("no faults injected and guard validated");
             if spec.train {
                 train.push(sample);
             } else {
@@ -194,6 +272,191 @@ pub fn build_qor_dataset(config: &QorDatasetConfig) -> QorDataset {
         designs.push(QorDesign { spec: *spec, aig, adj, features: feats, hops, pooled_nodes });
     }
     QorDataset { designs, train, test, config: *config }
+}
+
+// ---------------------------------------------------------------------------
+// Resumable generation
+// ---------------------------------------------------------------------------
+
+/// A deliberate fault targeting one `(design, recipe, step)` of a sweep —
+/// the dataset-level face of [`SynthFaultPlan`], used to prove the guard,
+/// quarantine, and resume machinery end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QorFault {
+    /// Table-1 design name.
+    pub design: String,
+    /// 0-based recipe index within the design.
+    pub recipe_index: usize,
+    /// 0-based step index within the recipe.
+    pub step: usize,
+    /// What to do to that step.
+    pub fault: SynthFault,
+}
+
+/// Options for [`build_qor_dataset_resumable`] beyond the dataset config.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QorSweepOptions {
+    /// Stop (as if killed) after writing this many *new* records; `None`
+    /// runs to completion. Skipped (already-valid) records don't count.
+    pub stop_after: Option<usize>,
+    /// Deliberate faults to inject, for testing the guard pipeline.
+    pub faults: Vec<QorFault>,
+}
+
+/// What a [`build_qor_dataset_resumable`] invocation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QorBuildReport {
+    /// Total samples in the sweep (designs × recipes).
+    pub total: usize,
+    /// Records newly written by this invocation (clean + quarantined).
+    pub written: usize,
+    /// Valid records found on disk and skipped (resume hits).
+    pub skipped: usize,
+    /// Samples now in quarantine (newly written + skipped).
+    pub quarantined: usize,
+    /// `true` when `stop_after` ended the sweep early; resume by calling
+    /// again with the same config and output directory.
+    pub interrupted: bool,
+}
+
+impl QorBuildReport {
+    /// `true` when every sample of the sweep has a valid record on disk.
+    pub fn complete(&self) -> bool {
+        !self.interrupted && self.written + self.skipped == self.total
+    }
+}
+
+/// Error from [`build_qor_dataset_resumable`].
+#[derive(Debug)]
+pub enum QorBuildError {
+    /// Filesystem failure writing records or creating directories.
+    Io(std::io::Error),
+    /// Invalid guard configuration or fault plan.
+    Synth(SynthError),
+}
+
+impl fmt::Display for QorBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QorBuildError::Io(e) => write!(f, "dataset generation I/O error: {e}"),
+            QorBuildError::Synth(e) => write!(f, "dataset generation: {e}"),
+        }
+    }
+}
+
+impl Error for QorBuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QorBuildError::Io(e) => Some(e),
+            QorBuildError::Synth(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for QorBuildError {
+    fn from(e: std::io::Error) -> Self {
+        QorBuildError::Io(e)
+    }
+}
+
+impl From<SynthError> for QorBuildError {
+    fn from(e: SynthError) -> Self {
+        QorBuildError::Synth(e)
+    }
+}
+
+/// Runs the QoR label sweep with per-sample on-disk records, resumable
+/// after a kill at any point.
+///
+/// For every `(design, recipe)` pair (same order and seeds as
+/// [`build_qor_dataset`]) a CRC-checked [`SampleRecord`] is written
+/// atomically under `out_dir/manifest/`; samples whose guarded run
+/// reports an incident (refuted or over-budget pass) go to
+/// `out_dir/quarantine/` instead, keeping poisoned labels out of the
+/// clean set while preserving the evidence. On resume, samples with a
+/// valid record in either directory are skipped; corrupt or truncated
+/// records are regenerated. Records contain no timestamps, so an
+/// interrupted-then-resumed sweep is byte-identical to an uninterrupted
+/// one.
+///
+/// # Errors
+///
+/// [`QorBuildError::Synth`] if the guard config is invalid or a fault
+/// targets a step past the recipe end; [`QorBuildError::Io`] on
+/// filesystem failures.
+pub fn build_qor_dataset_resumable(
+    config: &QorDatasetConfig,
+    out_dir: &Path,
+    opts: &QorSweepOptions,
+) -> Result<QorBuildReport, QorBuildError> {
+    config.guard.validate()?;
+    let manifest_dir = out_dir.join(MANIFEST_DIR);
+    let quarantine_dir = out_dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&manifest_dir)?;
+    std::fs::create_dir_all(&quarantine_dir)?;
+
+    let specs = filtered_designs(config);
+    let mut report = QorBuildReport {
+        total: specs.len() * config.recipes_per_design,
+        written: 0,
+        skipped: 0,
+        quarantined: 0,
+        interrupted: false,
+    };
+    for (design_idx, spec) in specs.iter().enumerate() {
+        // Generated lazily: a fully recorded design costs no synthesis on
+        // resume.
+        let mut aig: Option<Aig> = None;
+        for r in 0..config.recipes_per_design {
+            let file = SampleRecord::file_name(spec.name, r);
+            let clean = manifest_dir.join(&file);
+            let quarantined = quarantine_dir.join(&file);
+            if read_record(&clean).is_some() {
+                report.skipped += 1;
+                continue;
+            }
+            if read_record(&quarantined).is_some() {
+                report.skipped += 1;
+                report.quarantined += 1;
+                continue;
+            }
+            let aig = aig.get_or_insert_with(|| generate_ip(spec, config.scale_divisor));
+            let mut faults = SynthFaultPlan::none();
+            for f in &opts.faults {
+                if f.design == spec.name && f.recipe_index == r {
+                    faults = faults.inject(f.step, f.fault);
+                }
+            }
+            let (sample, run) = synthesize_sample(aig, design_idx, config, spec.name, r, &faults)?;
+            let incidents: Vec<String> = run.incidents().map(ToString::to_string).collect();
+            let status = if run.is_clean() { SampleStatus::Ok } else { SampleStatus::Quarantined };
+            let record = SampleRecord {
+                design: spec.name.to_string(),
+                recipe_index: r,
+                seed: recipe_seed(config, spec.name, r),
+                recipe: sample.recipe.to_string(),
+                status,
+                initial_ands: sample.initial_ands,
+                final_ands: sample.final_ands,
+                initial_depth: sample.initial_depth,
+                final_depth: sample.final_depth,
+                result_hash: fnv1a64(&crate::io::encode_aig(&run.result.aig)),
+                lints: sample.lint_findings.clone(),
+                incidents,
+            };
+            let dir = if status == SampleStatus::Ok { &manifest_dir } else { &quarantine_dir };
+            write_record(dir, &record)?;
+            report.written += 1;
+            if status == SampleStatus::Quarantined {
+                report.quarantined += 1;
+            }
+            if opts.stop_after.is_some_and(|n| report.written >= n) {
+                report.interrupted = true;
+                return Ok(report);
+            }
+        }
+    }
+    Ok(report)
 }
 
 /// Deterministically samples `count` distinct node indices (all nodes if
@@ -280,6 +543,82 @@ mod tests {
         let ds = build_qor_dataset(&cfg);
         for d in &ds.designs {
             assert_eq!(d.hops.len(), cfg.num_hops + 1);
+        }
+    }
+
+    fn sample_with(
+        initial_ands: usize,
+        final_ands: usize,
+        i_depth: u32,
+        f_depth: u32,
+    ) -> QorSample {
+        QorSample {
+            design: 0,
+            recipe: Recipe::default(),
+            recipe_encoding: vec![0.0; RECIPE_ENCODING_WIDTH],
+            initial_ands,
+            final_ands,
+            initial_depth: i_depth,
+            final_depth: f_depth,
+            lint_findings: Vec::new(),
+        }
+    }
+
+    /// Regression: degenerate circuits (zero gates or zero depth before
+    /// synthesis, or optimized down to constants) must never produce a
+    /// zero, infinite, or NaN label — MAPE-style losses divide by it.
+    #[test]
+    fn ratio_clamps_degenerate_samples() {
+        // Zero-gate / zero-depth design: neutral label, not NaN.
+        let empty = sample_with(0, 0, 0, 0);
+        assert_eq!(empty.ratio(), 1.0);
+        assert_eq!(empty.depth_ratio(), 1.0);
+        // Optimized to constants: floor, not zero.
+        let collapsed = sample_with(100, 0, 9, 0);
+        assert_eq!(collapsed.ratio(), RATIO_FLOOR);
+        assert_eq!(collapsed.depth_ratio(), RATIO_FLOOR);
+        // Absurd growth clamps to the ceiling.
+        let blown_up = sample_with(1, 1_000_000, 1, 4_000_000);
+        assert_eq!(blown_up.ratio(), RATIO_CEIL);
+        assert_eq!(blown_up.depth_ratio(), RATIO_CEIL);
+        // Ordinary samples are untouched by the clamp.
+        let normal = sample_with(200, 150, 10, 8);
+        assert!((normal.ratio() - 0.75).abs() < 1e-6);
+        assert!((normal.depth_ratio() - 0.8).abs() < 1e-6);
+        for s in [&empty, &collapsed, &blown_up, &normal] {
+            assert!(s.ratio().is_finite() && s.ratio() > 0.0);
+            assert!(s.depth_ratio().is_finite() && s.depth_ratio() > 0.0);
+        }
+    }
+
+    #[test]
+    fn generated_recipes_lint_without_errors_within_budget() {
+        // tiny() keeps recipes within the step budget, so the only
+        // findings random recipes can carry are redundant-balance
+        // warnings — never parse errors or budget violations.
+        let ds = build_qor_dataset(&QorDatasetConfig::tiny());
+        for s in ds.train.iter().chain(&ds.test) {
+            for l in &s.lint_findings {
+                assert!(l.contains("redundant consecutive"), "unexpected finding: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn over_budget_recipes_surface_lint_findings() {
+        let mut cfg = QorDatasetConfig::tiny();
+        cfg.recipes_per_design = 1;
+        cfg.recipe_len = hoga_synth::STEP_BUDGET + 1;
+        // Restrict to the smallest designs to keep 21 passes cheap.
+        cfg.max_scaled_nodes = 400;
+        let ds = build_qor_dataset(&cfg);
+        assert!(!ds.train.is_empty() || !ds.test.is_empty());
+        for s in ds.train.iter().chain(&ds.test) {
+            assert!(
+                s.lint_findings.iter().any(|l| l.contains("exceeding")),
+                "step-budget finding missing: {:?}",
+                s.lint_findings
+            );
         }
     }
 }

@@ -99,7 +99,7 @@ pub fn run(cfg: &Fig7Config) -> Fig7 {
     } else {
         build_reasoning_graph(MultiplierKind::Booth, cfg.vis_width, &cfg.graph)
     };
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.train.seed ^ 0xF16_7);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.train.seed ^ 0xF167);
     let mut classes = Vec::new();
     let num_hops = vis_graph.hops.len() - 1;
     for ci in 0..NodeClass::COUNT {

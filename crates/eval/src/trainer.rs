@@ -177,7 +177,7 @@ pub(crate) fn maybe_checkpoint(
 ) -> Result<bool, TrainError> {
     let Some(path) = &cfg.checkpoint_to else { return Ok(false) };
     let next = epoch + 1;
-    if next % cfg.checkpoint_every.max(1) != 0 && next != cfg.epochs {
+    if !next.is_multiple_of(cfg.checkpoint_every.max(1)) && next != cfg.epochs {
         return Ok(false);
     }
     let ck = Checkpoint {

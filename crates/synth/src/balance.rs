@@ -6,11 +6,18 @@
 //! Rebuilding through the structural hash also merges duplicated subtrees,
 //! so `balance` usually reduces both depth and gate count.
 
+use crate::guard::{PassExhausted, WorkMeter};
 use hoga_circuit::{Aig, Lit, NodeKind};
 use std::collections::HashMap;
 
 /// Returns a balanced copy of `aig` (PI/PO interface preserved).
 pub fn balance(aig: &Aig) -> Aig {
+    let mut meter = WorkMeter::unlimited();
+    balance_bounded(aig, &mut meter).unwrap_or_else(|_| unreachable!("unlimited meter"))
+}
+
+/// [`balance`] under a work budget: one unit per AND-tree root rebuilt.
+pub(crate) fn balance_bounded(aig: &Aig, meter: &mut WorkMeter) -> Result<Aig, PassExhausted> {
     let mut out = Aig::new(aig.num_pis());
     // Map from old literal (raw) to new literal for non-complemented node
     // outputs; complements are applied on lookup.
@@ -33,6 +40,7 @@ pub fn balance(aig: &Aig) -> Aig {
     let mut cache: HashMap<u32, Lit> = HashMap::new();
     let mut out_levels: Vec<u32> = vec![0; out.num_nodes()];
     for (id, _, _) in aig.and_gates() {
+        meter.charge(1)?;
         let lit = build_balanced(
             aig,
             id,
@@ -54,7 +62,7 @@ pub fn balance(aig: &Aig) -> Aig {
     // Interior tree gates were rebuilt speculatively for every chain prefix;
     // only the trees reachable from the POs are kept.
     out.compact();
-    out
+    Ok(out)
 }
 
 /// Collects the leaves of the maximal AND tree rooted at `root` and rebuilds

@@ -21,9 +21,14 @@
 //!   mapper in `hoga-gen`.
 //!
 //! Every pass returns a *new* AIG and is verified against the input with
-//! 64-bit random simulation in this crate's test-suite; [`run_recipe`]
-//! additionally self-checks each step and panics (in debug builds) on any
-//! semantic change.
+//! 64-bit random simulation in this crate's test-suite. The runner itself
+//! is *guarded*: [`run_recipe_guarded`] verifies every step against its
+//! input (random-simulation filter plus an optional bounded SAT arbiter),
+//! rolls back refuted or over-budget steps, and records each rejection as
+//! a structured [`Incident`] instead of panicking. [`run_recipe`] is the
+//! same runner with the default guard. The [`guard`] module also provides
+//! deliberate fault injection ([`SynthFaultPlan`]) so the guard's
+//! detection path is itself testable end to end.
 //!
 //! # Examples
 //!
@@ -51,6 +56,7 @@
 
 mod balance;
 pub mod cuts;
+pub mod guard;
 pub mod recipe;
 mod refactor;
 mod resub;
@@ -58,8 +64,14 @@ mod rewrite;
 mod runner;
 
 pub use balance::balance;
-pub use recipe::{random_recipe, ParseRecipeError, Recipe, RecipeLint, SynthStep, STEP_BUDGET};
+pub use guard::{
+    GuardConfig, Incident, IncidentKind, PassBudget, PassOutcome, SynthError, SynthFault,
+    SynthFaultPlan, Verification,
+};
+pub use recipe::{
+    random_recipe, ParseRecipeError, Recipe, RecipeLint, SynthStep, RESUB_SEED_BASE, STEP_BUDGET,
+};
 pub use refactor::{build_from_tt, refactor};
 pub use resub::{resub, signature_classes};
 pub use rewrite::rewrite;
-pub use runner::{run_recipe, SynthesisResult};
+pub use runner::{run_recipe, run_recipe_guarded, GuardedRun, SynthesisResult};

@@ -205,6 +205,11 @@ pub enum RecipeLint {
 /// recipe the QoR models are trained on).
 pub const STEP_BUDGET: usize = 20;
 
+/// Base of the per-step resubstitution seed: step `i` of a recipe runs
+/// `resub` with seed `RESUB_SEED_BASE + i`, making every run of a recipe
+/// deterministic regardless of which circuit it is applied to.
+pub const RESUB_SEED_BASE: u64 = 0x5EED_0000;
+
 impl fmt::Display for RecipeLint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

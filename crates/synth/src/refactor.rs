@@ -7,6 +7,7 @@
 //! removal, making `refactor` monotone in gate count.
 
 use crate::cuts::{cut_truth_table, enumerate_cuts, CutSet};
+use crate::guard::{PassExhausted, WorkMeter};
 use hoga_circuit::{Aig, Lit, NodeId};
 use std::collections::HashMap;
 
@@ -25,8 +26,18 @@ const TT_MASKS: [u64; 6] = [
 /// `zero_cost` accepts the resynthesis even at equal gate count (mirrors
 /// ABC's `refactor -z`, which diversifies structure for later passes).
 pub fn refactor(aig: &Aig, zero_cost: bool) -> Aig {
-    let candidate = resynthesize_all(aig);
-    let mut candidate = candidate;
+    let mut meter = WorkMeter::unlimited();
+    refactor_bounded(aig, zero_cost, &mut meter).unwrap_or_else(|_| unreachable!("unlimited meter"))
+}
+
+/// [`refactor`] under a work budget: one unit per node for cut enumeration
+/// plus one per AND gate resynthesized.
+pub(crate) fn refactor_bounded(
+    aig: &Aig,
+    zero_cost: bool,
+    meter: &mut WorkMeter,
+) -> Result<Aig, PassExhausted> {
+    let mut candidate = resynthesize_all(aig, meter)?;
     candidate.compact();
     let mut baseline = aig.clone();
     baseline.compact();
@@ -37,14 +48,16 @@ pub fn refactor(aig: &Aig, zero_cost: bool) -> Aig {
         "refactor changed circuit function"
     );
     if better {
-        candidate
+        Ok(candidate)
     } else {
-        baseline
+        Ok(baseline)
     }
 }
 
 /// Rebuilds the whole AIG from PO cones using cut truth tables.
-fn resynthesize_all(aig: &Aig) -> Aig {
+fn resynthesize_all(aig: &Aig, meter: &mut WorkMeter) -> Result<Aig, PassExhausted> {
+    // Cut enumeration walks every node once before resynthesis begins.
+    meter.charge(aig.num_nodes() as u64)?;
     let cuts = enumerate_cuts(aig, 6);
     let mut out = Aig::new(aig.num_pis());
     let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
@@ -56,6 +69,7 @@ fn resynthesize_all(aig: &Aig) -> Aig {
     // Nodes are in topo order; build every node bottom-up so leaves are
     // always mapped before roots.
     for (id, a, b) in aig.and_gates() {
+        meter.charge(1)?;
         let lit = build_node(aig, id, (a, b), &cuts, &mut out, &mut map, &mut tt_memo);
         map[id as usize] = Some(lit);
     }
@@ -63,7 +77,7 @@ fn resynthesize_all(aig: &Aig) -> Aig {
         let m = map[po.node() as usize].expect("PO driver mapped");
         out.add_po(if po.is_complemented() { !m } else { m });
     }
-    out
+    Ok(out)
 }
 
 fn build_node(

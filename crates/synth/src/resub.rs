@@ -8,6 +8,7 @@
 //! fresh random patterns and rolled back if any PO changed — the pass is
 //! deterministic and sound by construction.
 
+use crate::guard::{PassExhausted, WorkMeter};
 use hoga_circuit::simulate::{
     exhaustive_equivalent, exhaustive_node_signatures, node_signature, probably_equivalent,
     EXHAUSTIVE_PI_LIMIT,
@@ -31,11 +32,24 @@ const MIN_SIGNATURE_ACTIVITY: u32 = 8;
 /// `seed` controls the random simulation patterns; any seed yields a valid
 /// (verified) result, different seeds may find different merges.
 pub fn resub(aig: &Aig, seed: u64) -> Aig {
+    let mut meter = WorkMeter::unlimited();
+    resub_bounded(aig, seed, &mut meter).unwrap_or_else(|_| unreachable!("unlimited meter"))
+}
+
+/// [`resub`] under a work budget: one unit per node per signature round
+/// plus one per node classified.
+pub(crate) fn resub_bounded(
+    aig: &Aig,
+    seed: u64,
+    meter: &mut WorkMeter,
+) -> Result<Aig, PassExhausted> {
     // Small input spaces are covered exhaustively — merges become *proofs*.
     // Sampled signatures are only used when the space is too large, where a
     // sparse discrepancy is correspondingly unlikely to matter and the
     // final verification still guards the result.
     let exhaustive = aig.num_pis() <= EXHAUSTIVE_PI_LIMIT;
+    // Signature simulation sweeps every node once per round.
+    meter.charge((aig.num_nodes() as u64).saturating_mul(SIGNATURE_ROUNDS as u64))?;
     let sigs: Vec<Vec<u64>> = if exhaustive {
         Vec::new()
     } else {
@@ -66,7 +80,8 @@ pub fn resub(aig: &Aig, seed: u64) -> Aig {
 
     let total_bits =
         if exhaustive { 1u32 << aig.num_pis() } else { (SIGNATURE_ROUNDS * 64) as u32 };
-    for i in 0..aig.num_nodes() {
+    for (i, slot) in replacement.iter_mut().enumerate() {
+        meter.charge(1)?;
         let k = key(i);
         let ones: u32 = k.iter().map(|w| w.count_ones()).sum();
         // Near-constant sampled signatures are unsafe to merge on; with
@@ -85,9 +100,9 @@ pub fn resub(aig: &Aig, seed: u64) -> Aig {
         };
         let kc: Vec<u64> = k.iter().map(|&w| !w & sig_mask).collect();
         if let Some(&earlier) = repr.get(&k) {
-            replacement[i] = earlier;
+            *slot = earlier;
         } else if let Some(&earlier) = repr.get(&kc) {
-            replacement[i] = !earlier;
+            *slot = !earlier;
         } else {
             repr.insert(k, Lit::from_node(i as u32, false));
         }
@@ -129,11 +144,11 @@ pub fn resub(aig: &Aig, seed: u64) -> Aig {
         probably_equivalent(aig, &out, 8, seed ^ 0xABCD_EF01)
     };
     if verified {
-        out
+        Ok(out)
     } else {
         let mut fallback = aig.clone();
         fallback.compact();
-        fallback
+        Ok(fallback)
     }
 }
 

@@ -13,6 +13,7 @@
 //! All rules are verified by exhaustive 2–3 variable truth tables in the
 //! tests and by random simulation at circuit scale.
 
+use crate::guard::{PassExhausted, WorkMeter};
 use hoga_circuit::{Aig, Lit, NodeKind};
 
 /// Returns a rewritten copy of `aig` (PI/PO interface preserved).
@@ -21,12 +22,23 @@ use hoga_circuit::{Aig, Lit, NodeKind};
 /// not immediately save a gate, mirroring ABC's `rewrite -z`, which can
 /// unlock savings for later passes.
 pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
+    let mut meter = WorkMeter::unlimited();
+    rewrite_bounded(aig, zero_cost, &mut meter).unwrap_or_else(|_| unreachable!("unlimited meter"))
+}
+
+/// [`rewrite`] under a work budget: one unit per AND gate rewritten.
+pub(crate) fn rewrite_bounded(
+    aig: &Aig,
+    zero_cost: bool,
+    meter: &mut WorkMeter,
+) -> Result<Aig, PassExhausted> {
     let mut out = Aig::new(aig.num_pis());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
     for i in 0..aig.num_pis() {
         map[aig.pi_lit(i).node() as usize] = out.pi_lit(i);
     }
     for (id, a, b) in aig.and_gates() {
+        meter.charge(1)?;
         let na = translate(&map, a);
         let nb = translate(&map, b);
         map[id as usize] = smart_and(&mut out, na, nb, zero_cost);
@@ -34,7 +46,7 @@ pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
     for &po in aig.pos() {
         out.add_po(translate(&map, po));
     }
-    out
+    Ok(out)
 }
 
 fn translate(map: &[Lit], l: Lit) -> Lit {

@@ -1,6 +1,10 @@
 //! Applies a recipe to an AIG and records per-step gate counts.
 
-use crate::{balance, refactor, resub, rewrite, Recipe, SynthStep};
+use crate::guard::{
+    inject_miscompile, verify_step, GuardConfig, Incident, IncidentKind, PassOutcome, SynthError,
+    SynthFault, SynthFaultPlan, WorkMeter,
+};
+use crate::{balance, recipe, refactor, resub, rewrite, Recipe, SynthStep};
 use hoga_circuit::Aig;
 use serde::{Deserialize, Serialize};
 
@@ -28,38 +32,138 @@ impl SynthesisResult {
     }
 }
 
-/// Runs `recipe` on a copy of `aig`.
+/// A [`SynthesisResult`] plus the per-step outcome log from the guarded
+/// runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardedRun {
+    /// The synthesis result (rolled-back steps leave the circuit at its
+    /// pre-step state).
+    pub result: SynthesisResult,
+    /// One outcome per recipe step, in order.
+    pub outcomes: Vec<PassOutcome>,
+}
+
+impl GuardedRun {
+    /// Incidents from rejected steps, in step order.
+    pub fn incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.outcomes.iter().filter_map(PassOutcome::incident)
+    }
+
+    /// `true` when every step was applied (no rollbacks or timeouts).
+    pub fn is_clean(&self) -> bool {
+        self.outcomes.iter().all(|o| o.incident().is_none())
+    }
+}
+
+/// Runs `recipe` on a copy of `aig` with per-pass equivalence guarding,
+/// budgets, and fault injection.
 ///
-/// Resubstitution seeds are derived from the step index so the whole run is
-/// deterministic. In debug builds each step is verified against the step
-/// input by random simulation.
-pub fn run_recipe(aig: &Aig, recipe: &Recipe) -> SynthesisResult {
+/// Every step is verified against its input (random simulation filter,
+/// then the bounded SAT arbiter when `cfg.conflict_budget > 0`). A step
+/// that is refuted, changes the PI/PO interface, or exceeds its budget is
+/// *rolled back* — the recipe continues from the pre-step circuit and the
+/// rejection is recorded as a structured [`Incident`] — so one bad pass
+/// degrades one step instead of poisoning the run.
+///
+/// Resubstitution seeds are derived from the step index so the whole run
+/// is deterministic (given `cfg.budget.timeout_ms == 0`).
+///
+/// # Errors
+///
+/// [`SynthError::InvalidConfig`] if `cfg` is inconsistent, and
+/// [`SynthError::FaultOutOfRange`] if `faults` targets a step the recipe
+/// does not have. A valid configuration never panics.
+pub fn run_recipe_guarded(
+    aig: &Aig,
+    recipe: &Recipe,
+    cfg: &GuardConfig,
+    faults: &SynthFaultPlan,
+) -> Result<GuardedRun, SynthError> {
+    cfg.validate()?;
+    let steps = recipe.steps();
+    if let Some(step) = faults.max_step() {
+        if step >= steps.len() {
+            return Err(SynthError::FaultOutOfRange { step, steps: steps.len() });
+        }
+    }
     let mut current = aig.clone();
     current.compact();
     let initial_ands = current.num_ands();
-    let mut per_step_ands = Vec::with_capacity(recipe.steps().len());
-    for (idx, step) in recipe.steps().iter().enumerate() {
-        let next = match *step {
-            SynthStep::Balance => balance(&current),
-            SynthStep::Rewrite { zero_cost } => rewrite(&current, zero_cost),
-            SynthStep::Refactor { zero_cost } => refactor(&current, zero_cost),
-            SynthStep::Resub => resub(&current, 0x5EED_0000 + idx as u64),
+    let mut per_step_ands = Vec::with_capacity(steps.len());
+    let mut outcomes = Vec::with_capacity(steps.len());
+    for (idx, step) in steps.iter().enumerate() {
+        let mut meter = WorkMeter::new(&cfg.budget);
+        if faults.fault_at(idx) == Some(SynthFault::Stall) {
+            meter.exhaust();
+        }
+        let attempted = match *step {
+            SynthStep::Balance => balance::balance_bounded(&current, &mut meter),
+            SynthStep::Rewrite { zero_cost } => {
+                rewrite::rewrite_bounded(&current, zero_cost, &mut meter)
+            }
+            SynthStep::Refactor { zero_cost } => {
+                refactor::refactor_bounded(&current, zero_cost, &mut meter)
+            }
+            SynthStep::Resub => {
+                resub::resub_bounded(&current, recipe::RESUB_SEED_BASE + idx as u64, &mut meter)
+            }
         };
-        let mut next = next;
-        next.compact();
-        debug_assert!(
-            hoga_circuit::simulate::probably_equivalent(&current, &next, 2, idx as u64),
-            "step {step} changed the circuit function"
-        );
-        per_step_ands.push(next.num_ands());
-        current = next;
+        let outcome = match attempted {
+            Err(exhausted) => PassOutcome::TimedOut {
+                incident: Incident {
+                    step_index: idx,
+                    step: *step,
+                    kind: IncidentKind::Exhausted { work_spent: exhausted.work_spent },
+                },
+            },
+            Ok(mut next) => {
+                next.compact();
+                if faults.fault_at(idx) == Some(SynthFault::Miscompile) {
+                    inject_miscompile(&mut next);
+                }
+                match verify_step(&current, &next, cfg, idx, *step) {
+                    Ok(verification) => {
+                        let ands_after = next.num_ands();
+                        current = next;
+                        PassOutcome::Applied { verification, ands_after }
+                    }
+                    Err(incident) => PassOutcome::RolledBack { incident },
+                }
+            }
+        };
+        // Rolled-back steps leave the gate count at the pre-step value.
+        per_step_ands.push(current.num_ands());
+        outcomes.push(outcome);
     }
-    SynthesisResult { initial_ands, final_ands: current.num_ands(), per_step_ands, aig: current }
+    Ok(GuardedRun {
+        result: SynthesisResult {
+            initial_ands,
+            final_ands: current.num_ands(),
+            per_step_ands,
+            aig: current,
+        },
+        outcomes,
+    })
+}
+
+/// Runs `recipe` on a copy of `aig`.
+///
+/// Thin wrapper over [`run_recipe_guarded`] with the default guard
+/// (2-round simulation filter, no SAT arbiter, unlimited budgets) and no
+/// faults; the passes are sound, so results are unchanged from the
+/// historical unguarded runner.
+pub fn run_recipe(aig: &Aig, recipe: &Recipe) -> SynthesisResult {
+    match run_recipe_guarded(aig, recipe, &GuardConfig::default(), &SynthFaultPlan::none()) {
+        Ok(run) => run.result,
+        // The default config is valid and the empty plan targets no steps.
+        Err(e) => unreachable!("default guard config rejected: {e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::{PassBudget, Verification};
     use hoga_circuit::simulate::probably_equivalent;
     use hoga_circuit::{Aig, Lit};
     use rand::{Rng, SeedableRng};
@@ -134,5 +238,97 @@ mod tests {
         let b = run_recipe(&g, &recipe);
         assert_eq!(a.final_ands, b.final_ands);
         assert_eq!(a.aig, b.aig);
+    }
+
+    #[test]
+    fn guarded_clean_run_matches_legacy_runner() {
+        let g = random_circuit(8, 120, 4, 21);
+        let recipe = Recipe::resyn2();
+        let legacy = run_recipe(&g, &recipe);
+        let guarded =
+            run_recipe_guarded(&g, &recipe, &GuardConfig::default(), &SynthFaultPlan::none())
+                .expect("valid config");
+        assert!(guarded.is_clean());
+        assert_eq!(guarded.result, legacy);
+        assert_eq!(guarded.outcomes.len(), recipe.steps().len());
+    }
+
+    #[test]
+    fn injected_miscompile_is_caught_and_rolled_back() {
+        let g = random_circuit(8, 120, 4, 33);
+        let recipe: Recipe = "b; rw; rf; rs".parse().expect("valid");
+        let faults = SynthFaultPlan::none().inject(1, SynthFault::Miscompile);
+        let run = run_recipe_guarded(&g, &recipe, &GuardConfig::default(), &faults)
+            .expect("valid config");
+        assert!(!run.is_clean());
+        let incidents: Vec<_> = run.incidents().collect();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].step_index, 1);
+        assert!(matches!(incidents[0].kind, IncidentKind::SimRefuted { .. }));
+        assert!(matches!(run.outcomes[1], PassOutcome::RolledBack { .. }));
+        // Graceful degradation: the run still completes and stays correct.
+        assert!(probably_equivalent(&g, &run.result.aig, 4, 1));
+        assert!(run.result.final_ands <= run.result.initial_ands);
+    }
+
+    #[test]
+    fn stall_fault_times_out_and_rolls_back() {
+        let g = random_circuit(8, 100, 3, 41);
+        let recipe: Recipe = "b; rw".parse().expect("valid");
+        let faults = SynthFaultPlan::none().inject(0, SynthFault::Stall);
+        let run = run_recipe_guarded(&g, &recipe, &GuardConfig::default(), &faults)
+            .expect("valid config");
+        assert!(matches!(run.outcomes[0], PassOutcome::TimedOut { .. }));
+        assert!(matches!(run.outcomes[1], PassOutcome::Applied { .. }));
+        // The stalled step contributes its input's gate count.
+        assert_eq!(run.result.per_step_ands[0], run.result.initial_ands);
+        assert!(probably_equivalent(&g, &run.result.aig, 4, 2));
+    }
+
+    #[test]
+    fn tiny_work_budget_times_out_every_pass() {
+        let g = random_circuit(8, 120, 4, 55);
+        let recipe: Recipe = "b; rw; rf; rs".parse().expect("valid");
+        let cfg = GuardConfig { budget: PassBudget::with_max_work(1), ..GuardConfig::default() };
+        let run =
+            run_recipe_guarded(&g, &recipe, &cfg, &SynthFaultPlan::none()).expect("valid config");
+        assert!(run.outcomes.iter().all(|o| matches!(o, PassOutcome::TimedOut { .. })));
+        // All steps rolled back: the output is the compacted input.
+        assert_eq!(run.result.final_ands, run.result.initial_ands);
+        assert!(probably_equivalent(&g, &run.result.aig, 4, 3));
+    }
+
+    #[test]
+    fn sat_arbiter_proves_small_steps() {
+        let g = random_circuit(6, 40, 2, 61);
+        let recipe: Recipe = "b".parse().expect("valid");
+        let cfg = GuardConfig { conflict_budget: 1_000_000, ..GuardConfig::default() };
+        let run =
+            run_recipe_guarded(&g, &recipe, &cfg, &SynthFaultPlan::none()).expect("valid config");
+        assert!(matches!(
+            run.outcomes[0],
+            PassOutcome::Applied { verification: Verification::Proved, .. }
+        ));
+    }
+
+    #[test]
+    fn fault_past_recipe_end_is_a_typed_error() {
+        let g = random_circuit(4, 10, 1, 71);
+        let recipe: Recipe = "b; rw".parse().expect("valid");
+        let faults = SynthFaultPlan::none().inject(5, SynthFault::Miscompile);
+        let err = run_recipe_guarded(&g, &recipe, &GuardConfig::default(), &faults)
+            .expect_err("step 5 of a 2-step recipe");
+        assert_eq!(err, SynthError::FaultOutOfRange { step: 5, steps: 2 });
+    }
+
+    #[test]
+    fn guarded_run_is_deterministic_including_outcomes() {
+        let g = random_circuit(8, 100, 3, 81);
+        let recipe: Recipe = "rs; b; rw; rs".parse().expect("valid");
+        let faults = SynthFaultPlan::none().inject(2, SynthFault::Miscompile);
+        let cfg = GuardConfig { conflict_budget: 10_000, ..GuardConfig::default() };
+        let a = run_recipe_guarded(&g, &recipe, &cfg, &faults).expect("valid");
+        let b = run_recipe_guarded(&g, &recipe, &cfg, &faults).expect("valid");
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,175 @@
+//! Property tests: every synthesis pass preserves the circuit function.
+//!
+//! Each pass is checked against its input with multi-round 64-bit random
+//! simulation (`probably_equivalent`, 8 rounds = 512 random patterns per
+//! PO) on randomized AIGs, plus exhaustive equivalence on small input
+//! spaces. Structures that historically stressed the passes (rare-minterm
+//! divergent cones, complement pairs, deep skewed chains) are seeded as
+//! fixed regressions so they run on every build regardless of sampling.
+
+use hoga_circuit::simulate::{exhaustive_equivalent, probably_equivalent};
+use hoga_circuit::{Aig, Lit};
+use hoga_synth::{balance, refactor, resub, rewrite, run_recipe, Recipe, RESUB_SEED_BASE};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random AIG with `n_pis` inputs, `gates` AND gates over random
+/// (possibly complemented) fanins, and `pos` outputs.
+fn random_aig(n_pis: usize, gates: usize, pos: usize, seed: u64) -> Aig {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Aig::new(n_pis);
+    let mut pool: Vec<Lit> = (0..n_pis).map(|i| g.pi_lit(i)).collect();
+    for _ in 0..gates {
+        let x = pool[rng.gen_range(0..pool.len())];
+        let y = pool[rng.gen_range(0..pool.len())];
+        let x = if rng.gen() { !x } else { x };
+        let y = if rng.gen() { !y } else { y };
+        let l = g.and(x, y);
+        pool.push(l);
+    }
+    for _ in 0..pos {
+        let l = pool[rng.gen_range(0..pool.len())];
+        let l = if rng.gen() { !l } else { l };
+        g.add_po(l);
+    }
+    g
+}
+
+/// All passes under test, by name, applied with a fixed resub seed.
+fn apply_pass(name: &str, aig: &Aig) -> Aig {
+    match name {
+        "balance" => balance(aig),
+        "rewrite" => rewrite(aig, false),
+        "rewrite-z" => rewrite(aig, true),
+        "refactor" => refactor(aig, false),
+        "refactor-z" => refactor(aig, true),
+        "resub" => resub(aig, RESUB_SEED_BASE),
+        _ => unreachable!("unknown pass {name}"),
+    }
+}
+
+const PASSES: [&str; 6] = ["balance", "rewrite", "rewrite-z", "refactor", "refactor-z", "resub"];
+
+proptest! {
+    /// Every pass preserves 8-round (512-pattern) random-simulation
+    /// signatures on randomized AIGs of varying shapes.
+    #[test]
+    fn passes_preserve_signatures_on_random_aigs(
+        n_pis in 2usize..10,
+        gates in 1usize..120,
+        pos in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let g = random_aig(n_pis, gates, pos, seed);
+        for pass in PASSES {
+            let out = apply_pass(pass, &g);
+            prop_assert!(
+                probably_equivalent(&g, &out, 8, seed ^ 0xF00D),
+                "{pass} changed function (pis={n_pis} gates={gates} pos={pos} seed={seed})"
+            );
+        }
+    }
+
+    /// On small input spaces the check is exhaustive — a definitive proof,
+    /// not a sampled one.
+    #[test]
+    fn passes_are_exhaustively_equivalent_on_small_aigs(
+        n_pis in 2usize..7,
+        gates in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let g = random_aig(n_pis, gates, 2, seed);
+        for pass in PASSES {
+            let out = apply_pass(pass, &g);
+            prop_assert!(
+                exhaustive_equivalent(&g, &out),
+                "{pass} refuted exhaustively (pis={n_pis} gates={gates} seed={seed})"
+            );
+        }
+    }
+
+    /// Full recipes compose passes without compounding error: the final
+    /// AIG still simulates identically to the input.
+    #[test]
+    fn full_recipes_preserve_signatures(seed in 0u64..200) {
+        let g = random_aig(8, 80, 3, seed);
+        let result = run_recipe(&g, &Recipe::resyn2());
+        prop_assert!(
+            probably_equivalent(&g, &result.aig, 8, seed ^ 0xBEEF),
+            "resyn2 changed function (seed={seed})"
+        );
+    }
+}
+
+/// Fixed regressions: structures that historically stressed the passes.
+/// These run on every build, independent of property sampling.
+#[test]
+fn regression_rare_minterm_divergent_cones() {
+    // Two cones differing on exactly one of 2^12 minterms: near-constant
+    // signatures made naive signature-merging unsound here.
+    let n = 12;
+    let mut g = Aig::new(n);
+    let mut f = g.pi_lit(0);
+    for i in 1..n {
+        let p = g.pi_lit(i);
+        f = g.and(f, p);
+    }
+    let mut rare = g.pi_lit(0);
+    for i in 1..n {
+        let p = g.pi_lit(i);
+        rare = g.and(rare, !p);
+    }
+    let h = g.or(f, rare);
+    g.add_po(f);
+    g.add_po(h);
+    for pass in PASSES {
+        let out = apply_pass(pass, &g);
+        assert!(exhaustive_equivalent(&g, &out), "{pass} broke the rare-minterm regression");
+    }
+}
+
+#[test]
+fn regression_complement_pair_po_sharing() {
+    // A PO and its complement built from structurally different cones:
+    // complement-aware merging must not flip either output.
+    let mut g = Aig::new(2);
+    let (a, b) = (g.pi_lit(0), g.pi_lit(1));
+    let xor = {
+        let p = g.and(a, !b);
+        let q = g.and(!a, b);
+        g.or(p, q)
+    };
+    let xnor = {
+        let p = g.and(a, b);
+        let q = g.and(!a, !b);
+        g.or(p, q)
+    };
+    g.add_po(xor);
+    g.add_po(xnor);
+    for pass in PASSES {
+        let out = apply_pass(pass, &g);
+        assert!(exhaustive_equivalent(&g, &out), "{pass} broke the complement-pair regression");
+    }
+}
+
+#[test]
+fn regression_deep_skewed_chain() {
+    // A maximally skewed 24-deep AND chain with a complemented tap in the
+    // middle: balance must respect the complement boundary.
+    let n = 12;
+    let mut g = Aig::new(n);
+    let mut acc = g.pi_lit(0);
+    for i in 1..n {
+        let p = g.pi_lit(i);
+        acc = g.and(acc, p);
+        if i == n / 2 {
+            acc = !acc;
+        }
+    }
+    g.add_po(acc);
+    for pass in PASSES {
+        let out = apply_pass(pass, &g);
+        assert!(exhaustive_equivalent(&g, &out), "{pass} broke the skewed-chain regression");
+    }
+}

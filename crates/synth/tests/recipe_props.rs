@@ -2,7 +2,7 @@
 //! linter consistency over randomly generated recipes.
 
 use hoga_synth::recipe::lint;
-use hoga_synth::{random_recipe, Recipe, RecipeLint};
+use hoga_synth::{random_recipe, Recipe, RecipeLint, STEP_BUDGET};
 use proptest::prelude::*;
 
 proptest! {
@@ -17,12 +17,19 @@ proptest! {
     }
 
     /// The linter never reports errors (unknown tokens or empty steps) on
-    /// a pretty-printed recipe; redundant-balance warnings are the only
-    /// diagnostics random recipes can legitimately produce.
+    /// a pretty-printed recipe; redundant-balance warnings — and, for
+    /// recipes longer than [`STEP_BUDGET`], the step-budget warning — are
+    /// the only diagnostics random recipes can legitimately produce.
     #[test]
     fn lint_is_clean_on_generated_recipes(len in 0usize..40, seed in 0u64..1_000) {
         let printed = random_recipe(len, seed).to_string();
+        let mut saw_budget_lint = false;
         for l in lint(&printed) {
+            if let RecipeLint::ExceedsStepBudget { steps, .. } = l {
+                prop_assert_eq!(steps, len, "budget lint miscounted `{}`", printed);
+                saw_budget_lint = true;
+                continue;
+            }
             prop_assert!(
                 matches!(l, RecipeLint::RedundantBalance { .. }),
                 "unexpected lint on `{}`: {}",
@@ -30,6 +37,13 @@ proptest! {
                 l
             );
         }
+        prop_assert_eq!(
+            saw_budget_lint,
+            len > STEP_BUDGET,
+            "budget lint must fire exactly when the recipe exceeds {} steps (`{}`)",
+            STEP_BUDGET,
+            printed
+        );
     }
 
     /// Round-tripping through Display is idempotent: printing the

@@ -271,9 +271,9 @@ impl CsrMatrix {
     pub fn scale_rows(&self, scales: &[f32]) -> Self {
         assert_eq!(scales.len(), self.rows, "scale length mismatch");
         let mut out = self.clone();
-        for r in 0..self.rows {
+        for (r, &s) in scales.iter().enumerate() {
             for pos in self.indptr[r]..self.indptr[r + 1] {
-                out.values[pos] *= scales[r];
+                out.values[pos] *= s;
             }
         }
         out

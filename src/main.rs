@@ -10,11 +10,17 @@
 //! hoga-repro ablation [--train-width N] [--widths a,b,c] [--epochs N]
 //! hoga-repro synth    --design NAME [--scale N] [--recipe "b; rw; rf"]
 //! hoga-repro sched    [--workers N] [--max-schedules N]
+//! hoga-repro qor-dataset --out DIR [--scale N] [--recipes N] [--max-nodes N]
+//!                        [--stop-after N] [--inject D:R:S[:stall]]
+//!                        [--conflict-budget N] [--max-work N]
 //! ```
 //!
 //! All commands print the reproduced table/series to stdout. `sched` runs
 //! the deterministic schedule explorer over the data-parallel trainer's
-//! critical section (see `docs/SCHEDULE_TESTING.md`).
+//! critical section (see `docs/SCHEDULE_TESTING.md`). `qor-dataset` runs
+//! the guarded, resumable QoR label sweep
+//! (see `docs/PIPELINE_ROBUSTNESS.md`): kill it at any point and rerun
+//! the same command to resume.
 
 #![forbid(unsafe_code)]
 
@@ -49,6 +55,7 @@ fn main() -> ExitCode {
         "ablation" => cmd_ablation(&flags),
         "synth" => return cmd_synth(&flags),
         "sched" => cmd_sched(&flags),
+        "qor-dataset" => return cmd_qor_dataset(&flags),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -58,7 +65,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched> [flags]
+    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched|qor-dataset> [flags]
   --scale N        Table-1 size divisor (default 32)
   --max-nodes N    skip designs above N scaled nodes (default 1500)
   --recipes N      synthesis recipes per design (default 8)
@@ -72,7 +79,15 @@ const USAGE: &str =
   --recipe STR     synth: recipe string (default resyn2)
   --target depth   table2: predict optimized depth instead of gate count
   --workers N      sched: worker shards to model (default 3)
-  --max-schedules N sched: interleavings to explore per policy (default 4096)";
+  --max-schedules N sched: interleavings to explore per policy (default 4096)
+  --out DIR        qor-dataset: output directory (manifest/ + quarantine/)
+  --recipe-len N   qor-dataset: steps per random recipe (default 20)
+  --seed N         qor-dataset: master seed (default 0xABC0)
+  --stop-after N   qor-dataset: stop after N new records (resume by rerunning)
+  --inject D:R:S[:stall]  qor-dataset: inject a miscompile (or stall) at
+                   design D, recipe R, step S — proves the guard fires
+  --conflict-budget N  qor-dataset: SAT-arbiter conflict budget (0 = sim only)
+  --max-work N     qor-dataset: per-pass work budget (0 = unlimited)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -107,42 +122,6 @@ fn train_cfg(flags: &HashMap<String, String>, default_epochs: usize) -> TrainCon
 
 fn reasoning_cfg() -> ReasoningConfig {
     ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn flags_of(args: &[&str]) -> HashMap<String, String> {
-        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("valid flags")
-    }
-
-    #[test]
-    fn parse_flags_accepts_pairs() {
-        let f = flags_of(&["--scale", "16", "--epochs", "3"]);
-        assert_eq!(get(&f, "scale", 0usize), 16);
-        assert_eq!(get(&f, "epochs", 0usize), 3);
-        assert_eq!(get(&f, "missing", 42usize), 42);
-    }
-
-    #[test]
-    fn parse_flags_rejects_bare_values_and_dangling_flags() {
-        assert!(parse_flags(&["oops".to_string()]).is_err());
-        assert!(parse_flags(&["--scale".to_string()]).is_err());
-    }
-
-    #[test]
-    fn widths_parse_comma_lists() {
-        let f = flags_of(&["--widths", "8, 16,24"]);
-        assert_eq!(widths(&f, &[1]), vec![8, 16, 24]);
-        assert_eq!(widths(&HashMap::new(), &[5, 6]), vec![5, 6]);
-    }
-
-    #[test]
-    fn bad_numbers_fall_back_to_defaults() {
-        let f = flags_of(&["--scale", "not-a-number"]);
-        assert_eq!(get(&f, "scale", 32usize), 32);
-    }
 }
 
 fn cmd_table1(flags: &HashMap<String, String>) {
@@ -278,6 +257,80 @@ fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses an `--inject design:recipe:step[:stall]` spec.
+fn parse_inject(spec: &str) -> Result<hoga_repro::datasets::openabcd::QorFault, String> {
+    use hoga_repro::datasets::openabcd::QorFault;
+    use hoga_repro::synth::SynthFault;
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err(format!("--inject expects design:recipe:step[:stall], got `{spec}`"));
+    }
+    let recipe_index = parts[1].parse().map_err(|_| format!("bad recipe index in `{spec}`"))?;
+    let step = parts[2].parse().map_err(|_| format!("bad step index in `{spec}`"))?;
+    let fault = match parts.get(3).copied() {
+        None | Some("miscompile") => SynthFault::Miscompile,
+        Some("stall") => SynthFault::Stall,
+        Some(other) => return Err(format!("unknown fault kind `{other}` in `{spec}`")),
+    };
+    Ok(QorFault { design: parts[0].to_string(), recipe_index, step, fault })
+}
+
+fn cmd_qor_dataset(flags: &HashMap<String, String>) -> ExitCode {
+    use hoga_repro::datasets::openabcd::{
+        build_qor_dataset_resumable, QorDatasetConfig, QorSweepOptions,
+    };
+    use hoga_repro::synth::{GuardConfig, PassBudget};
+    let Some(out) = flags.get("out") else {
+        eprintln!("error: qor-dataset requires --out DIR");
+        return ExitCode::FAILURE;
+    };
+    let faults = match flags.get("inject").map(|s| parse_inject(s)).transpose() {
+        Ok(f) => f.into_iter().collect(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = QorDatasetConfig {
+        scale_divisor: get(flags, "scale", 32),
+        recipes_per_design: get(flags, "recipes", 8),
+        recipe_len: get(flags, "recipe-len", hoga_repro::synth::STEP_BUDGET),
+        max_scaled_nodes: get(flags, "max-nodes", 1500),
+        seed: get(flags, "seed", 0xABC0),
+        guard: GuardConfig {
+            conflict_budget: get(flags, "conflict-budget", 0),
+            budget: match get(flags, "max-work", 0) {
+                0 => PassBudget::unlimited(),
+                w => PassBudget::with_max_work(w),
+            },
+            ..GuardConfig::default()
+        },
+        ..QorDatasetConfig::default()
+    };
+    let opts = QorSweepOptions {
+        stop_after: flags.get("stop-after").and_then(|v| v.parse().ok()),
+        faults,
+    };
+    match build_qor_dataset_resumable(&cfg, std::path::Path::new(out), &opts) {
+        Ok(report) => {
+            println!(
+                "qor-dataset: {} samples total, {} written, {} skipped (resume), \
+                 {} quarantined{}",
+                report.total,
+                report.written,
+                report.skipped,
+                report.quarantined,
+                if report.interrupted { " [interrupted; rerun to resume]" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_sched(flags: &HashMap<String, String>) {
     use hoga_repro::eval::sched::{
         explore, ExploreConfig, ExploreReport, ReducePolicy, SyntheticShardSource,
@@ -309,4 +362,52 @@ fn cmd_sched(flags: &HashMap<String, String>) {
     let make = || SyntheticShardSource::adversarial(workers);
     render("shard-order", &explore(make, ReducePolicy::ShardOrder, &cfg));
     render("completion-order", &explore(make, ReducePolicy::CompletionOrder, &cfg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("valid flags")
+    }
+
+    #[test]
+    fn parse_flags_accepts_pairs() {
+        let f = flags_of(&["--scale", "16", "--epochs", "3"]);
+        assert_eq!(get(&f, "scale", 0usize), 16);
+        assert_eq!(get(&f, "epochs", 0usize), 3);
+        assert_eq!(get(&f, "missing", 42usize), 42);
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_dangling_flags() {
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+        assert!(parse_flags(&["--scale".to_string()]).is_err());
+    }
+
+    #[test]
+    fn widths_parse_comma_lists() {
+        let f = flags_of(&["--widths", "8, 16,24"]);
+        assert_eq!(widths(&f, &[1]), vec![8, 16, 24]);
+        assert_eq!(widths(&HashMap::new(), &[5, 6]), vec![5, 6]);
+    }
+
+    #[test]
+    fn bad_numbers_fall_back_to_defaults() {
+        let f = flags_of(&["--scale", "not-a-number"]);
+        assert_eq!(get(&f, "scale", 32usize), 32);
+    }
+
+    #[test]
+    fn parse_inject_accepts_both_fault_kinds() {
+        use hoga_repro::synth::SynthFault;
+        let f = parse_inject("spi:3:1").expect("default kind");
+        assert_eq!((f.design.as_str(), f.recipe_index, f.step), ("spi", 3, 1));
+        assert_eq!(f.fault, SynthFault::Miscompile);
+        assert_eq!(parse_inject("spi:0:2:stall").expect("stall").fault, SynthFault::Stall);
+        assert!(parse_inject("spi:0").is_err());
+        assert!(parse_inject("spi:x:2").is_err());
+        assert!(parse_inject("spi:0:2:frob").is_err());
+    }
 }

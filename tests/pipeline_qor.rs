@@ -2,7 +2,9 @@
 //! IP generator → synthesis recipes → labels → hop features → models →
 //! MAPE, spanning every crate in the workspace.
 
-use hoga_repro::datasets::openabcd::{build_qor_dataset, QorDatasetConfig};
+use hoga_repro::datasets::openabcd::{
+    build_qor_dataset, QorDatasetConfig, RATIO_CEIL, RATIO_FLOOR,
+};
 use hoga_repro::eval::trainer::{average_mape, eval_qor, train_qor, QorModelKind, TrainConfig};
 
 fn dataset_cfg() -> QorDatasetConfig {
@@ -16,6 +18,7 @@ fn dataset_cfg() -> QorDatasetConfig {
         // 1/32 scale; the cap must admit some test designs.
         max_scaled_nodes: 1600,
         seed: 0xEED,
+        guard: Default::default(),
     }
 }
 
@@ -37,6 +40,13 @@ fn qor_dataset_spans_train_and_test_designs() {
     assert!(ds.designs.len() >= 5, "too few designs survived the size filter");
     assert!(!ds.train.is_empty());
     assert!(!ds.test.is_empty(), "need held-out designs for generalization");
+    // Every label is finite and clamped — degenerate circuits must not
+    // leak NaN/inf regression targets into training.
+    for s in ds.train.iter().chain(ds.test.iter()) {
+        for r in [s.ratio(), s.depth_ratio()] {
+            assert!((RATIO_FLOOR..=RATIO_CEIL).contains(&r), "label out of range: {r}");
+        }
+    }
     // Ratios must vary across (design, recipe) pairs for learning to exist.
     let mut ratios: Vec<f32> = ds.train.iter().map(|s| s.ratio()).collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
