@@ -91,6 +91,10 @@ pub struct FileProfile {
     /// R9: this file lives in `crates/eval/src`, where unscoped
     /// `std::thread::spawn` is banned outright.
     pub eval_path: bool,
+    /// R9: this file lives in `crates/jobs/src` (the supervised worker
+    /// pool), where join discipline also applies: a `join()` whose result
+    /// is discarded or `.ok()`-swallowed loses a worker panic.
+    pub pool_path: bool,
 }
 
 /// The per-file analysis before suppression matching. Token-level rules
@@ -153,7 +157,7 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
         rule_float_equality(rel_path, &code, src, &test_spans, &mut raw);
     }
     rule_lock_discipline(rel_path, &code, src, &test_spans, &mut raw);
-    rule_thread_hygiene(rel_path, &code, src, profile.eval_path, &mut raw);
+    rule_thread_hygiene(rel_path, &code, src, profile.eval_path, profile.pool_path, &mut raw);
 
     FileAnalysis { rel_path: rel_path.to_string(), pre, raw, suppressions }
 }
@@ -842,14 +846,20 @@ fn binding_of(code: &[&Token], i: usize, src: &str) -> Option<(Option<String>, b
 /// joined) — a discarded handle silently swallows worker panics until the
 /// scope exit, losing the per-worker recovery point. In `crates/eval/src`
 /// bare `std::thread::spawn` is banned outright: worker lifetimes must be
-/// bounded by a `crossbeam::scope`.
+/// bounded by a `crossbeam::scope`. In `crates/jobs/src` (the supervised
+/// worker pool) join discipline also applies — see
+/// [`rule_join_discipline`].
 fn rule_thread_hygiene(
     rel_path: &str,
     code: &[&Token],
     src: &str,
     eval_path: bool,
+    pool_path: bool,
     out: &mut Vec<Finding>,
 ) {
+    if pool_path {
+        rule_join_discipline(rel_path, code, src, out);
+    }
     for i in 0..code.len() {
         let t = code[i];
         if t.kind != TokKind::Ident || t.text(src) != "spawn" {
@@ -924,6 +934,77 @@ fn rule_thread_hygiene(
                     .to_string(),
                 symbol: None,
             });
+        }
+    }
+}
+
+/// R9 (pool paths): join discipline. A worker pool's `join()` result
+/// carries the worker's panic payload; dropping it (`let _ = h.join();`,
+/// a bare `h.join();` statement) or swallowing it (`h.join().ok()`)
+/// silently erases an engine bug. The payload must be matched and either
+/// re-raised (`std::panic::resume_unwind`) or converted into a structured
+/// incident.
+fn rule_join_discipline(rel_path: &str, code: &[&Token], src: &str, out: &mut Vec<Finding>) {
+    let flag = |t: &Token, what: &str, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "thread-hygiene",
+            message: format!(
+                "{what} loses the worker's panic payload; match the `join()` result and \
+                 re-raise via `std::panic::resume_unwind` or record a structured incident \
+                 (or justify with `// analyze: allow(thread-hygiene) — <why>`)"
+            ),
+            symbol: None,
+        });
+    };
+    for i in 0..code.len() {
+        let t = code[i];
+        // Zero-arg method call: `<recv> . join ( )`.
+        if t.kind != TokKind::Ident || t.text(src) != "join" {
+            continue;
+        }
+        let shape = i >= 1
+            && matches!(code[i - 1].kind, TokKind::Punct('.'))
+            && matches!(code.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')))
+            && matches!(code.get(i + 2).map(|t| t.kind), Some(TokKind::Punct(')')));
+        if !shape {
+            continue;
+        }
+        // `.join().ok()` swallows the payload.
+        let swallowed = matches!(code.get(i + 3).map(|t| t.kind), Some(TokKind::Punct('.')))
+            && code.get(i + 4).is_some_and(|n| n.kind == TokKind::Ident && n.text(src) == "ok");
+        if swallowed {
+            flag(t, "`.join().ok()`", out);
+            continue;
+        }
+        // Statement-shaped discards: the call ends the statement...
+        if !matches!(code.get(i + 3).map(|t| t.kind), Some(TokKind::Punct(';'))) {
+            continue;
+        }
+        // ...and the statement is either the bare receiver chain or a
+        // `let _ =` binding. Walk back to the statement boundary.
+        let mut j = i;
+        while j > 0 && !matches!(code[j - 1].kind, TokKind::Punct(';' | '{' | '}')) {
+            j -= 1;
+        }
+        let let_discard =
+            code.get(j).is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == "let")
+                && code.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == "_")
+                && matches!(code.get(j + 2).map(|t| t.kind), Some(TokKind::Punct('=')));
+        // Bare statement: everything from the boundary to the `.` is the
+        // receiver chain (idents / `.` / `::` only — an `=`, `match`, or
+        // `if` in between means the result is consumed).
+        let bare = (j..i.saturating_sub(1)).all(|k| {
+            matches!(code[k].kind, TokKind::Ident | TokKind::Punct('.' | ':'))
+                && !(code[k].kind == TokKind::Ident
+                    && matches!(code[k].text(src), "let" | "match" | "if" | "while" | "return"))
+        });
+        if let_discard {
+            flag(t, "`let _ = ... .join()`", out);
+        } else if bare {
+            flag(t, "a discarded `join()` result", out);
         }
     }
 }
@@ -1319,6 +1400,68 @@ mod tests {
         // handle IS discarded here, so suppress that case with a binding).
         let bound = "fn f() { let h = std::thread::spawn(|| {}); h.join().unwrap_or(()); }\n";
         assert!(run_plain(bound).is_empty(), "got: {:?}", run_plain(bound));
+    }
+
+    // --- R9 (pool paths): join discipline -----------------------------------
+
+    fn run_pool(src: &str) -> Vec<Finding> {
+        let profile = FileProfile { pool_path: true, ..FileProfile::default() };
+        analyze_source("crates/jobs/src/fixture.rs", src, profile)
+    }
+
+    #[test]
+    fn discarded_join_results_are_flagged_on_pool_paths() {
+        let bare = "fn f(h: std::thread::JoinHandle<()>) {\n    h.join();\n}\n";
+        let f = run_pool(bare);
+        assert_eq!(rules_of(&f), ["thread-hygiene"]);
+        assert!(f[0].message.contains("resume_unwind"), "got: {}", f[0].message);
+        assert_eq!(f[0].line, 2);
+
+        let underscore = "fn f(h: std::thread::JoinHandle<()>) {\n    let _ = h.join();\n}\n";
+        let f = run_pool(underscore);
+        assert_eq!(rules_of(&f), ["thread-hygiene"]);
+        assert!(f[0].message.contains("let _"), "got: {}", f[0].message);
+
+        let swallowed = "fn f(h: std::thread::JoinHandle<()>) {\n    h.join().ok();\n}\n";
+        let f = run_pool(swallowed);
+        assert_eq!(rules_of(&f), ["thread-hygiene"]);
+        assert!(f[0].message.contains(".join().ok()"), "got: {}", f[0].message);
+    }
+
+    #[test]
+    fn consumed_join_results_are_fine_on_pool_paths() {
+        let matched = "fn f(h: std::thread::JoinHandle<()>) {\n\
+                       if let Err(payload) = h.join() {\n\
+                       std::panic::resume_unwind(payload);\n\
+                       }\n\
+                       }\n";
+        assert!(run_pool(matched).is_empty(), "got: {:?}", run_pool(matched));
+
+        let bound = "fn f(h: std::thread::JoinHandle<u8>) -> u8 {\n\
+                     let outcome = h.join();\n\
+                     outcome.unwrap_or_default()\n\
+                     }\n";
+        assert!(run_pool(bound).is_empty(), "got: {:?}", run_pool(bound));
+
+        // String `join` with arguments is not a thread join.
+        let strings = "fn f(v: &[&str]) -> String {\n    v.join(\", \");\n    v.join(\"-\")\n}\n";
+        let f = run_pool(strings);
+        assert!(f.is_empty(), "got: {f:?}");
+    }
+
+    #[test]
+    fn join_discipline_is_scoped_to_pool_paths() {
+        let bare = "fn f(h: std::thread::JoinHandle<()>) {\n    h.join();\n}\n";
+        assert!(run_plain(bare).is_empty(), "got: {:?}", run_plain(bare));
+    }
+
+    #[test]
+    fn join_discipline_suppression_works() {
+        let src = "fn f(h: std::thread::JoinHandle<()>) {\n\
+                   // analyze: allow(thread-hygiene) — detached watchdog; exit races are benign\n\
+                   h.join().ok();\n\
+                   }\n";
+        assert!(run_pool(src).is_empty(), "got: {:?}", run_pool(src));
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub(crate) const HARDENED_MODULES: &[&str] = &[
     "crates/eval/src/trainer.rs",
     "crates/eval/src/parallel_train.rs",
     "crates/eval/src/sched.rs",
+    "crates/jobs/src/engine.rs",
+    "crates/jobs/src/events.rs",
+    "crates/jobs/src/fault.rs",
+    "crates/jobs/src/job.rs",
+    "crates/jobs/src/retry.rs",
     "crates/tensor/src/matrix.rs",
 ];
 
@@ -130,6 +135,7 @@ pub(crate) fn profile_for(rel: &str, crate_roots: &[String]) -> FileProfile {
         all_test,
         numeric: !all_test && NUMERIC_MODULES.iter().any(|m| rel.starts_with(m)),
         eval_path: rel.starts_with("crates/eval/src/"),
+        pool_path: rel.starts_with("crates/jobs/src/"),
     }
 }
 

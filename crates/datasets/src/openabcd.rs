@@ -333,6 +333,18 @@ pub enum QorBuildError {
     Io(std::io::Error),
     /// Invalid guard configuration or fault plan.
     Synth(SynthError),
+    /// The same sample has a valid record in *both* the manifest and the
+    /// quarantine directory. The two sets must be disjoint — a duplicate
+    /// means an operator merged output directories or a tool rewrote
+    /// records, and silently preferring either copy could resurrect a
+    /// poisoned label. Refused rather than guessed; delete one copy to
+    /// proceed.
+    DuplicateSample {
+        /// Table-1 design name.
+        design: String,
+        /// Recipe index within the design.
+        recipe_index: usize,
+    },
 }
 
 impl fmt::Display for QorBuildError {
@@ -340,6 +352,11 @@ impl fmt::Display for QorBuildError {
         match self {
             QorBuildError::Io(e) => write!(f, "dataset generation I/O error: {e}"),
             QorBuildError::Synth(e) => write!(f, "dataset generation: {e}"),
+            QorBuildError::DuplicateSample { design, recipe_index } => write!(
+                f,
+                "sample {design} recipe {recipe_index} has valid records in both manifest/ and \
+                 quarantine/; delete one copy and rerun"
+            ),
         }
     }
 }
@@ -349,6 +366,7 @@ impl Error for QorBuildError {
         match self {
             QorBuildError::Io(e) => Some(e),
             QorBuildError::Synth(e) => Some(e),
+            QorBuildError::DuplicateSample { .. } => None,
         }
     }
 }
@@ -411,11 +429,24 @@ pub fn build_qor_dataset_resumable(
             let file = SampleRecord::file_name(spec.name, r);
             let clean = manifest_dir.join(&file);
             let quarantined = quarantine_dir.join(&file);
-            if read_record(&clean).is_some() {
+            // A record only counts as a resume hit when its *identity*
+            // fields match the slot it sits in — a record renamed onto the
+            // wrong path (or a filename collision) is treated like
+            // corruption and rebuilt, never silently accepted.
+            let identity_ok = |rec: &SampleRecord| rec.design == spec.name && rec.recipe_index == r;
+            let clean_hit = read_record(&clean).filter(&identity_ok).is_some();
+            let quarantine_hit = read_record(&quarantined).filter(&identity_ok).is_some();
+            if clean_hit && quarantine_hit {
+                return Err(QorBuildError::DuplicateSample {
+                    design: spec.name.to_string(),
+                    recipe_index: r,
+                });
+            }
+            if clean_hit {
                 report.skipped += 1;
                 continue;
             }
-            if read_record(&quarantined).is_some() {
+            if quarantine_hit {
                 report.skipped += 1;
                 report.quarantined += 1;
                 continue;

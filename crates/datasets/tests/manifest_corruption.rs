@@ -1,0 +1,208 @@
+//! Manifest corruption recovery: every way a record store can rot —
+//! truncation, bit rot in the CRC or body, duplicated sample ids,
+//! records sitting at the wrong path — must surface as a typed error or a
+//! clean skip-and-rebuild. Never a panic, never silent acceptance.
+
+use hoga_datasets::manifest::{read_record, SampleRecord, MANIFEST_DIR, QUARANTINE_DIR};
+use hoga_datasets::openabcd::{
+    build_qor_dataset_resumable, QorBuildError, QorDatasetConfig, QorSweepOptions,
+};
+use hoga_gen::ipgen::OPENABCD_DESIGNS;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn test_cfg() -> QorDatasetConfig {
+    QorDatasetConfig {
+        recipes_per_design: 2,
+        recipe_len: 4,
+        max_scaled_nodes: 500,
+        ..QorDatasetConfig::tiny()
+    }
+}
+
+fn first_design(cfg: &QorDatasetConfig) -> &'static str {
+    OPENABCD_DESIGNS
+        .iter()
+        .find(|s| s.nodes / cfg.scale_divisor <= cfg.max_scaled_nodes)
+        .expect("test config keeps at least one design")
+        .name
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hoga-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for sub in [MANIFEST_DIR, QUARANTINE_DIR] {
+        let Ok(entries) = std::fs::read_dir(dir.join(sub)) else { continue };
+        for entry in entries {
+            let entry = entry.expect("dir entry");
+            out.insert(
+                format!("{sub}/{}", entry.file_name().to_string_lossy()),
+                std::fs::read(entry.path()).expect("read record"),
+            );
+        }
+    }
+    out
+}
+
+/// Builds the reference sweep in `dir` and returns its byte snapshot.
+fn build_reference(dir: &Path, cfg: &QorDatasetConfig) -> BTreeMap<String, Vec<u8>> {
+    let report =
+        build_qor_dataset_resumable(cfg, dir, &QorSweepOptions::default()).expect("reference run");
+    assert!(report.complete());
+    snapshot(dir)
+}
+
+#[test]
+fn truncated_final_record_is_rejected_then_rebuilt() {
+    let cfg = test_cfg();
+    let dir = fresh_dir("truncate");
+    let reference = build_reference(&dir, &cfg);
+
+    // Truncate the *last* record of the sweep — the shape a dying process
+    // would leave behind without the atomic write, and the one a naive
+    // "resume from where the files stop" scheme would mis-trust.
+    let last = reference.keys().last().expect("non-empty sweep").clone();
+    let path = dir.join(&last);
+    let bytes = std::fs::read(&path).expect("read victim");
+    std::fs::write(&path, &bytes[..bytes.len() - 10]).expect("truncate");
+
+    // The strict parser rejects it with a typed error (no panic)...
+    let text = std::fs::read_to_string(&path).expect("read truncated");
+    let parsed = SampleRecord::parse(&text);
+    assert!(parsed.is_err(), "truncated record must not parse: {parsed:?}");
+    assert!(read_record(&path).is_none(), "read_record must treat it as absent");
+
+    // ...and the sweep rebuilds exactly that record, byte-identically.
+    let report =
+        build_qor_dataset_resumable(&cfg, &dir, &QorSweepOptions::default()).expect("resume");
+    assert_eq!(report.written, 1);
+    assert_eq!(snapshot(&dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_crc_is_rejected_then_rebuilt() {
+    let cfg = test_cfg();
+    let dir = fresh_dir("crcflip");
+    let reference = build_reference(&dir, &cfg);
+
+    let victim = dir.join(MANIFEST_DIR).join(SampleRecord::file_name(first_design(&cfg), 0));
+    let mut bytes = std::fs::read(&victim).expect("read victim");
+    // Flip one bit inside the CRC trailer's hex digits (last line is
+    // `crc 0x########`, newline-terminated).
+    let flip_at = bytes.len() - 2;
+    bytes[flip_at] ^= 0x01;
+    std::fs::write(&victim, &bytes).expect("write flipped");
+
+    assert!(read_record(&victim).is_none(), "bad CRC must invalidate the record");
+    let report =
+        build_qor_dataset_resumable(&cfg, &dir, &QorSweepOptions::default()).expect("resume");
+    assert_eq!(report.written, 1, "exactly the bad-CRC record is regenerated");
+    assert_eq!(snapshot(&dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_body_fails_the_crc_then_rebuilds() {
+    let cfg = test_cfg();
+    let dir = fresh_dir("bodyflip");
+    let reference = build_reference(&dir, &cfg);
+
+    let victim = dir.join(MANIFEST_DIR).join(SampleRecord::file_name(first_design(&cfg), 1));
+    let mut bytes = std::fs::read(&victim).expect("read victim");
+    // Flip a bit in the middle of the body: the field may still parse, but
+    // the CRC must catch it first.
+    let flip_at = bytes.len() / 2;
+    bytes[flip_at] ^= 0x10;
+    std::fs::write(&victim, &bytes).expect("write flipped");
+
+    assert!(read_record(&victim).is_none());
+    let report =
+        build_qor_dataset_resumable(&cfg, &dir, &QorSweepOptions::default()).expect("resume");
+    assert_eq!(report.written, 1);
+    assert_eq!(snapshot(&dir), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_sample_id_is_a_typed_error() {
+    let cfg = test_cfg();
+    let dir = fresh_dir("duplicate");
+    build_reference(&dir, &cfg);
+
+    // The same valid record lands in BOTH manifest/ and quarantine/ — an
+    // operator merging output directories. The sweep must refuse rather
+    // than silently prefer either copy.
+    let design = first_design(&cfg);
+    let file = SampleRecord::file_name(design, 0);
+    std::fs::copy(dir.join(MANIFEST_DIR).join(&file), dir.join(QUARANTINE_DIR).join(&file))
+        .expect("duplicate the record");
+
+    match build_qor_dataset_resumable(&cfg, &dir, &QorSweepOptions::default()) {
+        Err(QorBuildError::DuplicateSample { design: d, recipe_index }) => {
+            assert_eq!(d, design);
+            assert_eq!(recipe_index, 0);
+            let rendered = QorBuildError::DuplicateSample { design: d, recipe_index }.to_string();
+            assert!(
+                rendered.contains("manifest/") && rendered.contains("quarantine/"),
+                "{rendered}"
+            );
+        }
+        other => panic!("expected DuplicateSample, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn record_at_the_wrong_path_is_rebuilt_not_trusted() {
+    let cfg = test_cfg();
+    let dir = fresh_dir("mismatch");
+    let reference = build_reference(&dir, &cfg);
+
+    // Overwrite recipe 1's record with recipe 0's bytes: valid CRC, wrong
+    // identity. Trusting it would silently drop a sample from the sweep.
+    let design = first_design(&cfg);
+    let source = dir.join(MANIFEST_DIR).join(SampleRecord::file_name(design, 0));
+    let target = dir.join(MANIFEST_DIR).join(SampleRecord::file_name(design, 1));
+    std::fs::copy(&source, &target).expect("misplace the record");
+
+    let report =
+        build_qor_dataset_resumable(&cfg, &dir, &QorSweepOptions::default()).expect("resume");
+    assert_eq!(report.written, 1, "the misplaced record must be regenerated");
+    assert_eq!(snapshot(&dir), reference, "rebuild restores the correct record bytes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parse_never_panics_on_systematic_mutations() {
+    let cfg = test_cfg();
+    let dir = fresh_dir("fuzzish");
+    let reference = build_reference(&dir, &cfg);
+    let (_, bytes) = reference.iter().next().expect("non-empty sweep");
+    let text = String::from_utf8(bytes.clone()).expect("records are UTF-8");
+
+    // Every truncation point...
+    for end in 0..=text.len() {
+        if text.is_char_boundary(end) {
+            let _ = SampleRecord::parse(&text[..end]);
+        }
+    }
+    // ...and a sweep of single-byte corruptions (kept ASCII so the string
+    // stays valid UTF-8; read_record would reject non-UTF-8 upstream).
+    let mut mutated = text.clone().into_bytes();
+    for i in 0..mutated.len() {
+        let original = mutated[i];
+        mutated[i] = b'~';
+        if let Ok(s) = std::str::from_utf8(&mutated) {
+            let _ = SampleRecord::parse(s);
+        }
+        mutated[i] = original;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -173,6 +173,35 @@ impl FaultPlan {
     pub fn faults(&self) -> &[Fault] {
         &self.faults
     }
+
+    /// Projects the engine's unified fault vocabulary
+    /// ([`hoga_jobs::JobFaultPlan`]) onto trainer coordinates: a
+    /// `Step { unit, step, lane }` site maps to `(epoch, step, worker)`,
+    /// with `Panic` → [`Fault::WorkerPanic`], `Stall` →
+    /// [`Fault::WorkerDelay`], and `Corrupt` → [`Fault::CorruptGradient`].
+    /// `Attempt`-site faults are engine-level and not projected — the job
+    /// engine injects those itself before the trainer runs.
+    pub fn from_job_plan(plan: &hoga_jobs::JobFaultPlan) -> Self {
+        use hoga_jobs::{FaultKind, FaultSite};
+        let faults = plan
+            .faults()
+            .iter()
+            .filter_map(|planned| match planned.site {
+                FaultSite::Step { unit, step, lane } => {
+                    let (epoch, step, worker) = (unit as usize, step as usize, lane as usize);
+                    Some(match planned.kind {
+                        FaultKind::Panic => Fault::WorkerPanic { epoch, step, worker },
+                        FaultKind::Stall { millis } => {
+                            Fault::WorkerDelay { epoch, step, worker, millis }
+                        }
+                        FaultKind::Corrupt => Fault::CorruptGradient { epoch, step, worker },
+                    })
+                }
+                FaultSite::Attempt { .. } => None,
+            })
+            .collect();
+        Self { faults }
+    }
 }
 
 /// Arms a [`FaultPlan`] for one run: tracks which faults have fired so
@@ -391,6 +420,26 @@ mod tests {
         assert!(inj.nan_loss(0, 3));
         assert!(!inj.nan_loss(0, 3));
         assert!(!inj.nan_loss(1, 3));
+    }
+
+    #[test]
+    fn job_plan_projects_onto_trainer_coordinates() {
+        use hoga_jobs::{FaultKind, FaultSite, JobFaultPlan};
+        let unified = JobFaultPlan::none()
+            .inject(FaultSite::Step { unit: 1, step: 2, lane: 0 }, FaultKind::Panic)
+            .inject(FaultSite::Step { unit: 0, step: 0, lane: 1 }, FaultKind::Stall { millis: 7 })
+            .inject(FaultSite::Step { unit: 3, step: 1, lane: 2 }, FaultKind::Corrupt)
+            // Engine-level; must not leak into the trainer plan.
+            .inject(FaultSite::Attempt { attempt: 1 }, FaultKind::Panic);
+        let plan = FaultPlan::from_job_plan(&unified);
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::WorkerPanic { epoch: 1, step: 2, worker: 0 },
+                Fault::WorkerDelay { epoch: 0, step: 0, worker: 1, millis: 7 },
+                Fault::CorruptGradient { epoch: 3, step: 1, worker: 2 },
+            ]
+        );
     }
 
     #[test]

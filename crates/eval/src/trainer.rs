@@ -585,7 +585,6 @@ pub fn train_qor_with_target(
 /// the dataset precomputed; [`TrainError::Checkpoint`] /
 /// [`TrainError::CheckpointMismatch`] for resume/checkpoint problems as in
 /// [`try_train_reasoning`].
-// analyze: allow(dead-public-api) — fallible twin of train_qor_with_target, public so callers can handle TrainError instead of panicking
 pub fn try_train_qor_with_target(
     ds: &QorDataset,
     kind: QorModelKind,

@@ -1,0 +1,183 @@
+//! The engine's progress event stream.
+//!
+//! Every lifecycle transition — submission, attempt start, injected fault,
+//! retry scheduling, checkpoint, terminal outcome — is a [`JobEvent`]
+//! emitted to an [`EventSink`]. Events deliberately carry **no
+//! timestamps**: the stream for a given `(plan, seed)` is deterministic, so
+//! CI can diff it and tests can assert exact sequences. Wall-clock data
+//! lives in job outputs (e.g. `TrainStats`), not in the supervision record.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One supervision event. `job` is the engine-assigned id (1-based, in
+/// submission order), `attempt` is 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobEvent {
+    /// Accepted into the queue.
+    Submitted { job: u64, name: String },
+    /// Rejected at submission: the bounded queue was full.
+    Shed { name: String, queued: usize, capacity: usize },
+    /// An attempt began on a worker.
+    Started { job: u64, attempt: u32 },
+    /// The job reported forward progress (domain-defined unit).
+    Progress { job: u64, attempt: u32, unit: String, step: u64 },
+    /// The job persisted resumable state.
+    Checkpointed { job: u64, attempt: u32, detail: String },
+    /// The engine or the job claimed a planned fault.
+    FaultInjected { job: u64, attempt: u32, description: String },
+    /// An attempt ended in a retryable incident (including caught panics).
+    AttemptFailed { job: u64, attempt: u32, reason: String },
+    /// A retry was scheduled after deterministic backoff.
+    RetryScheduled { job: u64, attempt: u32, delay_ms: u64 },
+    /// Terminal: the job returned its output.
+    Completed { job: u64, attempts: u32 },
+    /// Terminal: permanent failure (non-retryable error or retries exhausted).
+    Failed { job: u64, attempts: u32, reason: String },
+    /// Terminal: the job observed cancellation.
+    Cancelled { job: u64, attempt: u32 },
+    /// Terminal: the wall-clock deadline expired.
+    DeadlineExceeded { job: u64, attempt: u32, budget_ms: u64 },
+}
+
+impl JobEvent {
+    /// One human-readable line, used verbatim by the CLI `--events` file.
+    pub fn render(&self) -> String {
+        match self {
+            JobEvent::Submitted { job, name } => format!("job {job} ({name}): submitted"),
+            JobEvent::Shed { name, queued, capacity } => {
+                format!("job ({name}): shed — queue full ({queued}/{capacity})")
+            }
+            JobEvent::Started { job, attempt } => format!("job {job}: started (attempt {attempt})"),
+            JobEvent::Progress { job, attempt, unit, step } => {
+                format!("job {job}: progress (attempt {attempt}) {unit} {step}")
+            }
+            JobEvent::Checkpointed { job, attempt, detail } => {
+                format!("job {job}: checkpointed (attempt {attempt}) {detail}")
+            }
+            JobEvent::FaultInjected { job, attempt, description } => {
+                format!("job {job}: injected fault (attempt {attempt}): {description}")
+            }
+            JobEvent::AttemptFailed { job, attempt, reason } => {
+                format!("job {job}: attempt {attempt} failed: {reason}")
+            }
+            JobEvent::RetryScheduled { job, attempt, delay_ms } => {
+                format!("job {job}: retrying in {delay_ms} ms (after attempt {attempt})")
+            }
+            JobEvent::Completed { job, attempts } => {
+                format!("job {job}: completed after {attempts} attempt(s)")
+            }
+            JobEvent::Failed { job, attempts, reason } => {
+                format!("job {job}: failed after {attempts} attempt(s): {reason}")
+            }
+            JobEvent::Cancelled { job, attempt } => {
+                format!("job {job}: cancelled (attempt {attempt})")
+            }
+            JobEvent::DeadlineExceeded { job, attempt, budget_ms } => {
+                format!("job {job}: deadline exceeded (attempt {attempt}, budget {budget_ms} ms)")
+            }
+        }
+    }
+}
+
+impl fmt::Display for JobEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Where events go. Sinks must tolerate concurrent emission from workers.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, event: &JobEvent);
+}
+
+/// A sink that drops everything (the default for callers that only want
+/// job outputs).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &JobEvent) {}
+}
+
+/// Poison-tolerant lock: a worker panic mid-emit must not wedge the log —
+/// the stored events are plain data, valid regardless of the panic.
+pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An in-memory collecting sink.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<JobEvent>>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything emitted so far, in emission order.
+    pub fn snapshot(&self) -> Vec<JobEvent> {
+        lock_clean(&self.events).clone()
+    }
+
+    /// The rendered log, one line per event, trailing newline included
+    /// when non-empty.
+    pub fn render(&self) -> String {
+        let events = lock_clean(&self.events);
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EventSink for EventLog {
+    fn emit(&self, event: &JobEvent) {
+        lock_clean(&self.events).push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_in_order_and_renders_lines() {
+        let log = EventLog::new();
+        log.emit(&JobEvent::Submitted { job: 1, name: "t".into() });
+        log.emit(&JobEvent::Started { job: 1, attempt: 1 });
+        log.emit(&JobEvent::Completed { job: 1, attempts: 1 });
+        assert_eq!(log.snapshot().len(), 3);
+        let text = log.render();
+        assert_eq!(
+            text,
+            "job 1 (t): submitted\njob 1: started (attempt 1)\njob 1: completed after 1 attempt(s)\n"
+        );
+    }
+
+    #[test]
+    fn render_covers_every_variant() {
+        let all = [
+            JobEvent::Submitted { job: 1, name: "n".into() },
+            JobEvent::Shed { name: "n".into(), queued: 4, capacity: 4 },
+            JobEvent::Started { job: 1, attempt: 2 },
+            JobEvent::Progress { job: 1, attempt: 2, unit: "epoch".into(), step: 3 },
+            JobEvent::Checkpointed { job: 1, attempt: 2, detail: "d".into() },
+            JobEvent::FaultInjected { job: 1, attempt: 2, description: "f".into() },
+            JobEvent::AttemptFailed { job: 1, attempt: 2, reason: "r".into() },
+            JobEvent::RetryScheduled { job: 1, attempt: 2, delay_ms: 75 },
+            JobEvent::Completed { job: 1, attempts: 2 },
+            JobEvent::Failed { job: 1, attempts: 3, reason: "r".into() },
+            JobEvent::Cancelled { job: 1, attempt: 1 },
+            JobEvent::DeadlineExceeded { job: 1, attempt: 1, budget_ms: 10 },
+        ];
+        for e in &all {
+            assert!(!e.render().is_empty());
+            assert_eq!(format!("{e}"), e.render());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Unified fault-injection vocabulary.
+//!
+//! Every fault the workspace knows how to inject — trainer worker panics
+//! (`eval::fault::FaultPlan`), synthesis miscompiles and stalls
+//! (`synth::guard::SynthFaultPlan`), and engine-level attempt faults — is a
+//! `(site, kind)` pair from this module. The domain crates expose
+//! `from_job_plan` adapters that *project* a [`JobFaultPlan`] onto their own
+//! coordinates, so one plan drives fault injection end to end:
+//!
+//! | kind \ consumer | engine (attempt site)       | eval trainer (step site)  | synth guard (step site) |
+//! |-----------------|-----------------------------|---------------------------|-------------------------|
+//! | `Panic`         | panic inside `catch_unwind` | `WorkerPanic`             | ignored (guard never panics) |
+//! | `Stall`         | sleep, then proceed         | `WorkerDelay`             | `SynthFault::Stall`     |
+//! | `Corrupt`       | retryable incident          | `CorruptGradient`         | `SynthFault::Miscompile`|
+//!
+//! A [`FaultInjector`] arms a plan for one job run; each fault fires
+//! **exactly once** (claim-once semantics via an atomic swap), so a retried
+//! attempt does not re-trip the fault that killed its predecessor — which is
+//! precisely what lets resume-after-fault converge.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Unwind the current attempt (exercises `catch_unwind` isolation).
+    Panic,
+    /// Block progress for `millis` (exercises deadlines and liveness).
+    Stall { millis: u64 },
+    /// Corrupt in-flight state (exercises detection + retry/rollback).
+    Corrupt,
+}
+
+/// Where it goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Engine-level: at the start of the given attempt (1-based).
+    Attempt { attempt: u32 },
+    /// Domain-level step coordinates, claimed by the job itself.
+    /// The meaning of the axes is per-job (trainer: epoch/step/worker;
+    /// dataset sweep: chunk/0/0; synth: 0/recipe-step/0).
+    Step { unit: u64, step: u64, lane: u64 },
+}
+
+/// One planned fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    pub site: FaultSite,
+    pub kind: FaultKind,
+}
+
+/// A deterministic list of faults to inject into one job run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobFaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl JobFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: add one fault.
+    pub fn inject(mut self, site: FaultSite, kind: FaultKind) -> Self {
+        self.faults.push(PlannedFault { site, kind });
+        self
+    }
+
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// An armed [`JobFaultPlan`]: hands each fault out exactly once.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    faults: Vec<PlannedFault>,
+    fired: Vec<AtomicBool>,
+}
+
+impl FaultInjector {
+    pub fn new(plan: &JobFaultPlan) -> Self {
+        let faults = plan.faults.clone();
+        let fired = faults.iter().map(|_| AtomicBool::new(false)).collect();
+        Self { faults, fired }
+    }
+
+    fn claim(&self, matches: impl Fn(&FaultSite) -> bool) -> Option<FaultKind> {
+        for (i, f) in self.faults.iter().enumerate() {
+            if matches(&f.site) && !self.fired[i].swap(true, Ordering::SeqCst) {
+                return Some(f.kind);
+            }
+        }
+        None
+    }
+
+    /// Claim the fault planned for the start of `attempt`, if any.
+    /// Crate-internal: the engine claims attempt faults; jobs claim step
+    /// faults through [`crate::JobContext`].
+    pub(crate) fn claim_attempt(&self, attempt: u32) -> Option<FaultKind> {
+        self.claim(|s| matches!(s, FaultSite::Attempt { attempt: a } if *a == attempt))
+    }
+
+    /// Claim the fault planned at domain coordinates `(unit, step, lane)`.
+    /// Crate-internal: exposed to jobs via
+    /// [`crate::JobContext::claim_step_fault`].
+    pub(crate) fn claim_step(&self, unit: u64, step: u64, lane: u64) -> Option<FaultKind> {
+        self.claim(|s| {
+            matches!(s, FaultSite::Step { unit: u, step: t, lane: l }
+                     if *u == unit && *t == step && *l == lane)
+        })
+    }
+
+    /// How many planned faults have not fired yet.
+    pub fn remaining(&self) -> usize {
+        self.fired.iter().filter(|f| !f.load(Ordering::SeqCst)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let plan = JobFaultPlan::none()
+            .inject(FaultSite::Attempt { attempt: 1 }, FaultKind::Panic)
+            .inject(FaultSite::Step { unit: 2, step: 0, lane: 1 }, FaultKind::Corrupt);
+        let inj = FaultInjector::new(&plan);
+        assert_eq!(inj.remaining(), 2);
+        assert_eq!(inj.claim_attempt(1), Some(FaultKind::Panic));
+        assert_eq!(inj.claim_attempt(1), None, "claim-once: retry must not re-trip");
+        assert_eq!(inj.claim_step(2, 0, 0), None, "lane mismatch");
+        assert_eq!(inj.claim_step(2, 0, 1), Some(FaultKind::Corrupt));
+        assert_eq!(inj.claim_step(2, 0, 1), None);
+        assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn duplicate_sites_fire_in_plan_order() {
+        let plan = JobFaultPlan::none()
+            .inject(FaultSite::Attempt { attempt: 1 }, FaultKind::Corrupt)
+            .inject(FaultSite::Attempt { attempt: 1 }, FaultKind::Stall { millis: 5 });
+        let inj = FaultInjector::new(&plan);
+        assert_eq!(inj.claim_attempt(1), Some(FaultKind::Corrupt));
+        assert_eq!(inj.claim_attempt(1), Some(FaultKind::Stall { millis: 5 }));
+        assert_eq!(inj.claim_attempt(1), None);
+    }
+
+    #[test]
+    fn unarmed_injector_claims_nothing() {
+        let inj = FaultInjector::default();
+        assert_eq!(inj.claim_attempt(1), None);
+        assert_eq!(inj.claim_step(0, 0, 0), None);
+        assert_eq!(inj.remaining(), 0);
+    }
+}

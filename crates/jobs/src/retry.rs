@@ -1,0 +1,128 @@
+//! Deterministic jittered exponential backoff.
+//!
+//! **Determinism contract:** [`backoff_delay`] is a *pure function* of
+//! `(policy, job_seed, attempt)`. No clock, no global RNG, no thread
+//! identity. Two engines configured with the same seed replay the exact
+//! same retry schedule for the same job, which is what lets CI assert
+//! bounded, reproducible retry behaviour (see `docs/JOB_ENGINE.md`).
+//! The jitter exists to de-correlate *different* jobs (their seeds differ),
+//! not to randomize reruns of the same job.
+
+use std::time::Duration;
+
+/// How often and how patiently the engine retries a failing attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2 (milliseconds), doubled per further attempt.
+    pub base_delay_ms: u64,
+    /// Upper bound on the un-jittered exponential delay.
+    pub max_delay_ms: u64,
+    /// Jitter half-width as a percentage of the exponential delay (0..=100):
+    /// the actual delay is drawn from `raw ± raw * jitter_pct / 100`.
+    pub jitter_pct: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_delay_ms: 50, max_delay_ms: 2_000, jitter_pct: 25 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that gives every job exactly one attempt.
+    pub fn no_retry() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// A default-shaped policy with `max_attempts` attempts.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        Self { max_attempts: max_attempts.max(1), ..Self::default() }
+    }
+}
+
+/// SplitMix64 — the same tiny, well-distributed mixer the rest of the
+/// workspace uses for seed derivation. Pure and allocation-free.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The delay to sleep after `attempt` (1-based) failed, before starting
+/// `attempt + 1`. Pure in its arguments — see the module docs.
+pub fn backoff_delay(policy: &RetryPolicy, job_seed: u64, attempt: u32) -> Duration {
+    // Exponent saturates well below u64 overflow; the cap dominates anyway.
+    let exp = attempt.saturating_sub(1).min(20);
+    let cap = policy.max_delay_ms.max(policy.base_delay_ms);
+    let raw = policy.base_delay_ms.saturating_mul(1u64 << exp).min(cap);
+    let jitter_pct = u64::from(policy.jitter_pct.min(100));
+    let half = raw.saturating_mul(jitter_pct) / 100;
+    if half == 0 {
+        return Duration::from_millis(raw);
+    }
+    let span = half * 2;
+    let mix = splitmix64(job_seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F));
+    Duration::from_millis(raw - half + mix % (span + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_pure_in_seed_and_attempt() {
+        let policy = RetryPolicy::default();
+        // "Two runs": the full schedule recomputed from scratch is identical.
+        let run = |seed: u64| -> Vec<Duration> {
+            (1..=8).map(|a| backoff_delay(&policy, seed, a)).collect()
+        };
+        assert_eq!(run(0xDEAD_BEEF), run(0xDEAD_BEEF));
+        assert_eq!(run(7), run(7));
+        // Different job seeds de-correlate (overwhelmingly likely to differ
+        // somewhere across 8 attempts; this pair does, deterministically).
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps_without_jitter() {
+        let policy =
+            RetryPolicy { max_attempts: 10, base_delay_ms: 10, max_delay_ms: 100, jitter_pct: 0 };
+        let delays: Vec<u64> =
+            (1..=6).map(|a| backoff_delay(&policy, 42, a).as_millis() as u64).collect();
+        assert_eq!(delays, vec![10, 20, 40, 80, 100, 100]);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 100,
+            max_delay_ms: 10_000,
+            jitter_pct: 25,
+        };
+        for seed in 0..200u64 {
+            for attempt in 1..=5 {
+                let raw = 100u64 << (attempt - 1);
+                let d = backoff_delay(&policy, seed, attempt as u32).as_millis() as u64;
+                assert!(d >= raw - raw / 4 && d <= raw + raw / 4, "d={d} raw={raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_base_never_panics() {
+        let policy =
+            RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0, jitter_pct: 50 };
+        assert_eq!(backoff_delay(&policy, 9, 1), Duration::from_millis(0));
+    }
+
+    #[test]
+    fn huge_attempt_saturates() {
+        let policy = RetryPolicy::default();
+        let d = backoff_delay(&policy, 3, u32::MAX);
+        assert!(d <= Duration::from_millis(policy.max_delay_ms * 2));
+    }
+}

@@ -1,0 +1,316 @@
+//! End-to-end engine behaviour: completion, bounded retry, panic isolation,
+//! load shedding, cancellation, deadlines, and event-stream determinism.
+
+use hoga_jobs::{
+    Engine, EngineConfig, EventLog, FaultKind, FaultSite, Job, JobContext, JobError, JobEvent,
+    JobFaultPlan, RetryPolicy,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Succeeds after `fail_first` retryable incidents, counting attempts.
+struct FlakyJob {
+    fail_first: u32,
+    attempts: Arc<AtomicU32>,
+}
+
+impl Job for FlakyJob {
+    type Output = u32;
+
+    fn name(&self) -> String {
+        "flaky".into()
+    }
+
+    fn run(&mut self, ctx: &JobContext) -> Result<u32, JobError> {
+        let attempt = self.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        ctx.check_interrupt()?;
+        if attempt <= self.fail_first {
+            return Err(JobError::Retryable(format!("transient #{attempt}")));
+        }
+        Ok(attempt)
+    }
+}
+
+/// Blocks until released through a channel (for queue-pressure tests).
+struct GatedJob {
+    gate: Mutex<Receiver<()>>,
+}
+
+impl GatedJob {
+    fn new() -> (Self, Sender<()>) {
+        let (tx, rx) = channel();
+        (Self { gate: Mutex::new(rx) }, tx)
+    }
+}
+
+impl Job for GatedJob {
+    type Output = ();
+
+    fn name(&self) -> String {
+        "gated".into()
+    }
+
+    fn run(&mut self, _ctx: &JobContext) -> Result<(), JobError> {
+        let gate = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = gate.recv_timeout(Duration::from_secs(30));
+        Ok(())
+    }
+}
+
+/// Loops polling `check_interrupt` until interrupted (for cancel/deadline).
+struct PollingJob;
+
+impl Job for PollingJob {
+    type Output = ();
+
+    fn name(&self) -> String {
+        "polling".into()
+    }
+
+    fn run(&mut self, ctx: &JobContext) -> Result<(), JobError> {
+        for _ in 0..10_000 {
+            ctx.check_interrupt()?;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+}
+
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy { max_attempts, base_delay_ms: 1, max_delay_ms: 4, jitter_pct: 25 }
+}
+
+#[test]
+fn job_completes_and_returns_output() {
+    let engine = Engine::start(EngineConfig::default()).expect("start engine");
+    let handle = engine
+        .submit(
+            FlakyJob { fail_first: 0, attempts: Arc::new(AtomicU32::new(0)) },
+            JobFaultPlan::none(),
+        )
+        .expect("submit");
+    assert_eq!(handle.wait(), Ok(1));
+    engine.shutdown();
+}
+
+#[test]
+fn retryable_failures_retry_with_bounded_attempts() {
+    let log = Arc::new(EventLog::new());
+    let engine = Engine::with_sink(
+        EngineConfig { retry: fast_retry(3), ..EngineConfig::default() },
+        log.clone(),
+    )
+    .expect("start engine");
+    let attempts = Arc::new(AtomicU32::new(0));
+    let handle = engine
+        .submit(FlakyJob { fail_first: 2, attempts: attempts.clone() }, JobFaultPlan::none())
+        .expect("submit");
+    assert_eq!(handle.wait(), Ok(3));
+    assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    engine.shutdown();
+
+    let events = log.snapshot();
+    let started = events.iter().filter(|e| matches!(e, JobEvent::Started { .. })).count();
+    let retries = events.iter().filter(|e| matches!(e, JobEvent::RetryScheduled { .. })).count();
+    assert_eq!(started, 3);
+    assert_eq!(retries, 2);
+    assert!(matches!(events.last(), Some(JobEvent::Completed { attempts: 3, .. })));
+}
+
+#[test]
+fn retries_exhausted_becomes_permanent_failure() {
+    let engine = Engine::start(EngineConfig { retry: fast_retry(2), ..EngineConfig::default() })
+        .expect("start engine");
+    let attempts = Arc::new(AtomicU32::new(0));
+    let handle = engine
+        .submit(FlakyJob { fail_first: 10, attempts: attempts.clone() }, JobFaultPlan::none())
+        .expect("submit");
+    match handle.wait() {
+        Err(JobError::Failed(reason)) => assert!(reason.contains("gave up after 2")),
+        other => panic!("expected exhaustion failure, got {other:?}"),
+    }
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "attempts are bounded by the policy");
+    engine.shutdown();
+}
+
+#[test]
+fn injected_panic_is_isolated_and_consumes_one_retry() {
+    let log = Arc::new(EventLog::new());
+    let engine = Engine::with_sink(
+        EngineConfig { retry: fast_retry(3), ..EngineConfig::default() },
+        log.clone(),
+    )
+    .expect("start engine");
+    let plan = JobFaultPlan::none().inject(FaultSite::Attempt { attempt: 1 }, FaultKind::Panic);
+    let handle = engine
+        .submit(FlakyJob { fail_first: 0, attempts: Arc::new(AtomicU32::new(0)) }, plan)
+        .expect("submit");
+    assert_eq!(handle.wait(), Ok(1), "attempt 2 runs the job body for the first time");
+    engine.shutdown();
+
+    let events = log.snapshot();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            JobEvent::AttemptFailed { attempt: 1, reason, .. } if reason.contains("panicked")
+        )),
+        "panic surfaced as a structured incident: {events:?}"
+    );
+    assert!(events.iter().any(|e| matches!(e, JobEvent::FaultInjected { .. })));
+}
+
+#[test]
+fn non_retryable_failure_does_not_retry() {
+    struct AlwaysFails;
+    impl Job for AlwaysFails {
+        type Output = ();
+        fn name(&self) -> String {
+            "always-fails".into()
+        }
+        fn run(&mut self, _ctx: &JobContext) -> Result<(), JobError> {
+            Err(JobError::Failed("bad config".into()))
+        }
+    }
+    let log = Arc::new(EventLog::new());
+    let engine = Engine::with_sink(
+        EngineConfig { retry: fast_retry(5), ..EngineConfig::default() },
+        log.clone(),
+    )
+    .expect("start engine");
+    let handle = engine.submit(AlwaysFails, JobFaultPlan::none()).expect("submit");
+    assert_eq!(handle.wait(), Err(JobError::Failed("bad config".into())));
+    engine.shutdown();
+    let started = log.snapshot().iter().filter(|e| matches!(e, JobEvent::Started { .. })).count();
+    assert_eq!(started, 1, "permanent failures must not burn retries");
+}
+
+#[test]
+fn full_queue_sheds_with_typed_error() {
+    let log = Arc::new(EventLog::new());
+    let engine = Engine::with_sink(
+        EngineConfig { workers: 1, queue_capacity: 1, ..EngineConfig::default() },
+        log.clone(),
+    )
+    .expect("start engine");
+
+    // Occupy the single worker, then fill the single queue slot.
+    let (blocker, release) = GatedJob::new();
+    let running = engine.submit(blocker, JobFaultPlan::none()).expect("submit blocker");
+    // Wait until the worker has actually dequeued the blocker.
+    for _ in 0..500 {
+        if engine.queued() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued = engine
+        .submit(
+            FlakyJob { fail_first: 0, attempts: Arc::new(AtomicU32::new(0)) },
+            JobFaultPlan::none(),
+        )
+        .expect("fills the queue slot");
+
+    let shed = engine.submit(
+        FlakyJob { fail_first: 0, attempts: Arc::new(AtomicU32::new(0)) },
+        JobFaultPlan::none(),
+    );
+    match shed {
+        Err(overloaded) => {
+            assert_eq!(overloaded.capacity, 1);
+            assert_eq!(overloaded.queued, 1);
+        }
+        Ok(_) => panic!("expected load shedding"),
+    }
+    assert!(log.snapshot().iter().any(|e| matches!(e, JobEvent::Shed { .. })));
+
+    release.send(()).expect("release blocker");
+    assert_eq!(running.wait(), Ok(()));
+    assert_eq!(queued.wait(), Ok(1));
+    engine.shutdown();
+}
+
+#[test]
+fn cancellation_is_cooperative_and_terminal() {
+    let engine = Engine::start(EngineConfig::default()).expect("start engine");
+    let handle = engine.submit(PollingJob, JobFaultPlan::none()).expect("submit");
+    std::thread::sleep(Duration::from_millis(5));
+    handle.cancel();
+    assert_eq!(handle.wait(), Err(JobError::Cancelled));
+    engine.shutdown();
+}
+
+#[test]
+fn deadline_expiry_is_terminal() {
+    let engine = Engine::start(EngineConfig { deadline_ms: 10, ..EngineConfig::default() })
+        .expect("start engine");
+    let handle = engine.submit(PollingJob, JobFaultPlan::none()).expect("submit");
+    assert_eq!(handle.wait(), Err(JobError::DeadlineExceeded { budget_ms: 10 }));
+    engine.shutdown();
+}
+
+/// Satellite 2 regression: the emitted retry schedule is a pure function of
+/// the engine seed and job id — two engines with the same seed replay it.
+#[test]
+fn retry_schedule_is_deterministic_across_engine_runs() {
+    let schedule = |seed: u64| -> Vec<u64> {
+        let log = Arc::new(EventLog::new());
+        let engine = Engine::with_sink(
+            EngineConfig {
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    base_delay_ms: 2,
+                    max_delay_ms: 16,
+                    jitter_pct: 25,
+                },
+                seed,
+                ..EngineConfig::default()
+            },
+            log.clone(),
+        )
+        .expect("start engine");
+        let handle = engine
+            .submit(
+                FlakyJob { fail_first: 3, attempts: Arc::new(AtomicU32::new(0)) },
+                JobFaultPlan::none(),
+            )
+            .expect("submit");
+        let _ = handle.wait();
+        engine.shutdown();
+        log.snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::RetryScheduled { delay_ms, .. } => Some(*delay_ms),
+                _ => None,
+            })
+            .collect()
+    };
+    let a = schedule(0xC0FFEE);
+    let b = schedule(0xC0FFEE);
+    assert_eq!(a.len(), 3);
+    assert_eq!(a, b, "same seed ⇒ identical backoff schedule");
+    let c = schedule(0xC0FFEE + 1);
+    assert_eq!(c.len(), 3);
+}
+
+#[test]
+fn many_jobs_complete_across_the_pool() {
+    let engine =
+        Engine::start(EngineConfig { workers: 4, queue_capacity: 64, ..EngineConfig::default() })
+            .expect("start engine");
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            engine
+                .submit(
+                    FlakyJob { fail_first: 0, attempts: Arc::new(AtomicU32::new(0)) },
+                    JobFaultPlan::none(),
+                )
+                .expect("submit")
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait(), Ok(1));
+    }
+    engine.shutdown();
+}

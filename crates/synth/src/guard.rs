@@ -229,6 +229,31 @@ impl SynthFaultPlan {
         self.faults.is_empty()
     }
 
+    /// Projects the engine's unified fault vocabulary
+    /// ([`hoga_jobs::JobFaultPlan`]) onto recipe steps: a
+    /// `Step { step, .. }` site maps to that 0-based recipe step, with
+    /// `Corrupt` → [`SynthFault::Miscompile`] and `Stall` →
+    /// [`SynthFault::Stall`]. `Panic` and `Attempt`-site faults are
+    /// engine-level and not projected — the guarded runner never panics by
+    /// design, so panic injection belongs to the job engine's
+    /// `catch_unwind` layer.
+    pub fn from_job_plan(plan: &hoga_jobs::JobFaultPlan) -> Self {
+        use hoga_jobs::{FaultKind, FaultSite};
+        let mut out = Self::none();
+        for planned in plan.faults() {
+            if let FaultSite::Step { step, .. } = planned.site {
+                match planned.kind {
+                    FaultKind::Corrupt => {
+                        out = out.inject(step as usize, SynthFault::Miscompile);
+                    }
+                    FaultKind::Stall { .. } => out = out.inject(step as usize, SynthFault::Stall),
+                    FaultKind::Panic => {}
+                }
+            }
+        }
+        out
+    }
+
     /// The largest targeted step index, if any.
     pub(crate) fn max_step(&self) -> Option<usize> {
         self.faults.iter().map(|(s, _)| *s).max()
@@ -487,6 +512,22 @@ mod tests {
         assert_eq!(plan.fault_at(0), None);
         assert_eq!(plan.max_step(), Some(5));
         assert!(SynthFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn job_plan_projects_onto_recipe_steps() {
+        use hoga_jobs::{FaultKind, FaultSite, JobFaultPlan};
+        let unified = JobFaultPlan::none()
+            .inject(FaultSite::Step { unit: 0, step: 2, lane: 0 }, FaultKind::Corrupt)
+            .inject(FaultSite::Step { unit: 0, step: 5, lane: 0 }, FaultKind::Stall { millis: 3 })
+            // Engine-level kinds/sites; must not reach the guard.
+            .inject(FaultSite::Step { unit: 0, step: 1, lane: 0 }, FaultKind::Panic)
+            .inject(FaultSite::Attempt { attempt: 2 }, FaultKind::Corrupt);
+        let plan = SynthFaultPlan::from_job_plan(&unified);
+        assert_eq!(plan.fault_at(2), Some(SynthFault::Miscompile));
+        assert_eq!(plan.fault_at(5), Some(SynthFault::Stall));
+        assert_eq!(plan.fault_at(1), None);
+        assert_eq!(plan.max_step(), Some(5));
     }
 
     #[test]

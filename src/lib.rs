@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod pipeline;
+
 pub use hoga_autograd as autograd;
 pub use hoga_baselines as baselines;
 pub use hoga_circuit as circuit;
@@ -23,5 +25,6 @@ pub use hoga_core as hoga;
 pub use hoga_datasets as datasets;
 pub use hoga_eval as eval;
 pub use hoga_gen as gen;
+pub use hoga_jobs as jobs;
 pub use hoga_synth as synth;
 pub use hoga_tensor as tensor;

@@ -10,17 +10,23 @@
 //! hoga-repro ablation [--train-width N] [--widths a,b,c] [--epochs N]
 //! hoga-repro synth    --design NAME [--scale N] [--recipe "b; rw; rf"]
 //! hoga-repro sched    [--workers N] [--max-schedules N]
+//! hoga-repro train    --checkpoint PATH [--epochs N] [--hidden N]
+//!                     [--checkpoint-every N] [--target depth] [--scale N]
+//!                     [--recipes N] [--recipe-len N] [--max-nodes N]
 //! hoga-repro qor-dataset --out DIR [--scale N] [--recipes N] [--max-nodes N]
-//!                        [--stop-after N] [--inject D:R:S[:stall]]
+//!                        [--stop-after N] [--chunk N] [--inject D:R:S[:stall]]
 //!                        [--conflict-budget N] [--max-work N]
 //! ```
 //!
-//! All commands print the reproduced table/series to stdout. `sched` runs
-//! the deterministic schedule explorer over the data-parallel trainer's
-//! critical section (see `docs/SCHEDULE_TESTING.md`). `qor-dataset` runs
-//! the guarded, resumable QoR label sweep
-//! (see `docs/PIPELINE_ROBUSTNESS.md`): kill it at any point and rerun
-//! the same command to resume.
+//! All commands print the reproduced table/series to stdout and exit 0 on
+//! success, 1 on a runtime failure, and 2 on a usage error — every
+//! subcommand returns through the same [`CliError`] dispatch path.
+//!
+//! `train`, `qor-dataset`, and `sched` run under the supervised job
+//! engine (see `docs/JOB_ENGINE.md`): they share uniform
+//! `--retries N`, `--deadline-ms N`, `--inject-job SPEC`, and
+//! `--events PATH` flags, emit a heartbeat event stream on stderr, and
+//! resume byte-identically after a kill or an injected panic.
 
 #![forbid(unsafe_code)]
 
@@ -28,23 +34,59 @@ use hoga_repro::datasets::gamora::ReasoningConfig;
 use hoga_repro::eval::experiments::{ablation, fig4, fig5, fig6, fig7, table1, table2};
 use hoga_repro::eval::trainer::TrainConfig;
 use hoga_repro::gen::ipgen::{generate_ip, OPENABCD_DESIGNS};
+use hoga_repro::jobs::{
+    Engine, EngineConfig, EventLog, EventSink, FaultKind, FaultSite, Job, JobEvent, JobFaultPlan,
+    RetryPolicy,
+};
+use hoga_repro::pipeline::{QorDatasetJob, SchedJob, TrainJob};
 use hoga_repro::synth::{run_recipe, Recipe};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Uniform subcommand failure: every `cmd_*` returns through this type so
+/// the process exit code is decided in exactly one place ([`main`]).
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself is malformed (missing command, unknown flag,
+    /// bad spec). Exit code 2; usage is printed.
+    Usage(String),
+    /// The invocation was well-formed but the work failed. Exit code 1.
+    Failed(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn failed(msg: impl Into<String>) -> Self {
+        CliError::Failed(msg.into())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let flags = match parse_flags(&args[1..]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
         }
+        Err(CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The single dispatch path: parses flags, routes to the subcommand, and
+/// maps its result onto the process exit code.
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage("missing command"));
     };
+    let flags = parse_flags(&args[1..]).map_err(CliError::Usage)?;
     match command.as_str() {
         "table1" => cmd_table1(&flags),
         "table2" => cmd_table2(&flags, false),
@@ -53,19 +95,16 @@ fn main() -> ExitCode {
         "fig6" => cmd_fig6(&flags),
         "fig7" => cmd_fig7(&flags),
         "ablation" => cmd_ablation(&flags),
-        "synth" => return cmd_synth(&flags),
+        "synth" => cmd_synth(&flags),
         "sched" => cmd_sched(&flags),
-        "qor-dataset" => return cmd_qor_dataset(&flags),
-        other => {
-            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        "train" => cmd_train(&flags),
+        "qor-dataset" => cmd_qor_dataset(&flags),
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }
-    ExitCode::SUCCESS
 }
 
 const USAGE: &str =
-    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched|qor-dataset> [flags]
+    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched|train|qor-dataset> [flags]
   --scale N        Table-1 size divisor (default 32)
   --max-nodes N    skip designs above N scaled nodes (default 1500)
   --recipes N      synthesis recipes per design (default 8)
@@ -77,17 +116,26 @@ const USAGE: &str =
   --widths a,b,c   reasoning evaluation widths (default 12,16,24)
   --design NAME    synth: Table-1 design to synthesize
   --recipe STR     synth: recipe string (default resyn2)
-  --target depth   table2: predict optimized depth instead of gate count
+  --target depth   table2/train: predict optimized depth instead of gate count
   --workers N      sched: worker shards to model (default 3)
   --max-schedules N sched: interleavings to explore per policy (default 4096)
   --out DIR        qor-dataset: output directory (manifest/ + quarantine/)
-  --recipe-len N   qor-dataset: steps per random recipe (default 20)
-  --seed N         qor-dataset: master seed (default 0xABC0)
+  --recipe-len N   qor-dataset/train: steps per random recipe (default 20/8)
+  --seed N         dataset master seed (default 0xABC0)
   --stop-after N   qor-dataset: stop after N new records (resume by rerunning)
+  --chunk N        qor-dataset: records per supervised chunk (default 0 = all)
   --inject D:R:S[:stall]  qor-dataset: inject a miscompile (or stall) at
                    design D, recipe R, step S — proves the guard fires
   --conflict-budget N  qor-dataset: SAT-arbiter conflict budget (0 = sim only)
-  --max-work N     qor-dataset: per-pass work budget (0 = unlimited)";
+  --max-work N     qor-dataset: per-pass work budget (0 = unlimited)
+  --checkpoint PATH    train: checkpoint file (required; resume point)
+  --checkpoint-every N train: epochs per checkpoint stage (default 1)
+  engine flags (train, qor-dataset, sched):
+  --retries N      max attempts per job (default 2)
+  --deadline-ms N  wall-clock budget per attempt chain (0 = none)
+  --inject-job attempt:A:kind[:millis] | step:U:S:L:kind[:millis]
+                   inject an engine-level fault (kind: panic|stall|corrupt)
+  --events PATH    write the rendered job event stream to PATH";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -124,9 +172,124 @@ fn reasoning_cfg() -> ReasoningConfig {
     ReasoningConfig { tech_map: true, lut_k: 4, num_hops: 8, label_k: 4 }
 }
 
-fn cmd_table1(flags: &HashMap<String, String>) {
+/// Event sink for engine-backed subcommands: renders each event to stderr
+/// as a live heartbeat and keeps the full log for `--events PATH`.
+struct CliSink {
+    log: EventLog,
+}
+
+impl CliSink {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { log: EventLog::new() })
+    }
+}
+
+impl EventSink for CliSink {
+    fn emit(&self, event: &JobEvent) {
+        eprintln!("[job] {event}");
+        self.log.emit(event);
+    }
+}
+
+/// Builds the engine configuration shared by all engine-backed
+/// subcommands from the uniform `--retries` / `--deadline-ms` flags.
+fn engine_cfg(flags: &HashMap<String, String>, workers: usize, seed: u64) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: 4,
+        retry: RetryPolicy {
+            max_attempts: get(flags, "retries", 2u32).max(1),
+            base_delay_ms: 20,
+            max_delay_ms: 500,
+            jitter_pct: 25,
+        },
+        deadline_ms: get(flags, "deadline-ms", 0u64),
+        seed,
+    }
+}
+
+/// Parses an `--inject-job` spec:
+/// `attempt:A:kind[:millis]` or `step:U:S:L:kind[:millis]`.
+fn parse_inject_job(spec: &str) -> Result<(FaultSite, FaultKind), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = || {
+        format!("--inject-job expects attempt:A:kind[:millis] or step:U:S:L:kind[:millis], got `{spec}`")
+    };
+    let index = |s: &str| s.parse::<u64>().map_err(|_| format!("bad index `{s}` in `{spec}`"));
+    let kind = |k: &str, millis: Option<&str>| -> Result<FaultKind, String> {
+        match (k, millis) {
+            ("panic", None) => Ok(FaultKind::Panic),
+            ("corrupt", None) => Ok(FaultKind::Corrupt),
+            ("stall", m) => {
+                let millis = m
+                    .map(|v| v.parse().map_err(|_| format!("bad stall millis `{v}` in `{spec}`")))
+                    .transpose()?
+                    .unwrap_or(50);
+                Ok(FaultKind::Stall { millis })
+            }
+            _ => Err(format!("unknown fault kind `{k}` in `{spec}` (panic|stall|corrupt)")),
+        }
+    };
+    match parts.as_slice() {
+        ["attempt", a, k] => Ok((FaultSite::Attempt { attempt: index(a)? as u32 }, kind(k, None)?)),
+        ["attempt", a, k, m] => {
+            Ok((FaultSite::Attempt { attempt: index(a)? as u32 }, kind(k, Some(m))?))
+        }
+        ["step", u, s, l, k] => Ok((
+            FaultSite::Step { unit: index(u)?, step: index(s)?, lane: index(l)? },
+            kind(k, None)?,
+        )),
+        ["step", u, s, l, k, m] => Ok((
+            FaultSite::Step { unit: index(u)?, step: index(s)?, lane: index(l)? },
+            kind(k, Some(m))?,
+        )),
+        _ => Err(bad()),
+    }
+}
+
+/// Builds the job fault plan from the `--inject-job` flag.
+fn inject_job_plan(flags: &HashMap<String, String>) -> Result<JobFaultPlan, CliError> {
+    match flags.get("inject-job") {
+        None => Ok(JobFaultPlan::none()),
+        Some(spec) => {
+            let (site, kind) = parse_inject_job(spec).map_err(CliError::Usage)?;
+            Ok(JobFaultPlan::none().inject(site, kind))
+        }
+    }
+}
+
+/// Writes the rendered event stream to `--events PATH` when requested.
+fn write_events(flags: &HashMap<String, String>, sink: &CliSink) -> Result<(), CliError> {
+    if let Some(path) = flags.get("events") {
+        std::fs::write(path, sink.log.render())
+            .map_err(|e| CliError::failed(format!("cannot write event log `{path}`: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Runs one job to completion on a single-worker engine: the shared
+/// submit → wait → drain → dump-events path for `train` and
+/// `qor-dataset`.
+fn run_supervised<J: Job + 'static>(
+    flags: &HashMap<String, String>,
+    seed: u64,
+    job: J,
+) -> Result<J::Output, CliError> {
+    let plan = inject_job_plan(flags)?;
+    let sink = CliSink::new();
+    let engine = Engine::with_sink(engine_cfg(flags, 1, seed), sink.clone())
+        .map_err(|e| CliError::failed(format!("cannot start job engine: {e}")))?;
+    let handle = engine.submit(job, plan).map_err(|e| CliError::failed(e.to_string()))?;
+    let result = handle.wait();
+    engine.shutdown();
+    write_events(flags, &sink)?;
+    result.map_err(|e| CliError::failed(e.to_string()))
+}
+
+fn cmd_table1(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let t = table1::run(get(flags, "scale", 32), get(flags, "max-nodes", 0));
     println!("{}", t.render());
+    Ok(())
 }
 
 fn table2_cfg(flags: &HashMap<String, String>) -> table2::Table2Config {
@@ -138,7 +301,7 @@ fn table2_cfg(flags: &HashMap<String, String>) -> table2::Table2Config {
     cfg
 }
 
-fn cmd_table2(flags: &HashMap<String, String>, with_fig4: bool) {
+fn cmd_table2(flags: &HashMap<String, String>, with_fig4: bool) -> Result<(), CliError> {
     let cfg = table2_cfg(flags);
     if flags.get("target").map(String::as_str) == Some("depth") {
         // Depth-prediction variant (this reproduction's extension): train
@@ -160,7 +323,7 @@ fn cmd_table2(flags: &HashMap<String, String>, with_fig4: bool) {
             println!("  {:<14} MAPE {:>6.2}%", e.name, e.mape());
         }
         println!("  average: {:.2}% ({:.1?})", average_mape(&evals), stats.train_time);
-        return;
+        return Ok(());
     }
     let result = table2::run(&cfg);
     println!("{}", result.render());
@@ -173,9 +336,10 @@ fn cmd_table2(flags: &HashMap<String, String>, with_fig4: bool) {
             }
         }
     }
+    Ok(())
 }
 
-fn cmd_fig5(flags: &HashMap<String, String>) {
+fn cmd_fig5(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = fig5::Fig5Config {
         width: get(flags, "width", 16),
         graph: reasoning_cfg(),
@@ -183,9 +347,10 @@ fn cmd_fig5(flags: &HashMap<String, String>) {
         worker_counts: [1, 2, 4],
     };
     println!("{}", fig5::run(&cfg).render());
+    Ok(())
 }
 
-fn cmd_fig6(flags: &HashMap<String, String>) {
+fn cmd_fig6(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = fig6::Fig6Config {
         train_width: get(flags, "train-width", 8),
         eval_widths: widths(flags, &[12, 16, 24]),
@@ -193,9 +358,10 @@ fn cmd_fig6(flags: &HashMap<String, String>) {
         train: train_cfg(flags, 100),
     };
     println!("{}", fig6::run(&cfg).render());
+    Ok(())
 }
 
-fn cmd_fig7(flags: &HashMap<String, String>) {
+fn cmd_fig7(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = fig7::Fig7Config {
         train_width: get(flags, "train-width", 8),
         vis_width: get(flags, "vis-width", 16),
@@ -204,9 +370,10 @@ fn cmd_fig7(flags: &HashMap<String, String>) {
         train: train_cfg(flags, 100),
     };
     println!("{}", fig7::run(&cfg).render());
+    Ok(())
 }
 
-fn cmd_ablation(flags: &HashMap<String, String>) {
+fn cmd_ablation(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = ablation::AblationConfig {
         train_width: get(flags, "train-width", 8),
         eval_widths: widths(flags, &[12, 16]),
@@ -214,17 +381,19 @@ fn cmd_ablation(flags: &HashMap<String, String>) {
         train: train_cfg(flags, 100),
     };
     println!("{}", ablation::run(&cfg).render());
+    Ok(())
 }
 
-fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
+fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let Some(name) = flags.get("design") else {
-        eprintln!("error: synth requires --design NAME (see Table 1 names)");
-        return ExitCode::FAILURE;
+        return Err(CliError::usage("synth requires --design NAME (see Table 1 names)"));
     };
     let Some(spec) = OPENABCD_DESIGNS.iter().find(|d| d.name == name.as_str()) else {
         let names: Vec<&str> = OPENABCD_DESIGNS.iter().map(|d| d.name).collect();
-        eprintln!("error: unknown design `{name}`; available: {}", names.join(", "));
-        return ExitCode::FAILURE;
+        return Err(CliError::usage(format!(
+            "unknown design `{name}`; available: {}",
+            names.join(", ")
+        )));
     };
     if let Some(raw) = flags.get("recipe") {
         // Surface every recipe problem (not just the first parse error),
@@ -233,14 +402,11 @@ fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
             eprintln!("warning: recipe: {l}");
         }
     }
-    let recipe: Recipe =
-        match flags.get("recipe").map(|r| r.parse()).unwrap_or_else(|| Ok(Recipe::resyn2())) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let recipe: Recipe = flags
+        .get("recipe")
+        .map(|r| r.parse())
+        .unwrap_or_else(|| Ok(Recipe::resyn2()))
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let aig = generate_ip(spec, get(flags, "scale", 32));
     println!("design `{}`: {} AND gates", spec.name, aig.num_ands());
     let result = run_recipe(&aig, &recipe);
@@ -254,7 +420,7 @@ fn cmd_synth(flags: &HashMap<String, String>) -> ExitCode {
         result.final_ands,
         result.reduction() * 100.0
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// Parses an `--inject design:recipe:step[:stall]` spec.
@@ -275,26 +441,18 @@ fn parse_inject(spec: &str) -> Result<hoga_repro::datasets::openabcd::QorFault, 
     Ok(QorFault { design: parts[0].to_string(), recipe_index, step, fault })
 }
 
-fn cmd_qor_dataset(flags: &HashMap<String, String>) -> ExitCode {
-    use hoga_repro::datasets::openabcd::{
-        build_qor_dataset_resumable, QorDatasetConfig, QorSweepOptions,
-    };
+/// Builds the QoR sweep configuration shared by `qor-dataset` and
+/// `train` from the dataset flags.
+fn qor_dataset_cfg(
+    flags: &HashMap<String, String>,
+    default_recipe_len: usize,
+) -> hoga_repro::datasets::openabcd::QorDatasetConfig {
+    use hoga_repro::datasets::openabcd::QorDatasetConfig;
     use hoga_repro::synth::{GuardConfig, PassBudget};
-    let Some(out) = flags.get("out") else {
-        eprintln!("error: qor-dataset requires --out DIR");
-        return ExitCode::FAILURE;
-    };
-    let faults = match flags.get("inject").map(|s| parse_inject(s)).transpose() {
-        Ok(f) => f.into_iter().collect(),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let cfg = QorDatasetConfig {
+    QorDatasetConfig {
         scale_divisor: get(flags, "scale", 32),
         recipes_per_design: get(flags, "recipes", 8),
-        recipe_len: get(flags, "recipe-len", hoga_repro::synth::STEP_BUDGET),
+        recipe_len: get(flags, "recipe-len", default_recipe_len),
         max_scaled_nodes: get(flags, "max-nodes", 1500),
         seed: get(flags, "seed", 0xABC0),
         guard: GuardConfig {
@@ -306,35 +464,86 @@ fn cmd_qor_dataset(flags: &HashMap<String, String>) -> ExitCode {
             ..GuardConfig::default()
         },
         ..QorDatasetConfig::default()
-    };
-    let opts = QorSweepOptions {
-        stop_after: flags.get("stop-after").and_then(|v| v.parse().ok()),
-        faults,
-    };
-    match build_qor_dataset_resumable(&cfg, std::path::Path::new(out), &opts) {
-        Ok(report) => {
-            println!(
-                "qor-dataset: {} samples total, {} written, {} skipped (resume), \
-                 {} quarantined{}",
-                report.total,
-                report.written,
-                report.skipped,
-                report.quarantined,
-                if report.interrupted { " [interrupted; rerun to resume]" } else { "" }
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
     }
 }
 
-fn cmd_sched(flags: &HashMap<String, String>) {
-    use hoga_repro::eval::sched::{
-        explore, ExploreConfig, ExploreReport, ReducePolicy, SyntheticShardSource,
+fn cmd_qor_dataset(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use hoga_repro::datasets::openabcd::QorSweepOptions;
+    let Some(out) = flags.get("out") else {
+        return Err(CliError::usage("qor-dataset requires --out DIR"));
     };
+    let faults = flags
+        .get("inject")
+        .map(|s| parse_inject(s))
+        .transpose()
+        .map_err(CliError::Usage)?
+        .into_iter()
+        .collect();
+    let cfg = qor_dataset_cfg(flags, hoga_repro::synth::STEP_BUDGET);
+    let seed = cfg.seed;
+    let job = QorDatasetJob {
+        config: cfg,
+        out_dir: std::path::PathBuf::from(out),
+        opts: QorSweepOptions {
+            stop_after: flags.get("stop-after").and_then(|v| v.parse().ok()),
+            faults,
+        },
+        chunk: get(flags, "chunk", 0),
+    };
+    let report = run_supervised(flags, seed, job)?;
+    println!(
+        "qor-dataset: {} samples total, {} written, {} skipped (resume), \
+         {} quarantined{}",
+        report.total,
+        report.written,
+        report.skipped,
+        report.quarantined,
+        if report.interrupted { " [interrupted; rerun to resume]" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use hoga_repro::datasets::openabcd::build_qor_dataset;
+    use hoga_repro::eval::trainer::{QorModelKind, QorTarget};
+    let Some(ckpt) = flags.get("checkpoint") else {
+        return Err(CliError::usage("train requires --checkpoint PATH"));
+    };
+    let target = match flags.get("target").map(String::as_str) {
+        None | Some("gates") => QorTarget::GateCount,
+        Some("depth") => QorTarget::Depth,
+        Some(other) => {
+            return Err(CliError::usage(format!("unknown --target `{other}` (gates|depth)")));
+        }
+    };
+    let ds_cfg = qor_dataset_cfg(flags, 8);
+    let seed = ds_cfg.seed;
+    let kind = QorModelKind::Hoga { num_hops: ds_cfg.num_hops };
+    let cfg = TrainConfig {
+        hidden_dim: get(flags, "hidden", 16),
+        epochs: get(flags, "epochs", 8),
+        checkpoint_to: Some(std::path::PathBuf::from(ckpt)),
+        checkpoint_every: get(flags, "checkpoint-every", 1usize).max(1),
+        ..TrainConfig::default()
+    };
+    let ds = Arc::new(build_qor_dataset(&ds_cfg));
+    println!(
+        "train: {} designs, {} train / {} test samples",
+        ds.designs.len(),
+        ds.train.len(),
+        ds.test.len()
+    );
+    let job = TrainJob { ds, kind, target, cfg };
+    let (_model, stats) = run_supervised(flags, seed, job)?;
+    println!(
+        "train: final loss {:.6} after {} epoch(s); checkpoint at {ckpt}",
+        stats.final_loss, stats.epochs_run
+    );
+    Ok(())
+}
+
+fn cmd_sched(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use hoga_repro::eval::sched::{ExploreConfig, ExploreReport, ReducePolicy};
     let workers = get(flags, "workers", 3usize).max(1);
     let cfg = ExploreConfig {
         max_schedules: get(flags, "max-schedules", 4096usize).max(1),
@@ -359,9 +568,25 @@ fn cmd_sched(flags: &HashMap<String, String>) {
         "schedule explorer: {workers} workers, cancellation-heavy synthetic shards \
          (see docs/SCHEDULE_TESTING.md)"
     );
-    let make = || SyntheticShardSource::adversarial(workers);
-    render("shard-order", &explore(make, ReducePolicy::ShardOrder, &cfg));
-    render("completion-order", &explore(make, ReducePolicy::CompletionOrder, &cfg));
+    // Both policies run concurrently on the engine pool; reports print in
+    // a fixed order regardless of completion order.
+    let plan = inject_job_plan(flags)?;
+    let sink = CliSink::new();
+    let engine = Engine::with_sink(engine_cfg(flags, 2, cfg.seed), sink.clone())
+        .map_err(|e| CliError::failed(format!("cannot start job engine: {e}")))?;
+    let shard = engine
+        .submit(SchedJob { workers, policy: ReducePolicy::ShardOrder, cfg }, plan.clone())
+        .map_err(|e| CliError::failed(e.to_string()))?;
+    let completion = engine
+        .submit(SchedJob { workers, policy: ReducePolicy::CompletionOrder, cfg }, plan)
+        .map_err(|e| CliError::failed(e.to_string()))?;
+    let shard_report = shard.wait();
+    let completion_report = completion.wait();
+    engine.shutdown();
+    write_events(flags, &sink)?;
+    render("shard-order", &shard_report.map_err(|e| CliError::failed(e.to_string()))?);
+    render("completion-order", &completion_report.map_err(|e| CliError::failed(e.to_string()))?);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -409,5 +634,49 @@ mod tests {
         assert!(parse_inject("spi:0").is_err());
         assert!(parse_inject("spi:x:2").is_err());
         assert!(parse_inject("spi:0:2:frob").is_err());
+    }
+
+    #[test]
+    fn parse_inject_job_accepts_both_sites_and_all_kinds() {
+        let (site, kind) = parse_inject_job("attempt:1:panic").expect("attempt panic");
+        assert_eq!(site, FaultSite::Attempt { attempt: 1 });
+        assert_eq!(kind, FaultKind::Panic);
+
+        let (site, kind) = parse_inject_job("attempt:2:stall:75").expect("attempt stall");
+        assert_eq!(site, FaultSite::Attempt { attempt: 2 });
+        assert_eq!(kind, FaultKind::Stall { millis: 75 });
+
+        let (site, kind) = parse_inject_job("step:3:0:1:corrupt").expect("step corrupt");
+        assert_eq!(site, FaultSite::Step { unit: 3, step: 0, lane: 1 });
+        assert_eq!(kind, FaultKind::Corrupt);
+
+        let (_, kind) = parse_inject_job("step:0:0:0:stall").expect("default stall millis");
+        assert_eq!(kind, FaultKind::Stall { millis: 50 });
+    }
+
+    #[test]
+    fn parse_inject_job_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "attempt",
+            "attempt:1",
+            "attempt:x:panic",
+            "attempt:1:frob",
+            "attempt:1:panic:50",
+            "attempt:1:corrupt:50",
+            "step:1:panic",
+            "step:1:2:3:panic:extra:more",
+            "step:a:b:c:panic",
+            "epoch:1:panic",
+        ] {
+            assert!(parse_inject_job(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn dispatch_maps_missing_and_unknown_commands_to_usage() {
+        assert!(matches!(dispatch(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(dispatch(&["frobnicate".into()]), Err(CliError::Usage(_))));
+        assert!(matches!(dispatch(&["synth".into(), "--design".into()]), Err(CliError::Usage(_))));
     }
 }
