@@ -1,0 +1,342 @@
+//! Findings baseline: ratchet semantics for CI.
+//!
+//! A baseline file is simply a previously archived findings report (the
+//! exact JSON [`crate::render_json`] emits). `--baseline PATH` compares
+//! the current run against it; with `--fail-on-new` the exit code turns
+//! on *new* findings only, so a legacy warning inventory can be burned
+//! down incrementally while the gate still blocks regressions.
+//!
+//! Matching is by **multiset** over `(file, rule, symbol, message)` —
+//! line and column are deliberately ignored so that unrelated edits
+//! shifting a known finding up or down the file do not count as "new".
+//! Two identical findings in one file need two baseline entries.
+//!
+//! The parser below is a strict, minimal JSON reader for exactly the
+//! shape the report uses (an array of flat objects with string / number /
+//! null values); it rejects anything else rather than guessing.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// One baseline record, as read from an archived findings report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub rule: String,
+    pub symbol: Option<String>,
+    pub message: String,
+}
+
+/// Diff of the current findings against a baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Indexes (into the current findings slice) not covered by the
+    /// baseline — the regressions `--fail-on-new` gates on.
+    pub new: Vec<usize>,
+    /// Baseline entries no longer present — fixed or moved findings.
+    pub fixed: usize,
+}
+
+/// The identity a finding keeps across unrelated edits.
+fn key_of(file: &str, rule: &str, symbol: Option<&str>, message: &str) -> String {
+    format!("{file}\u{0}{rule}\u{0}{}\u{0}{message}", symbol.unwrap_or(""))
+}
+
+/// Multiset diff: each baseline entry absolves at most one identical
+/// current finding; everything left over is new.
+pub fn diff_against_baseline(findings: &[Finding], baseline: &[BaselineEntry]) -> BaselineDiff {
+    let mut budget: BTreeMap<String, usize> = BTreeMap::new();
+    for b in baseline {
+        *budget.entry(key_of(&b.file, &b.rule, b.symbol.as_deref(), &b.message)).or_insert(0) += 1;
+    }
+    let mut diff = BaselineDiff::default();
+    for (i, f) in findings.iter().enumerate() {
+        let key = key_of(&f.file, f.rule, f.symbol.as_deref(), &f.message);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => diff.new.push(i),
+        }
+    }
+    diff.fixed = budget.values().sum();
+    diff
+}
+
+/// Parses an archived findings report. Returns the entries or a
+/// position-annotated error.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.eat(b'[')?;
+    let mut entries = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            entries.push(p.object()?);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => p.skip_ws(),
+                Some(b']') => break,
+                _ => return Err(p.err("expected ',' or ']'")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after array"));
+    }
+    Ok(entries)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("baseline parse error at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.next() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn object(&mut self) -> Result<BaselineEntry, String> {
+        self.eat(b'{')?;
+        let mut fields: BTreeMap<String, Option<String>> = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.insert(key, value);
+                self.skip_ws();
+                match self.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        let take = |name: &str| -> Result<String, String> {
+            fields
+                .get(name)
+                .cloned()
+                .flatten()
+                .ok_or_else(|| format!("baseline entry missing string field \"{name}\""))
+        };
+        Ok(BaselineEntry {
+            file: take("file")?,
+            rule: take("rule")?,
+            symbol: fields.get("symbol").cloned().flatten(),
+            message: take("message")?,
+        })
+    }
+
+    /// A scalar value: string, number, `null`, `true`, or `false`.
+    /// Strings come back as `Some`, everything else as `None` (the diff
+    /// key only uses the string fields).
+    fn value(&mut self) -> Result<Option<String>, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Some(self.string()?)),
+            Some(b'n') => self.literal("null").map(|()| None),
+            Some(b't') => self.literal("true").map(|()| None),
+            Some(b'f') => self.literal("false").map(|()| None),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c == b'-' || c == b'+' || c == b'.'
+                    || c == b'e' || c == b'E' || c.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+                Ok(None)
+            }
+            _ => Err(self.err("expected scalar value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        out.push(
+                            char::from_u32(hex).ok_or_else(|| self.err("bad \\u code point"))?,
+                        );
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-read the full UTF-8 sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("bad utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str, symbol: Option<&str>, message: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            rule,
+            message: message.to_string(),
+            symbol: symbol.map(str::to_string),
+            severity_override: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_render_json_output() {
+        let findings = vec![
+            finding("a.rs", "todo-tracker", None, "TODO without issue: say \"hi\"\t."),
+            finding("b.rs", "dead-public-api", Some("dead_fn"), "unused pub item"),
+        ];
+        let entries = parse_baseline(&crate::render_json(&findings)).expect("parse");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].message, "TODO without issue: say \"hi\"\t.");
+        assert_eq!(entries[1].symbol.as_deref(), Some("dead_fn"));
+        let diff = diff_against_baseline(&findings, &entries);
+        assert!(diff.new.is_empty(), "identical runs have no new findings: {diff:?}");
+        assert_eq!(diff.fixed, 0);
+    }
+
+    #[test]
+    fn empty_baseline_marks_everything_new() {
+        let findings = vec![finding("a.rs", "todo-tracker", None, "m")];
+        let entries = parse_baseline("[]\n").expect("parse");
+        let diff = diff_against_baseline(&findings, &entries);
+        assert_eq!(diff.new, vec![0]);
+    }
+
+    #[test]
+    fn line_moves_do_not_count_as_new() {
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".into(),
+            rule: "todo-tracker".into(),
+            symbol: None,
+            message: "m".into(),
+        }];
+        let mut moved = finding("a.rs", "todo-tracker", None, "m");
+        moved.line = 99;
+        moved.col = 42;
+        let diff = diff_against_baseline(&[moved], &baseline);
+        assert!(diff.new.is_empty());
+    }
+
+    #[test]
+    fn multiset_semantics_count_duplicates() {
+        let f = finding("a.rs", "todo-tracker", None, "m");
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".into(),
+            rule: "todo-tracker".into(),
+            symbol: None,
+            message: "m".into(),
+        }];
+        let diff = diff_against_baseline(&[f.clone(), f], &baseline);
+        assert_eq!(diff.new.len(), 1, "second duplicate is new");
+    }
+
+    #[test]
+    fn fixed_counts_absolved_entries() {
+        let baseline = vec![
+            BaselineEntry {
+                file: "a.rs".into(),
+                rule: "todo-tracker".into(),
+                symbol: None,
+                message: "m".into(),
+            },
+            BaselineEntry {
+                file: "gone.rs".into(),
+                rule: "todo-tracker".into(),
+                symbol: None,
+                message: "m".into(),
+            },
+        ];
+        let diff = diff_against_baseline(&[finding("a.rs", "todo-tracker", None, "m")], &baseline);
+        assert_eq!(diff.fixed, 1);
+        assert!(diff.new.is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_position() {
+        for bad in ["", "[", "[{]", "[{\"file\": }]", "[] trailing", "{\"file\": \"x\"}"] {
+            assert!(parse_baseline(bad).is_err(), "must reject {bad:?}");
+        }
+        let err = parse_baseline("[{\"rule\": \"r\", \"message\": \"m\"}]").unwrap_err();
+        assert!(err.contains("file"), "missing-field error names the field: {err}");
+    }
+}

@@ -1,0 +1,652 @@
+//! Incremental analysis cache: per-file artifacts keyed by content hash.
+//!
+//! The workspace analysis is split into two stages. The **per-file stage**
+//! (lex, parse, token rules, CFG + taint dataflow, definition/reference
+//! extraction) depends only on one file's bytes and its [`FileProfile`] —
+//! its output is a [`FileArtifact`]. The **cross-file stage** (symbol
+//! graph, dead-API, interprocedural taint resolution, suppression
+//! matching) is a pure function of all artifacts. An unchanged file can
+//! therefore skip the per-file stage entirely: the cached artifact is
+//! loaded instead and the second run reparses nothing, with byte-identical
+//! findings.
+//!
+//! Artifacts are stored one file per source file in the cache directory,
+//! named by the FNV-1a hash of the workspace-relative path. The format is
+//! the same line-oriented `key value` text with a CRC-32 trailer that
+//! `datasets::manifest` uses for its resumable records, and writes go
+//! through a temp-file + rename so a killed run can never leave a torn
+//! artifact — a corrupt or stale record simply misses and is recomputed.
+//!
+//! Invalidation is by equality of: format version (bumped when any rule
+//! changes shape), content hash, and profile bits. There is no partial
+//! reuse — any mismatch recomputes the whole file.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::det::{CondFinding, CondKind, DetStats, FnSummary};
+use crate::lexer::{lex, TokKind};
+use crate::parser::{parse_items, ItemKind, Visibility};
+use crate::rules::{
+    analyze_file, cfg_test_spans, rule_id, FileAnalysis, FileProfile, Finding, Suppression,
+};
+use crate::symbols::{source_unit, SymbolDef};
+
+/// Format header; bump the version whenever artifact semantics change
+/// (new rule, changed message text, new field) so stale caches miss
+/// instead of replaying old findings.
+const FORMAT: &str = "hoga-analyze-cache v1";
+
+/// One file's complete per-file analysis output, in cache-serializable
+/// form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FileArtifact {
+    /// Workspace-relative path.
+    pub(crate) rel: String,
+    /// FNV-1a of the file bytes.
+    pub(crate) hash: u64,
+    /// Encoded [`FileProfile`] (rules applied when this was computed).
+    pub(crate) profile_bits: u16,
+    /// Findings that bypass suppression matching.
+    pub(crate) pre: Vec<Finding>,
+    /// Findings awaiting suppression matching.
+    pub(crate) raw: Vec<Finding>,
+    /// Suppression directives found in the file.
+    pub(crate) sups: Vec<SupRec>,
+    /// Item definitions (for the symbol graph).
+    pub(crate) defs: Vec<DefRec>,
+    /// Identifier occurrence counts (for the symbol graph's refs).
+    pub(crate) refs: Vec<(String, usize)>,
+    /// Conditional interprocedural findings.
+    pub(crate) conds: Vec<CondFinding>,
+    /// Function taint summaries.
+    pub(crate) sums: Vec<FnSummary>,
+    /// CFG/fixpoint statistics.
+    pub(crate) stats: DetStats,
+}
+
+/// Serializable form of [`Suppression`] (`used` always starts false).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SupRec {
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    /// Rule id, empty when the directive was malformed.
+    pub(crate) rule: String,
+    pub(crate) error: Option<String>,
+}
+
+/// Serializable form of a [`SymbolDef`] (the unit is derived from `rel`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DefRec {
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) kind: ItemKind,
+    pub(crate) vis: Visibility,
+    pub(crate) in_test: bool,
+    pub(crate) name: String,
+    pub(crate) owner: Option<String>,
+    pub(crate) deps: Vec<String>,
+}
+
+/// Encodes the rule-selection bits of a profile into the cache key, so a
+/// profile change (e.g. a module becoming hardened) invalidates cleanly.
+pub(crate) fn profile_bits(p: FileProfile) -> u16 {
+    let mut bits = 0u16;
+    for (i, b) in
+        [p.panic_free, p.lossy_cast, p.crate_root, p.all_test, p.numeric, p.eval_path, p.pool_path]
+            .into_iter()
+            .enumerate()
+    {
+        if b {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// Runs the complete per-file stage: token + dataflow rules via
+/// [`analyze_file`], plus the definition/reference extraction the symbol
+/// graph needs. This is the function the cache memoizes.
+pub(crate) fn compute_artifact(rel: &str, src: &str, profile: FileProfile) -> FileArtifact {
+    let fa = analyze_file(rel, src, profile);
+    let tokens = lex(src);
+    let test_spans: Vec<Range<usize>> = cfg_test_spans(&tokens, src);
+    let mut defs = Vec::new();
+    for item in parse_items(&tokens, src) {
+        if matches!(item.kind, ItemKind::Use | ItemKind::Impl) {
+            continue;
+        }
+        let Some(name) = item.name else { continue };
+        defs.push(DefRec {
+            line: item.line,
+            col: item.col,
+            kind: item.kind,
+            vis: item.vis,
+            in_test: test_spans.iter().any(|s| s.contains(&item.start)),
+            name,
+            owner: item.owner,
+            deps: item.dep_names,
+        });
+    }
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for t in tokens.iter().filter(|t| t.kind == TokKind::Ident) {
+        let text = t.text(src);
+        let text = text.strip_prefix("r#").unwrap_or(text);
+        *counts.entry(text.to_string()).or_insert(0) += 1;
+    }
+    FileArtifact {
+        rel: rel.to_string(),
+        hash: fnv1a64(src.as_bytes()),
+        profile_bits: profile_bits(profile),
+        pre: fa.pre,
+        raw: fa.raw,
+        sups: fa
+            .suppressions
+            .into_iter()
+            .map(|s| SupRec { line: s.line, col: s.col, rule: s.rule.to_string(), error: s.error })
+            .collect(),
+        defs,
+        refs: counts.into_iter().collect(),
+        conds: fa.conds,
+        sums: fa.summaries,
+        stats: fa.det_stats,
+    }
+}
+
+impl FileArtifact {
+    /// Converts back into the [`FileAnalysis`] the suppression pass runs
+    /// over, exactly as a fresh parse would have produced it.
+    pub(crate) fn to_analysis(&self) -> FileAnalysis {
+        let sups = self
+            .sups
+            .iter()
+            .map(|s| Suppression {
+                line: s.line,
+                col: s.col,
+                rule: rule_id(&s.rule).unwrap_or(""),
+                used: false,
+                error: s.error.clone(),
+            })
+            .collect();
+        FileAnalysis::from_parts(
+            self.rel.clone(),
+            self.pre.clone(),
+            self.raw.clone(),
+            sups,
+            self.conds.clone(),
+            self.sums.clone(),
+            self.stats,
+        )
+    }
+
+    /// The file's definitions as [`SymbolDef`]s for
+    /// [`crate::symbols::SymbolGraph::from_parts`].
+    pub(crate) fn defs_as_symbols(&self) -> Vec<SymbolDef> {
+        let unit = source_unit(&self.rel);
+        self.defs
+            .iter()
+            .map(|d| SymbolDef {
+                name: d.name.clone(),
+                unit: unit.clone(),
+                file: self.rel.clone(),
+                line: d.line,
+                col: d.col,
+                kind: d.kind,
+                vis: d.vis,
+                in_test_item: d.in_test,
+                dep_names: d.deps.clone(),
+                owner: d.owner.clone(),
+            })
+            .collect()
+    }
+
+    /// Serializes to the CRC-trailed record text.
+    pub(crate) fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FORMAT);
+        out.push('\n');
+        out.push_str(&format!("path {}\n", esc(&self.rel)));
+        out.push_str(&format!("hash {:016x}\n", self.hash));
+        out.push_str(&format!("profile {}\n", self.profile_bits));
+        for (tag, list) in [("pre", &self.pre), ("raw", &self.raw)] {
+            for f in list {
+                out.push_str(&format!(
+                    "{tag} {} {} {} {} {} {}\n",
+                    f.line,
+                    f.col,
+                    f.rule,
+                    opt(f.severity_override.map(str::to_string)),
+                    opt(f.symbol.clone()),
+                    esc(&f.message)
+                ));
+            }
+        }
+        for s in &self.sups {
+            out.push_str(&format!(
+                "sup {} {} {} {}\n",
+                s.line,
+                s.col,
+                opt(Some(s.rule.clone()).filter(|r| !r.is_empty())),
+                opt(s.error.clone())
+            ));
+        }
+        for d in &self.defs {
+            out.push_str(&format!(
+                "def {} {} {} {} {} {} {} {}\n",
+                d.line,
+                d.col,
+                d.kind.label(),
+                vis_label(d.vis),
+                u8::from(d.in_test),
+                esc(&d.name),
+                opt(d.owner.clone()),
+                opt(Some(d.deps.join(",")).filter(|s| !s.is_empty()))
+            ));
+        }
+        for (name, count) in &self.refs {
+            out.push_str(&format!("ref {count} {}\n", esc(name)));
+        }
+        for s in &self.sums {
+            out.push_str(&format!(
+                "sum {} {} {} {}\n",
+                esc(&s.name),
+                u8::from(s.param_to_sink),
+                opt(join_labels(&s.returns)),
+                opt(join_labels(&s.returns_calls))
+            ));
+        }
+        for c in &self.conds {
+            let (kind, sink, what, labels) = match &c.kind {
+                CondKind::ReturnsTaint { sink, what } => {
+                    ("ret", Some(sink.clone()), Some(what.clone()), None)
+                }
+                CondKind::ParamToSink { labels } => ("param", None, None, join_labels(labels)),
+            };
+            out.push_str(&format!(
+                "cond {} {} {} {} {} {kind} {} {} {}\n",
+                c.line,
+                c.col,
+                opt(c.severity_override.map(str::to_string)),
+                esc(&c.callee),
+                esc(&c.symbol),
+                opt(sink),
+                opt(what.map(|w| esc(&w))),
+                opt(labels)
+            ));
+        }
+        out.push_str(&format!(
+            "stat {} {} {} {}\n",
+            self.stats.cfgs, self.stats.blocks, self.stats.edges, self.stats.fixpoint_iterations
+        ));
+        out.push_str(&format!("crc {:#010x}\n", crc32(out.as_bytes())));
+        out
+    }
+
+    /// Strict parse: the CRC is validated before any field is trusted;
+    /// any malformed line rejects the whole record.
+    pub(crate) fn parse(text: &str) -> Option<FileArtifact> {
+        let crc_at = text.rfind("crc 0x")?;
+        let declared = u32::from_str_radix(text.get(crc_at + 6..crc_at + 14)?, 16).ok()?;
+        if crc32(&text.as_bytes()[..crc_at]) != declared {
+            return None;
+        }
+        let mut lines = text[..crc_at].lines();
+        if lines.next()? != FORMAT {
+            return None;
+        }
+        let mut art = FileArtifact::default();
+        for line in lines {
+            let (tag, rest) = line.split_once(' ')?;
+            let fields: Vec<&str> = rest.split(' ').collect();
+            match tag {
+                "path" => art.rel = unesc(fields.first()?)?,
+                "hash" => art.hash = u64::from_str_radix(fields.first()?, 16).ok()?,
+                "profile" => art.profile_bits = fields.first()?.parse().ok()?,
+                "pre" | "raw" => {
+                    if fields.len() < 6 {
+                        return None;
+                    }
+                    let f = Finding {
+                        file: art.rel.clone(),
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        rule: rule_id(fields[2])?,
+                        message: unesc(fields[5])?,
+                        symbol: unopt_esc(fields[4])?,
+                        severity_override: match unopt(fields[3]).as_deref() {
+                            None => None,
+                            Some("error") => Some("error"),
+                            Some("warning") => Some("warning"),
+                            Some(_) => return None,
+                        },
+                    };
+                    if tag == "pre" {
+                        art.pre.push(f);
+                    } else {
+                        art.raw.push(f);
+                    }
+                }
+                "sup" => {
+                    if fields.len() < 4 {
+                        return None;
+                    }
+                    art.sups.push(SupRec {
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        rule: unopt(fields[2]).unwrap_or_default(),
+                        error: unopt_esc(fields[3])?,
+                    });
+                }
+                "def" => {
+                    if fields.len() < 8 {
+                        return None;
+                    }
+                    art.defs.push(DefRec {
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        kind: parse_kind(fields[2])?,
+                        vis: parse_vis(fields[3])?,
+                        in_test: fields[4] == "1",
+                        name: unesc(fields[5])?,
+                        owner: unopt_esc(fields[6])?,
+                        deps: match unopt(fields[7]) {
+                            None => Vec::new(),
+                            Some(d) => d.split(',').map(str::to_string).collect(),
+                        },
+                    });
+                }
+                "ref" => {
+                    if fields.len() < 2 {
+                        return None;
+                    }
+                    art.refs.push((unesc(fields[1])?, fields[0].parse().ok()?));
+                }
+                "sum" => {
+                    if fields.len() < 4 {
+                        return None;
+                    }
+                    art.sums.push(FnSummary {
+                        name: unesc(fields[0])?,
+                        param_to_sink: fields[1] == "1",
+                        returns: split_labels(unopt(fields[2]))?,
+                        returns_calls: split_labels(unopt(fields[3]))?,
+                    });
+                }
+                "cond" => {
+                    if fields.len() < 9 {
+                        return None;
+                    }
+                    let kind = match fields[5] {
+                        "ret" => CondKind::ReturnsTaint {
+                            sink: unopt(fields[6])?,
+                            what: unesc(&unopt(fields[7])?)?,
+                        },
+                        "param" => {
+                            CondKind::ParamToSink { labels: split_labels(unopt(fields[8]))? }
+                        }
+                        _ => return None,
+                    };
+                    art.conds.push(CondFinding {
+                        file: art.rel.clone(),
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        severity_override: match unopt(fields[2]).as_deref() {
+                            None => None,
+                            Some("error") => Some("error"),
+                            Some("warning") => Some("warning"),
+                            Some(_) => return None,
+                        },
+                        callee: unesc(fields[3])?,
+                        symbol: unesc(fields[4])?,
+                        kind,
+                    });
+                }
+                "stat" => {
+                    if fields.len() < 4 {
+                        return None;
+                    }
+                    art.stats = DetStats {
+                        cfgs: fields[0].parse().ok()?,
+                        blocks: fields[1].parse().ok()?,
+                        edges: fields[2].parse().ok()?,
+                        fixpoint_iterations: fields[3].parse().ok()?,
+                    };
+                }
+                _ => return None,
+            }
+        }
+        Some(art)
+    }
+}
+
+/// Cache file for a workspace-relative path.
+pub(crate) fn artifact_path(dir: &Path, rel: &str) -> PathBuf {
+    dir.join(format!("{:016x}.rec", fnv1a64(rel.as_bytes())))
+}
+
+/// Loads the artifact for `rel` if present, CRC-clean, and keyed to the
+/// same content hash, profile, and path. Anything else is a miss.
+pub(crate) fn load_artifact(dir: &Path, rel: &str, hash: u64, bits: u16) -> Option<FileArtifact> {
+    let text = fs::read_to_string(artifact_path(dir, rel)).ok()?;
+    let art = FileArtifact::parse(&text)?;
+    (art.rel == rel && art.hash == hash && art.profile_bits == bits).then_some(art)
+}
+
+/// Persists an artifact atomically (temp file + rename), so a kill
+/// mid-write can only ever lose the cache entry, never corrupt it.
+pub(crate) fn store_artifact(dir: &Path, art: &FileArtifact) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = artifact_path(dir, &art.rel);
+    let tmp = path.with_extension("rec.tmp");
+    fs::write(&tmp, art.encode())?;
+    fs::rename(&tmp, &path)
+}
+
+// ---------------------------------------------------------------------------
+// Field encoding helpers
+// ---------------------------------------------------------------------------
+
+/// Escapes a field so it contains no spaces or newlines: `\` → `\\`,
+/// space → `\_`, newline → `\n`, CR → `\r`.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\_"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '_' => out.push(' '),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// `-` encodes `None`; everything else is the escaped value.
+fn opt(v: Option<String>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(s) => esc(&s),
+    }
+}
+
+fn unopt(s: &str) -> Option<String> {
+    (s != "-").then(|| s.to_string())
+}
+
+/// An optional escaped field: `-` is `None`, anything else must unescape
+/// cleanly (outer `None` = malformed).
+fn unopt_esc(s: &str) -> Option<Option<String>> {
+    match s {
+        "-" => Some(None),
+        other => Some(Some(unesc(other)?)),
+    }
+}
+
+fn join_labels(labels: &std::collections::BTreeSet<String>) -> Option<String> {
+    if labels.is_empty() {
+        None
+    } else {
+        Some(labels.iter().map(|l| esc(l)).collect::<Vec<_>>().join(","))
+    }
+}
+
+fn split_labels(joined: Option<String>) -> Option<std::collections::BTreeSet<String>> {
+    match joined {
+        None => Some(std::collections::BTreeSet::new()),
+        Some(j) => j.split(',').map(unesc).collect(),
+    }
+}
+
+fn vis_label(v: Visibility) -> &'static str {
+    match v {
+        Visibility::Private => "priv",
+        Visibility::Restricted => "crate",
+        Visibility::Public => "pub",
+    }
+}
+
+fn parse_vis(s: &str) -> Option<Visibility> {
+    match s {
+        "priv" => Some(Visibility::Private),
+        "crate" => Some(Visibility::Restricted),
+        "pub" => Some(Visibility::Public),
+        _ => None,
+    }
+}
+
+fn parse_kind(s: &str) -> Option<ItemKind> {
+    Some(match s {
+        "fn" => ItemKind::Fn,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "trait" => ItemKind::Trait,
+        "const" => ItemKind::Const,
+        "static" => ItemKind::Static,
+        "type" => ItemKind::TypeAlias,
+        "mod" => ItemKind::Mod,
+        "use" => ItemKind::Use,
+        "impl" => ItemKind::Impl,
+        "macro_rules" => ItemKind::MacroRules,
+        _ => return None,
+    })
+}
+
+/// FNV-1a over bytes — the same stable content hash `datasets::manifest`
+/// uses for its records.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// CRC-32 (IEEE, bitwise) — matches the manifest's integrity trailer.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> FileProfile {
+        FileProfile { panic_free: true, ..FileProfile::default() }
+    }
+
+    const SRC: &str = "use std::collections::HashMap;\n\
+        pub fn emit(v: u64) -> Result<(), ()> { let _ = v; Ok(()) }\n\
+        pub fn leak(m: &HashMap<u64, u64>) {\n\
+            let mut total = 0u64;\n\
+            for (k, _) in m.iter() { total += *k; }\n\
+            let _ = emit(total);\n\
+        }\n";
+
+    #[test]
+    fn artifact_roundtrips_byte_identically() {
+        let art = compute_artifact("crates/x/src/lib.rs", SRC, profile());
+        let encoded = art.encode();
+        let parsed = FileArtifact::parse(&encoded).expect("parse back");
+        assert_eq!(parsed, art);
+        assert_eq!(parsed.encode(), encoded);
+    }
+
+    #[test]
+    fn artifact_captures_findings_defs_and_summaries() {
+        let art = compute_artifact("crates/x/src/lib.rs", SRC, profile());
+        assert!(!art.defs.is_empty(), "defs: {:?}", art.defs);
+        assert!(!art.refs.is_empty());
+        assert!(art.stats.cfgs >= 2, "stats: {:?}", art.stats);
+        // The HashMap iteration into `emit` must be visible in raw findings.
+        assert!(art.raw.iter().any(|f| f.rule == "determinism-taint"), "raw: {:?}", art.raw);
+    }
+
+    #[test]
+    fn corrupt_crc_and_truncation_reject() {
+        let art = compute_artifact("crates/x/src/lib.rs", SRC, profile());
+        let encoded = art.encode();
+        let mut flipped = encoded.clone().into_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x20;
+        let flipped = String::from_utf8(flipped).expect("ascii-safe flip");
+        assert!(FileArtifact::parse(&flipped).is_none(), "bit flip must reject");
+        assert!(FileArtifact::parse(&encoded[..encoded.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn load_misses_on_hash_or_profile_mismatch() {
+        let dir =
+            std::env::temp_dir().join(format!("hoga-analyze-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let art = compute_artifact("crates/x/src/lib.rs", SRC, profile());
+        store_artifact(&dir, &art).expect("store");
+        assert!(load_artifact(&dir, "crates/x/src/lib.rs", art.hash, art.profile_bits).is_some());
+        assert!(
+            load_artifact(&dir, "crates/x/src/lib.rs", art.hash ^ 1, art.profile_bits).is_none()
+        );
+        assert!(
+            load_artifact(&dir, "crates/x/src/lib.rs", art.hash, art.profile_bits ^ 1).is_none()
+        );
+        assert!(load_artifact(&dir, "crates/y/src/lib.rs", art.hash, art.profile_bits).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_roundtrips_awkward_strings() {
+        for s in ["a b", "back\\slash", "line\nbreak", "", "plain", "\r\n \\_"] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s), "roundtrip {s:?}");
+        }
+    }
+}

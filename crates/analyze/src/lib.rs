@@ -7,9 +7,13 @@
 //! happens on tokens, occurrences inside string literals and comments are
 //! never flagged.
 //!
-//! Two layers run over the workspace: token-level rules, and graph-aware
+//! Three layers run over the workspace: token-level rules; graph-aware
 //! rules on a [`symbols::SymbolGraph`] assembled from the item-level
-//! [`parser`] (defs, refs and liveness edges across all crates).
+//! [`parser`] (defs, refs and liveness edges across all crates); and
+//! flow-aware rules on per-function [`cfg`] lowerings driven to fixpoint
+//! by the [`dataflow`] worklist engine ([`det`]). Per-file results are
+//! cacheable as content-hash-keyed artifacts ([`cache`]), and reports
+//! can be gated against an archived [`baseline`].
 //!
 //! Rule catalogue (details in `docs/STATIC_ANALYSIS.md`):
 //!
@@ -30,6 +34,15 @@
 //!   poisoning hazard.
 //! * `thread-hygiene` — every `spawn` handle is joined; no bare
 //!   `std::thread::spawn` in `eval`.
+//! * `determinism-taint` — values influenced by clocks, env reads, or
+//!   unordered-container iteration must not reach persisted sinks
+//!   (checkpoints, manifests, the job event stream); error severity in
+//!   hardened modules.
+//! * `unchecked-index` — arithmetic-derived indices in decode paths must
+//!   be bounds-checked (or `.get`/modulo/`min`/`clamp` bounded) before
+//!   `[...]`.
+//! * `swallowed-result` — a persisted-sink call's `Result` must be
+//!   propagated or handled, never `let _ =` / `.ok()`-discarded.
 //!
 //! Findings are suppressed inline with a justified directive:
 //!
@@ -41,6 +54,11 @@
 //! themselves errors (`unused-suppression`), so stale allows cannot
 //! accumulate.
 
+pub mod baseline;
+pub mod cache;
+pub mod cfg;
+pub mod dataflow;
+pub mod det;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -49,7 +67,7 @@ pub mod workspace;
 
 pub use rules::{analyze_source, FileProfile, Finding};
 pub use symbols::SymbolGraph;
-pub use workspace::analyze_workspace;
+pub use workspace::{analyze_workspace, analyze_workspace_with, AnalysisStats, AnalyzeOptions};
 
 /// Renders findings one per line as `file:line:col: [rule] message`.
 pub fn render_text(findings: &[Finding]) -> String {
@@ -103,7 +121,7 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -143,6 +161,7 @@ mod render_tests {
             rule: "panic-free-paths",
             message: "say \"no\"\tto panics".to_string(),
             symbol: None,
+            severity_override: None,
         }]
     }
 

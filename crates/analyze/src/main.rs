@@ -3,18 +3,28 @@
 //!
 //! ```text
 //! cargo run -p hoga-analyze [--root PATH] [--format text|json] [--report PATH]
+//!     [--cache DIR] [--baseline PATH] [--fail-on-new] [--stats]
 //! ```
 //!
 //! `--report` additionally writes the JSON findings report to a file (the
-//! artifact CI archives) regardless of the console `--format`.
+//! artifact CI archives) regardless of the console `--format`; the write
+//! is atomic (temp file + rename) so a killed run never leaves a torn
+//! report. `--cache DIR` keeps per-file analysis artifacts between runs —
+//! unchanged files are not reparsed. `--baseline PATH` compares against an
+//! archived findings report; with `--fail-on-new` the exit code gates on
+//! *new* findings only, so a known inventory can be burned down while CI
+//! still blocks regressions.
 //!
-//! Exit status: 0 = clean, 1 = findings reported, 2 = usage or I/O error.
+//! Exit status: 0 = clean (or baseline-only findings under
+//! `--fail-on-new`), 1 = findings reported (new findings under
+//! `--fail-on-new`), 2 = usage or I/O error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use hoga_analyze::baseline::{diff_against_baseline, parse_baseline};
 use hoga_analyze::rules::Finding;
-use hoga_analyze::{analyze_workspace, render_json, render_text};
+use hoga_analyze::{analyze_workspace_with, render_json, render_text, AnalyzeOptions};
 
 enum Format {
     Text,
@@ -25,6 +35,10 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut report: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut fail_on_new = false;
+    let mut show_stats = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +51,16 @@ fn main() -> ExitCode {
                 Some(p) => report = Some(PathBuf::from(p)),
                 None => return usage("--report needs a path"),
             },
+            "--cache" => match args.next() {
+                Some(p) => cache_dir = Some(PathBuf::from(p)),
+                None => return usage("--cache needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--fail-on-new" => fail_on_new = true,
+            "--stats" => show_stats = true,
             "--format" => match args.next().as_deref() {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
@@ -46,10 +70,15 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "hoga-analyze: workspace linter + invariant auditor\n\n\
-                     USAGE: hoga-analyze [--root PATH] [--format text|json] [--report PATH]\n\n\
+                     USAGE: hoga-analyze [--root PATH] [--format text|json] [--report PATH]\n\
+                            [--cache DIR] [--baseline PATH] [--fail-on-new] [--stats]\n\n\
                      Walks every .rs file under the workspace root and reports\n\
                      rule violations as file:line:col diagnostics. --report\n\
-                     writes the JSON findings report to PATH for CI archiving.\n\
+                     writes the JSON findings report to PATH (atomically) for CI\n\
+                     archiving. --cache DIR reuses per-file analysis artifacts\n\
+                     so unchanged files are not reparsed. --baseline PATH\n\
+                     diffs against an archived report; with --fail-on-new the\n\
+                     exit code turns on new findings only.\n\
                      Exits 0 when clean, 1 when findings exist, 2 on error. See\n\
                      docs/STATIC_ANALYSIS.md for the rule catalogue."
                 );
@@ -59,13 +88,18 @@ fn main() -> ExitCode {
         }
     }
 
+    if fail_on_new && baseline_path.is_none() {
+        return usage("--fail-on-new needs --baseline PATH");
+    }
+
     // Default to the workspace that this binary was built from, so plain
     // `cargo run -p hoga-analyze` does the right thing from any cwd.
     let root =
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
 
-    let findings = match analyze_workspace(&root) {
-        Ok(f) => f,
+    let opts = AnalyzeOptions { cache_dir };
+    let (findings, stats) = match analyze_workspace_with(&root, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("hoga-analyze: error: {e}");
             return ExitCode::from(2);
@@ -73,11 +107,31 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = report {
-        if let Err(e) = std::fs::write(&path, render_json(&findings)) {
+        if let Err(e) = write_atomic(&path, &render_json(&findings)) {
             eprintln!("hoga-analyze: error writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
     }
+
+    let diff = match &baseline_path {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("hoga-analyze: error reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_baseline(&text) {
+                Ok(entries) => Some(diff_against_baseline(&findings, &entries)),
+                Err(e) => {
+                    eprintln!("hoga-analyze: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
 
     match format {
         Format::Text => {
@@ -87,15 +141,52 @@ fn main() -> ExitCode {
             } else {
                 eprintln!("hoga-analyze: {}", severity_summary(&findings));
             }
+            if let Some(diff) = &diff {
+                eprintln!(
+                    "hoga-analyze: baseline: {} new, {} known, {} fixed",
+                    diff.new.len(),
+                    findings.len() - diff.new.len(),
+                    diff.fixed
+                );
+                for &i in &diff.new {
+                    eprintln!("hoga-analyze: new: {}", findings[i]);
+                }
+            }
         }
         Format::Json => print!("{}", render_json(&findings)),
     }
 
-    if findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    if show_stats {
+        eprintln!(
+            "hoga-analyze: stats: {} file(s), {} cache hit(s), {} miss(es); \
+             {} cfg(s), {} block(s), {} edge(s), {} fixpoint transfer(s)",
+            stats.files,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cfgs,
+            stats.blocks,
+            stats.edges,
+            stats.fixpoint_iterations
+        );
     }
+
+    let failing = match (&diff, fail_on_new) {
+        (Some(d), true) => !d.new.is_empty(),
+        _ => !findings.is_empty(),
+    };
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Writes through a sibling temp file + rename so readers never observe a
+/// partial report.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn severity_summary(findings: &[Finding]) -> String {
@@ -105,6 +196,9 @@ fn severity_summary(findings: &[Finding]) -> String {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("hoga-analyze: {msg}\nUSAGE: hoga-analyze [--root PATH] [--format text|json]");
+    eprintln!(
+        "hoga-analyze: {msg}\nUSAGE: hoga-analyze [--root PATH] [--format text|json] \
+         [--report PATH] [--cache DIR] [--baseline PATH] [--fail-on-new] [--stats]"
+    );
     ExitCode::from(2)
 }

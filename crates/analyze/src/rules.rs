@@ -23,16 +23,57 @@ pub(crate) const RULE_IDS: &[&str] = &[
     "float-equality",
     "lock-discipline",
     "thread-hygiene",
+    "determinism-taint",
+    "unchecked-index",
+    "swallowed-result",
 ];
+
+/// The interned `'static` rule id for a name, if the engine knows it (the
+/// cache layer round-trips rule ids through text artifacts).
+pub(crate) fn rule_id(name: &str) -> Option<&'static str> {
+    RULE_IDS.iter().find(|id| **id == name).copied()
+}
 
 /// Diagnostic severity of a rule id: `"error"` or `"warning"`. Both fail
 /// the binary; severity is reporting metadata for the JSON consumer.
+/// `determinism-taint` defaults to `warning` and is overridden to `error`
+/// in hardened modules (see [`Finding::severity_override`]).
 pub(crate) fn severity_of(rule: &str) -> &'static str {
     match rule {
-        "todo-tracker" | "dead-public-api" => "warning",
+        "todo-tracker" | "dead-public-api" | "determinism-taint" => "warning",
         _ => "error",
     }
 }
+
+/// The declared nondeterminism source lattice for R10 (`determinism-taint`).
+/// Path patterns (`A::b`) match the qualified call; bare names match any
+/// identifier occurrence. Two structural kinds are detected on top of this
+/// table: unordered-container iteration ([`crate::det::SRC_UNORDERED`]) and
+/// reassociated float reduction ([`crate::det::SRC_REASSOC`]).
+pub(crate) const DET_SOURCES: &[(&str, &str)] = &[
+    ("Instant::now", "monotonic clock read"),
+    ("SystemTime::now", "wall-clock read"),
+    ("UNIX_EPOCH", "wall-clock epoch arithmetic"),
+    ("RandomState", "hash-seed randomization"),
+    ("env::var", "environment read"),
+    ("env::vars", "environment read"),
+    ("env::var_os", "environment read"),
+    ("thread::current", "thread identity"),
+    ("available_parallelism", "machine parallelism"),
+];
+
+/// The declared persisted-sink set for R10/R12: callables whose output
+/// lands in a durable artifact (checkpoints, manifest records, the job
+/// event stream, atomically written report/bench files). A tainted value
+/// reaching any of these is a determinism-contract violation.
+pub(crate) const DET_SINKS: &[(&str, &str)] = &[
+    ("encode_checkpoint", "checkpoint bytes"),
+    ("encode_params", "checkpoint parameter block"),
+    ("encode", "binary record encoding"),
+    ("write_record", "manifest record"),
+    ("write_atomic", "atomically persisted file"),
+    ("emit", "job event stream"),
+];
 
 /// The single declared workspace lock order (rule R8). A guard for a name
 /// earlier in this list may be held while acquiring a later one; the
@@ -57,12 +98,17 @@ pub struct Finding {
     /// The symbol the finding is about, when the rule knows one (R6 names
     /// the dead definition; token-level rules leave this `None`).
     pub symbol: Option<String>,
+    /// Per-finding severity override. R10 reports `error` in hardened
+    /// modules and the rule default (`warning`) elsewhere; every other
+    /// rule leaves this `None`.
+    pub severity_override: Option<&'static str>,
 }
 
 impl Finding {
-    /// `"error"` or `"warning"` (see [`severity_of`]).
+    /// `"error"` or `"warning"` (see [`severity_of`] and
+    /// [`Finding::severity_override`]).
     pub fn severity(&self) -> &'static str {
-        severity_of(self.rule)
+        self.severity_override.unwrap_or_else(|| severity_of(self.rule))
     }
 }
 
@@ -104,11 +150,19 @@ pub struct FileProfile {
 /// shared suppression/unused-suppression machinery over everything.
 #[derive(Debug)]
 pub struct FileAnalysis {
-    rel_path: String,
+    pub(crate) rel_path: String,
     /// Findings that bypass suppression matching (malformed directives).
-    pre: Vec<Finding>,
-    raw: Vec<Finding>,
-    suppressions: Vec<Suppression>,
+    pub(crate) pre: Vec<Finding>,
+    pub(crate) raw: Vec<Finding>,
+    pub(crate) suppressions: Vec<Suppression>,
+    /// Interprocedural findings awaiting callee summaries (resolved by the
+    /// workspace layer, or against this file's own summaries by
+    /// [`analyze_source`]).
+    pub(crate) conds: Vec<crate::det::CondFinding>,
+    /// Per-function taint summaries contributed by this file.
+    pub(crate) summaries: Vec<crate::det::FnSummary>,
+    /// CFG/fixpoint statistics for this file.
+    pub(crate) det_stats: crate::det::DetStats,
 }
 
 /// Runs every token-level rule over one source file. Combine with
@@ -134,6 +188,7 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
                 rule: "invalid-suppression",
                 message: msg.clone(),
                 symbol: None,
+                severity_override: None,
             });
         }
     }
@@ -159,10 +214,42 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
     rule_lock_discipline(rel_path, &code, src, &test_spans, &mut raw);
     rule_thread_hygiene(rel_path, &code, src, profile.eval_path, profile.pool_path, &mut raw);
 
-    FileAnalysis { rel_path: rel_path.to_string(), pre, raw, suppressions }
+    // Dataflow rules (R10–R12) run everywhere except whole-file test code:
+    // bench and test targets persist measurement data by design.
+    let mut det_out = if profile.all_test {
+        crate::det::DetOutput::default()
+    } else {
+        crate::det::run_det(rel_path, &code, src, profile, &test_spans)
+    };
+    raw.append(&mut det_out.findings);
+
+    FileAnalysis {
+        rel_path: rel_path.to_string(),
+        pre,
+        raw,
+        suppressions,
+        conds: det_out.conds,
+        summaries: det_out.summaries,
+        det_stats: det_out.stats,
+    }
 }
 
 impl FileAnalysis {
+    /// Reassembles a per-file analysis from cached artifact parts. The
+    /// suppression pass in [`FileAnalysis::finish`] then runs identically
+    /// to a fresh parse, which is what makes cached runs byte-identical.
+    pub(crate) fn from_parts(
+        rel_path: String,
+        pre: Vec<Finding>,
+        raw: Vec<Finding>,
+        suppressions: Vec<Suppression>,
+        conds: Vec<crate::det::CondFinding>,
+        summaries: Vec<crate::det::FnSummary>,
+        det_stats: crate::det::DetStats,
+    ) -> FileAnalysis {
+        FileAnalysis { rel_path, pre, raw, suppressions, conds, summaries, det_stats }
+    }
+
     /// Adds a finding produced outside the token-level rules (R6). It goes
     /// through the same suppression matching as everything else, so a
     /// justified `// analyze: allow(dead-public-api) — why` at the
@@ -206,6 +293,7 @@ impl FileAnalysis {
                         s.rule
                     ),
                     symbol: None,
+                    severity_override: None,
                 });
             }
         }
@@ -220,9 +308,15 @@ impl FileAnalysis {
 /// `rel_path` is used verbatim in diagnostics. This is the pure core the
 /// fixture tests drive; [`crate::workspace::analyze_workspace`] wraps it
 /// with file discovery and the workspace symbol graph.
-// analyze: allow(dead-public-api) — single-file entry point of the re-exported library surface; exercised by the fixture tests and kept public for external tooling that lints sources outside a workspace
 pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Finding> {
-    analyze_file(rel_path, src, profile).finish()
+    let mut fa = analyze_file(rel_path, src, profile);
+    // Single-file mode resolves interprocedural findings against this
+    // file's own summaries (the workspace layer merges all files').
+    let summaries = crate::det::merge_summaries(fa.summaries.iter());
+    for f in crate::det::resolve_conditionals(&fa.conds, &summaries) {
+        fa.push_raw(f);
+    }
+    fa.finish()
 }
 
 // ---------------------------------------------------------------------------
@@ -230,13 +324,13 @@ pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Fi
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-struct Suppression {
-    line: u32,
-    col: u32,
-    rule: &'static str,
-    used: bool,
+pub(crate) struct Suppression {
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) rule: &'static str,
+    pub(crate) used: bool,
     /// Set when the directive is malformed; `rule` is then meaningless.
-    error: Option<String>,
+    pub(crate) error: Option<String>,
 }
 
 /// Extracts `analyze:` directives from plain `//` comments. Doc comments
@@ -405,7 +499,7 @@ fn matching_brace_end(code: &[&Token], open: usize, src: &str) -> usize {
     src.len()
 }
 
-fn in_spans(pos: usize, spans: &[std::ops::Range<usize>]) -> bool {
+pub(crate) fn in_spans(pos: usize, spans: &[std::ops::Range<usize>]) -> bool {
     spans.iter().any(|s| s.contains(&pos))
 }
 
@@ -455,6 +549,7 @@ fn rule_panic_free(
                     + "; return a typed error (or justify with \
                        `// analyze: allow(panic-free-paths) — <why>`)",
                 symbol: None,
+                severity_override: None,
             });
         }
     }
@@ -495,6 +590,7 @@ fn rule_lossy_cast(
                      `// analyze: allow(lossy-cast) — <why>`)"
                 ),
                 symbol: None,
+                severity_override: None,
             });
         }
     }
@@ -528,6 +624,7 @@ fn rule_unsafe_forbidden(rel_path: &str, tokens: &[Token], src: &str, out: &mut 
             rule: "unsafe-forbidden",
             message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
             symbol: None,
+            severity_override: None,
         });
     }
 }
@@ -557,6 +654,7 @@ fn rule_todo_tracker(rel_path: &str, tokens: &[Token], src: &str, out: &mut Vec<
                          `{marker}(#<issue>): ...`"
                     ),
                     symbol: None,
+                    severity_override: None,
                 });
             }
         }
@@ -568,11 +666,11 @@ fn rule_todo_tracker(rel_path: &str, tokens: &[Token], src: &str, out: &mut Vec<
 fn contains_word(haystack: &str, word: &str) -> bool {
     let bytes = haystack.as_bytes();
     let mut from = 0;
-    while let Some(idx) = haystack[from..].find(word) {
+    while let Some(idx) = haystack.get(from..).and_then(|tail| tail.find(word)) {
         let at = from + idx;
-        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric();
+        let before_ok = at.checked_sub(1).is_none_or(|p| !bytes[p].is_ascii_alphanumeric());
         let after = at + word.len();
-        let after_ok = after >= bytes.len() || !bytes[after].is_ascii_alphanumeric();
+        let after_ok = bytes.get(after).is_none_or(|b| !b.is_ascii_alphanumeric());
         if before_ok && after_ok {
             return true;
         }
@@ -672,6 +770,7 @@ fn rule_float_equality(
                      `// analyze: allow(float-equality) — <why>`)"
                 ),
                 symbol: None,
+                severity_override: None,
             });
         }
     }
@@ -768,6 +867,7 @@ fn rule_lock_discipline(
                         LOCK_ORDER.join(" -> ")
                     ),
                     symbol: Some(name.to_string()),
+                    severity_override: None,
                 });
             }
         }
@@ -812,6 +912,7 @@ fn maybe_flag_lock_unwrap(
                 t.text(src)
             ),
             symbol: None,
+            severity_override: None,
         });
     }
 }
@@ -882,6 +983,7 @@ fn rule_thread_hygiene(
                           worker lifetimes are bounded and panics surface at `join`"
                     .to_string(),
                 symbol: None,
+                severity_override: None,
             });
             continue;
         }
@@ -933,6 +1035,7 @@ fn rule_thread_hygiene(
                           `// analyze: allow(thread-hygiene) — <why>`)"
                     .to_string(),
                 symbol: None,
+                severity_override: None,
             });
         }
     }
@@ -957,6 +1060,7 @@ fn rule_join_discipline(rel_path: &str, code: &[&Token], src: &str, out: &mut Ve
                  (or justify with `// analyze: allow(thread-hygiene) — <why>`)"
             ),
             symbol: None,
+            severity_override: None,
         });
     };
     for i in 0..code.len() {

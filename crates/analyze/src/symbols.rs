@@ -46,9 +46,9 @@ pub struct SymbolDef {
     /// Defined inside a `#[cfg(test)]` item (never part of the API).
     pub in_test_item: bool,
     /// Names this definition's type positions mention (liveness edges).
-    dep_names: Vec<String>,
+    pub(crate) dep_names: Vec<String>,
     /// `impl` subject for methods (owner edge).
-    owner: Option<String>,
+    pub(crate) owner: Option<String>,
 }
 
 /// The assembled graph plus its liveness fixpoint.
@@ -144,6 +144,21 @@ impl SymbolGraph {
             }
         }
 
+        SymbolGraph::from_parts(defs, refs)
+    }
+
+    /// Assembles a graph from pre-extracted definitions and reference
+    /// counts and runs the liveness fixpoint. This is the path the
+    /// incremental cache uses: per-file artifacts store defs and raw ident
+    /// counts, and the cross-file stage rebuilds the graph without
+    /// re-lexing anything. Reference entries for names that define nothing
+    /// are dropped, matching what [`SymbolGraph::build`] collects.
+    pub(crate) fn from_parts(
+        defs: Vec<SymbolDef>,
+        mut refs: BTreeMap<String, BTreeMap<String, usize>>,
+    ) -> SymbolGraph {
+        let names: BTreeSet<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        refs.retain(|name, _| names.contains(name.as_str()));
         let mut graph = SymbolGraph { live: vec![false; defs.len()], defs, refs, edge_count: 0 };
         graph.propagate();
         graph

@@ -1,0 +1,244 @@
+//! End-to-end exercise of the `hoga-analyze` binary: exit-code semantics
+//! for `--baseline` / `--fail-on-new`, the atomic `--report` artifact,
+//! and usage errors. Runs the real binary (`CARGO_BIN_EXE_hoga-analyze`)
+//! against scratch workspaces, the same way CI invokes it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hoga-analyze-cli-{}-{name}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const TAINTED: &str = "use std::collections::HashMap;\n\
+                       pub(crate) fn save(w: &HashMap<u32, f32>) -> Vec<u8> {\n\
+                           let mut blob = Vec::new();\n\
+                           for (k, v) in w.iter() {\n\
+                               blob.push((*k, *v));\n\
+                           }\n\
+                           encode_checkpoint(&blob)\n\
+                       }\n";
+
+/// One-finding workspace: the planted HashMap-into-checkpoint fixture.
+fn write_dirty_workspace(root: &Path) {
+    fs::create_dir_all(root.join("src")).expect("mkdir src");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[package]\nname = \"scratch\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write manifest");
+    fs::write(root.join("src/lib.rs"), "#![forbid(unsafe_code)]\nmod tainted;\n")
+        .expect("write lib.rs");
+    fs::write(root.join("src/tainted.rs"), TAINTED).expect("write tainted.rs");
+}
+
+fn write_clean_workspace(root: &Path) {
+    fs::create_dir_all(root.join("src")).expect("mkdir src");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[package]\nname = \"scratch\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write manifest");
+    fs::write(
+        root.join("src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub(crate) fn id(x: u32) -> u32 { x }\n",
+    )
+    .expect("write lib.rs");
+}
+
+fn analyze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hoga-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn hoga-analyze")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("binary exited without a code")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let dir = scratch("clean");
+    let root = dir.join("ws");
+    write_clean_workspace(&root);
+    let out = analyze(&["--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("workspace clean"));
+}
+
+#[test]
+fn findings_without_baseline_exit_one() {
+    let dir = scratch("dirty");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let out = analyze(&["--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("determinism-taint"), "stdout: {stdout}");
+}
+
+#[test]
+fn baselined_findings_exit_zero_under_fail_on_new() {
+    let dir = scratch("baselined");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let report = dir.join("baseline.json");
+
+    // First run archives today's findings as the baseline (exit 1: the
+    // findings are still reported, only the gate changes with a baseline).
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--report",
+        report.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(code(&out), 1);
+    assert!(report.is_file(), "--report must write the artifact");
+    assert!(!dir.join("baseline.tmp").exists(), "atomic write leaves no temp file");
+
+    // Second run against that baseline: same findings, nothing new.
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        report.to_str().expect("utf-8 path"),
+        "--fail-on-new",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("baseline: 0 new, 1 known, 0 fixed"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn new_finding_beyond_baseline_exits_one() {
+    let dir = scratch("regression");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let report = dir.join("baseline.json");
+    analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--report",
+        report.to_str().expect("utf-8 path"),
+    ]);
+
+    // Plant a second taint source in a new file — a finding the baseline
+    // has never seen.
+    let lib = root.join("src/lib.rs");
+    let src = fs::read_to_string(&lib).expect("read lib.rs");
+    fs::write(&lib, format!("{src}mod clock;\n")).expect("extend lib.rs");
+    fs::write(
+        root.join("src/clock.rs"),
+        "pub(crate) fn stamp(m: &mut Manifest) {\n\
+             let t = std::time::Instant::now();\n\
+             let id = derive(t);\n\
+             m.write_record(&id);\n\
+         }\n",
+    )
+    .expect("write clock.rs");
+
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        report.to_str().expect("utf-8 path"),
+        "--fail-on-new",
+    ]);
+    assert_eq!(code(&out), 1, "a finding outside the baseline must gate");
+    let err = stderr(&out);
+    assert!(err.contains("baseline: 1 new, 1 known, 0 fixed"), "stderr: {err}");
+    assert!(err.contains("new: src/clock.rs"), "stderr: {err}");
+}
+
+#[test]
+fn fixed_findings_are_counted_not_failed() {
+    let dir = scratch("fixed");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let report = dir.join("baseline.json");
+    analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--report",
+        report.to_str().expect("utf-8 path"),
+    ]);
+
+    // Fix the planted finding; the baseline entry becomes stale.
+    fs::write(root.join("src/tainted.rs"), TAINTED.replace("HashMap", "BTreeMap"))
+        .expect("fix tainted.rs");
+
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        report.to_str().expect("utf-8 path"),
+        "--fail-on-new",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("baseline: 0 new, 0 known, 1 fixed"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn fail_on_new_without_baseline_is_a_usage_error() {
+    let out = analyze(&["--fail-on-new"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("--fail-on-new needs --baseline"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unreadable_baseline_is_an_io_error() {
+    let dir = scratch("missing-baseline");
+    let root = dir.join("ws");
+    write_clean_workspace(&root);
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        dir.join("does-not-exist.json").to_str().expect("utf-8 path"),
+        "--fail-on-new",
+    ]);
+    assert_eq!(code(&out), 2, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn json_format_emits_the_report_schema() {
+    let dir = scratch("json");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let out = analyze(&["--root", root.to_str().expect("utf-8 path"), "--format", "json"]);
+    assert_eq!(code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.starts_with('['), "stdout: {stdout}");
+    for key in ["\"file\"", "\"line\"", "\"col\"", "\"rule\"", "\"severity\"", "\"message\""] {
+        assert!(stdout.contains(key), "missing {key}: {stdout}");
+    }
+}
+
+#[test]
+fn report_matches_stdout_json_byte_for_byte() {
+    let dir = scratch("report-eq");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let report = dir.join("findings.json");
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+        "--report",
+        report.to_str().expect("utf-8 path"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let archived = fs::read_to_string(&report).expect("read report");
+    assert_eq!(stdout, archived, "--report must archive exactly what --format json prints");
+}

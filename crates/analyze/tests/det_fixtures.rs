@@ -1,0 +1,293 @@
+//! True-positive / true-negative fixtures for the dataflow rules
+//! (R10 determinism-taint, R11 unchecked-index, R12 swallowed-result).
+//!
+//! Every fixture asserts the *exact* finding count, rule, symbol, and
+//! severity — the point is to pin both halves of the contract: what the
+//! analysis must catch, and what it must stay quiet about.
+
+use hoga_analyze::{analyze_source, FileProfile, Finding};
+
+fn hardened() -> FileProfile {
+    FileProfile { panic_free: true, ..FileProfile::default() }
+}
+
+fn decode() -> FileProfile {
+    FileProfile { lossy_cast: true, ..FileProfile::default() }
+}
+
+fn plain() -> FileProfile {
+    FileProfile::default()
+}
+
+fn run(src: &str, profile: FileProfile) -> Vec<Finding> {
+    analyze_source("crates/x/src/fixture.rs", src, profile)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// R10: determinism taint
+// ---------------------------------------------------------------------------
+
+/// The planted regression fixture the issue requires: iterating a
+/// `HashMap` accumulates into a value that reaches `encode_checkpoint`.
+/// In a hardened module this must be caught at **error** severity.
+#[test]
+fn r10_hashmap_iteration_into_checkpoint_is_error_in_hardened_module() {
+    let src = "use std::collections::HashMap;\n\
+               fn save(weights: &HashMap<u32, f32>) -> Vec<u8> {\n\
+                   let mut blob = Vec::new();\n\
+                   for (k, v) in weights.iter() {\n\
+                       blob.push((*k, *v));\n\
+                   }\n\
+                   encode_checkpoint(&blob)\n\
+               }\n";
+    let findings = run(src, hardened());
+    assert_eq!(rules_of(&findings), vec!["determinism-taint"], "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.severity(), "error", "hardened modules report R10 at error severity");
+    assert_eq!(f.symbol.as_deref(), Some("save"));
+    assert!(f.message.contains("unordered container iteration"), "message: {}", f.message);
+    assert!(f.message.contains("encode_checkpoint"), "message: {}", f.message);
+}
+
+#[test]
+fn r10_same_fixture_is_warning_outside_hardened_modules() {
+    let src = "use std::collections::HashMap;\n\
+               fn save(weights: &HashMap<u32, f32>) -> Vec<u8> {\n\
+                   let mut blob = Vec::new();\n\
+                   for (k, v) in weights.iter() {\n\
+                       blob.push((*k, *v));\n\
+                   }\n\
+                   encode_checkpoint(&blob)\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(rules_of(&findings), vec!["determinism-taint"]);
+    assert_eq!(findings[0].severity(), "warning");
+}
+
+#[test]
+fn r10_clock_read_reaching_manifest_record() {
+    let src = "fn stamp(m: &mut Manifest) {\n\
+                   let t = std::time::Instant::now();\n\
+                   let id = derive(t);\n\
+                   m.write_record(&id);\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(rules_of(&findings), vec!["determinism-taint"], "findings: {findings:#?}");
+    assert_eq!(findings[0].symbol.as_deref(), Some("stamp"));
+    assert!(findings[0].message.contains("monotonic clock read"));
+}
+
+#[test]
+fn r10_interprocedural_taint_through_helper_return() {
+    // `now_ms` returns clock taint; `persist` sinks it. One call deep,
+    // resolved against the same file's summaries.
+    let src = "fn now_ms() -> u64 {\n\
+                   let t = std::time::SystemTime::now();\n\
+                   to_ms(t)\n\
+               }\n\
+               fn persist(events: &Events) {\n\
+                   let stamp = now_ms();\n\
+                   events.emit(&stamp);\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(rules_of(&findings), vec!["determinism-taint"], "findings: {findings:#?}");
+    assert_eq!(findings[0].symbol.as_deref(), Some("persist"));
+    assert!(findings[0].message.contains("wall-clock"), "message: {}", findings[0].message);
+}
+
+#[test]
+fn r10_interprocedural_param_into_sinking_helper() {
+    // `record` writes its parameter to a sink; passing env-tainted data
+    // into it fires at the call site.
+    let src = "fn record(m: &mut Manifest, v: &str) {\n\
+                   m.write_record(v);\n\
+               }\n\
+               fn snapshot(m: &mut Manifest) {\n\
+                   let who = std::env::var(\"USER\").unwrap_or_default();\n\
+                   record(m, &who);\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(rules_of(&findings), vec!["determinism-taint"], "findings: {findings:#?}");
+    assert_eq!(findings[0].symbol.as_deref(), Some("snapshot"));
+    assert!(findings[0].message.contains("environment read"));
+}
+
+#[test]
+fn r10_quiet_on_btreemap_iteration_into_checkpoint() {
+    // Ordered containers are deterministic — the exact negative twin of
+    // the planted HashMap fixture.
+    let src = "use std::collections::BTreeMap;\n\
+               fn save(weights: &BTreeMap<u32, f32>) -> Vec<u8> {\n\
+                   let mut blob = Vec::new();\n\
+                   for (k, v) in weights.iter() {\n\
+                       blob.push((*k, *v));\n\
+                   }\n\
+                   encode_checkpoint(&blob)\n\
+               }\n";
+    assert_eq!(run(src, hardened()), vec![], "BTreeMap iteration is deterministic");
+}
+
+#[test]
+fn r10_quiet_when_taint_never_reaches_a_sink() {
+    let src = "use std::collections::HashMap;\n\
+               fn lookup(m: &HashMap<u32, f32>) -> usize {\n\
+                   let mut n = 0;\n\
+                   for (_k, _v) in m.iter() {\n\
+                       n += 1;\n\
+                   }\n\
+                   n\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "determinism-taint").count(),
+        0,
+        "counting map entries persists nothing: {findings:#?}"
+    );
+}
+
+#[test]
+fn r10_quiet_on_clock_used_only_for_control() {
+    // Timing a phase and logging it to stderr is fine — only declared
+    // persisted sinks count.
+    let src = "fn run(job: &Job) {\n\
+                   let t0 = std::time::Instant::now();\n\
+                   job.execute();\n\
+                   eprintln!(\"took {:?}\", t0.elapsed());\n\
+               }\n";
+    assert_eq!(run(src, plain()), vec![], "stderr is not a persisted sink");
+}
+
+#[test]
+fn r10_suppression_with_justification_is_honored() {
+    let src = "fn stamp(m: &mut Manifest) {\n\
+                   let t = std::time::Instant::now();\n\
+                   let id = derive(t);\n\
+                   // analyze: allow(determinism-taint) — record id is advisory, not replayed\n\
+                   m.write_record(&id);\n\
+               }\n";
+    assert_eq!(run(src, hardened()), vec![], "justified allow must silence R10");
+}
+
+#[test]
+fn r10_quiet_inside_cfg_test_items() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+                   use std::collections::HashMap;\n\
+                   fn save(w: &HashMap<u32, f32>) -> Vec<u8> {\n\
+                       let mut blob = Vec::new();\n\
+                       for (k, v) in w.iter() { blob.push((*k, *v)); }\n\
+                       encode_checkpoint(&blob)\n\
+                   }\n\
+               }\n";
+    assert_eq!(run(src, hardened()), vec![], "test items persist fixture data by design");
+}
+
+// ---------------------------------------------------------------------------
+// R11: unchecked index arithmetic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn r11_offset_arithmetic_into_slice_indexing() {
+    let src = "fn read_at(buf: &[u8], base: usize, idx: usize) -> u8 {\n\
+                   let off = base + idx * 4;\n\
+                   buf[off]\n\
+               }\n";
+    let findings = run(src, decode());
+    assert_eq!(rules_of(&findings), vec!["unchecked-index"], "findings: {findings:#?}");
+    assert_eq!(findings[0].symbol.as_deref(), Some("read_at"));
+    assert!(findings[0].message.contains("`off`"), "message: {}", findings[0].message);
+}
+
+#[test]
+fn r11_quiet_when_bounds_checked_first() {
+    let src = "fn read_at(buf: &[u8], base: usize, idx: usize) -> u8 {\n\
+                   let off = base + idx * 4;\n\
+                   if off < buf.len() {\n\
+                       buf[off]\n\
+                   } else {\n\
+                       0\n\
+                   }\n\
+               }\n";
+    assert_eq!(run(src, decode()), vec![], "comparison guard absolves the offset");
+}
+
+#[test]
+fn r11_quiet_with_checked_get() {
+    let src = "fn read_at(buf: &[u8], base: usize, idx: usize) -> u8 {\n\
+                   let off = base + idx * 4;\n\
+                   buf.get(off).copied().unwrap_or(0)\n\
+               }\n";
+    assert_eq!(run(src, decode()), vec![], "`.get` is the checked form");
+}
+
+#[test]
+fn r11_quiet_with_modulo_bound() {
+    let src = "fn pick(buf: &[u8], seed: usize) -> u8 {\n\
+                   let off = (seed * 31) % buf.len();\n\
+                   buf[off]\n\
+               }\n";
+    assert_eq!(run(src, decode()), vec![], "modulo bounds the index");
+}
+
+#[test]
+fn r11_is_gated_to_decode_profiles() {
+    let src = "fn read_at(buf: &[u8], base: usize, idx: usize) -> u8 {\n\
+                   let off = base + idx * 4;\n\
+                   buf[off]\n\
+               }\n";
+    assert_eq!(
+        run(src, plain()).iter().filter(|f| f.rule == "unchecked-index").count(),
+        0,
+        "R11 applies to decode paths only"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// R12: swallowed Result on persisted-artifact paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn r12_let_underscore_on_sink_result() {
+    let src = "fn save(m: &mut Manifest, rec: &Record) {\n\
+                   let _ = m.write_record(rec);\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(rules_of(&findings), vec!["swallowed-result"], "findings: {findings:#?}");
+    assert!(findings[0].message.contains("write_record"), "message: {}", findings[0].message);
+}
+
+#[test]
+fn r12_ok_swallow_on_sink_result() {
+    let src = "fn save(p: &Path, blob: &[u8]) {\n\
+                   write_atomic(p, blob).ok();\n\
+               }\n";
+    let findings = run(src, plain());
+    assert_eq!(rules_of(&findings), vec!["swallowed-result"], "findings: {findings:#?}");
+    assert!(findings[0].message.contains("write_atomic"));
+}
+
+#[test]
+fn r12_quiet_on_propagated_and_handled_results() {
+    let src = "fn save(m: &mut Manifest, rec: &Record) -> Result<(), E> {\n\
+                   m.write_record(rec)?;\n\
+                   match m.write_record(rec) {\n\
+                       Ok(()) => {}\n\
+                       Err(e) => return Err(e),\n\
+                   }\n\
+                   Ok(())\n\
+               }\n";
+    assert_eq!(run(src, plain()), vec![], "propagated results are the correct form");
+}
+
+#[test]
+fn r12_quiet_on_non_sink_calls() {
+    let src = "fn tick(counter: &Counter) {\n\
+                   let _ = counter.bump();\n\
+                   lookup(counter).ok();\n\
+               }\n";
+    assert_eq!(run(src, plain()), vec![], "R12 watches declared sinks only");
+}

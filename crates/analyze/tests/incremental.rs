@@ -1,0 +1,158 @@
+//! Incremental-cache behavior: a warm run replays per-file artifacts
+//! instead of reparsing, and renders a byte-identical report.
+//!
+//! Each test builds a small scratch workspace under the system temp dir,
+//! runs the analyzer cold (populating the cache) and warm (consuming it),
+//! and asserts the hit/miss counters plus output equality. The cross-file
+//! stage is a pure function of the artifacts, so equality is exact — any
+//! drift between cold and warm output is a cache codec bug.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hoga_analyze::{analyze_workspace_with, render_json, AnalyzeOptions};
+
+/// Fresh scratch directory, unique per test process + name.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hoga-analyze-inc-{}-{name}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Lays down a three-file workspace with one planted determinism-taint
+/// finding (HashMap iteration feeding a checkpoint encoder).
+fn write_workspace(root: &Path) {
+    fs::create_dir_all(root.join("src")).expect("mkdir src");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[package]\nname = \"scratch\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write manifest");
+    fs::write(root.join("src/lib.rs"), "#![forbid(unsafe_code)]\nmod tainted;\nmod clean;\n")
+        .expect("write lib.rs");
+    fs::write(root.join("src/tainted.rs"), TAINTED).expect("write tainted.rs");
+    fs::write(
+        root.join("src/clean.rs"),
+        "pub(crate) fn add(a: u32, b: u32) -> u32 { a.wrapping_add(b) }\n",
+    )
+    .expect("write clean.rs");
+}
+
+const TAINTED: &str = "use std::collections::HashMap;\n\
+                       pub(crate) fn save(w: &HashMap<u32, f32>) -> Vec<u8> {\n\
+                           let mut blob = Vec::new();\n\
+                           for (k, v) in w.iter() {\n\
+                               blob.push((*k, *v));\n\
+                           }\n\
+                           encode_checkpoint(&blob)\n\
+                       }\n";
+
+fn run(root: &Path, cache: &Path) -> (String, hoga_analyze::AnalysisStats) {
+    let opts = AnalyzeOptions { cache_dir: Some(cache.to_path_buf()) };
+    let (findings, stats) = analyze_workspace_with(root, &opts).expect("analyze workspace");
+    (render_json(&findings), stats)
+}
+
+#[test]
+fn warm_run_replays_every_artifact_and_renders_identically() {
+    let dir = scratch("warm");
+    let root = dir.join("ws");
+    let cache = dir.join("cache");
+    write_workspace(&root);
+
+    let (cold_json, cold) = run(&root, &cache);
+    assert_eq!(cold.files, 3, "three .rs files in the scratch workspace");
+    assert_eq!(cold.cache_hits, 0, "cold run hits nothing");
+    assert_eq!(cold.cache_misses, cold.files, "cold run computes every file");
+    assert!(
+        cold_json.contains("determinism-taint"),
+        "planted finding must survive the cache: {cold_json}"
+    );
+
+    let (warm_json, warm) = run(&root, &cache);
+    assert_eq!(warm.cache_hits, warm.files, "warm run must replay every artifact");
+    assert_eq!(warm.cache_misses, 0, "warm run must not reparse anything");
+    assert_eq!(warm_json, cold_json, "cached findings must be byte-identical");
+    // CFG/dataflow stats are carried in the artifacts, so the warm run
+    // reports the same totals without rebuilding a single CFG.
+    assert_eq!((warm.cfgs, warm.blocks, warm.edges), (cold.cfgs, cold.blocks, cold.edges));
+    assert_eq!(warm.fixpoint_iterations, cold.fixpoint_iterations);
+}
+
+#[test]
+fn editing_one_file_invalidates_only_that_artifact() {
+    let dir = scratch("edit");
+    let root = dir.join("ws");
+    let cache = dir.join("cache");
+    write_workspace(&root);
+
+    let (json_before, _) = run(&root, &cache);
+    assert!(json_before.contains("determinism-taint"));
+
+    // Swap the unordered map for an ordered one — the finding must vanish
+    // and only the edited file may be recomputed.
+    let fixed = TAINTED.replace("HashMap", "BTreeMap");
+    fs::write(root.join("src/tainted.rs"), fixed).expect("rewrite tainted.rs");
+
+    let (json_after, stats) = run(&root, &cache);
+    assert_eq!(stats.cache_hits, 2, "unchanged files replay from cache");
+    assert_eq!(stats.cache_misses, 1, "only the edited file recomputes");
+    assert!(
+        !json_after.contains("determinism-taint"),
+        "BTreeMap iteration is deterministic: {json_after}"
+    );
+}
+
+#[test]
+fn corrupt_artifact_is_a_miss_not_a_wrong_answer() {
+    let dir = scratch("corrupt");
+    let root = dir.join("ws");
+    let cache = dir.join("cache");
+    write_workspace(&root);
+
+    let (cold_json, _) = run(&root, &cache);
+
+    // Flip one byte in every cached record; the CRC must reject them all.
+    let mut flipped = 0;
+    for entry in fs::read_dir(&cache).expect("read cache dir") {
+        let path = entry.expect("cache entry").path();
+        if path.extension().map(|e| e == "rec").unwrap_or(false) {
+            let mut bytes = fs::read(&path).expect("read record");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x41;
+            fs::write(&path, bytes).expect("rewrite record");
+            flipped += 1;
+        }
+    }
+    assert_eq!(flipped, 3, "one record per file");
+
+    let (json, stats) = run(&root, &cache);
+    assert_eq!(stats.cache_hits, 0, "corrupt records must not be trusted");
+    assert_eq!(stats.cache_misses, 3);
+    assert_eq!(json, cold_json, "recomputed output matches the original run");
+
+    // The rewritten records are valid again: a follow-up run replays them.
+    let (_, healed) = run(&root, &cache);
+    assert_eq!(healed.cache_hits, 3, "cache heals itself after recompute");
+}
+
+#[test]
+fn cache_is_keyed_to_content_not_timestamps() {
+    let dir = scratch("touch");
+    let root = dir.join("ws");
+    let cache = dir.join("cache");
+    write_workspace(&root);
+    run(&root, &cache);
+
+    // Rewrite a file with identical bytes — still a hit, because the key
+    // is the content hash, not mtime.
+    let src = fs::read(root.join("src/clean.rs")).expect("read clean.rs");
+    fs::write(root.join("src/clean.rs"), src).expect("rewrite clean.rs");
+
+    let (_, stats) = run(&root, &cache);
+    assert_eq!(stats.cache_hits, 3, "byte-identical rewrite must stay a hit");
+    assert_eq!(stats.cache_misses, 0);
+}

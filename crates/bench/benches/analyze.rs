@@ -1,6 +1,7 @@
 //! Benchmarks the workspace linter itself: full `analyze_workspace` wall
-//! time plus lexer throughput, written to `BENCH_analyze.json` at the
-//! workspace root so CI can archive linter performance next to its report.
+//! time plus lexer throughput, CFG/dataflow cost, and incremental-cache
+//! speedup, written to `BENCH_analyze.json` at the workspace root so CI
+//! can archive linter performance next to its report.
 //!
 //! A plain `harness = false` main (no Criterion): the workload is one
 //! deterministic pass over the repository, so min-of-N wall clock is the
@@ -9,11 +10,31 @@
 use std::path::Path;
 use std::time::Instant;
 
-use hoga_analyze::lexer::lex;
+use hoga_analyze::cfg::{function_cfgs, Cfg};
+use hoga_analyze::dataflow::{forward_fixpoint, Analysis};
+use hoga_analyze::lexer::{lex, TokKind, Token};
 use hoga_analyze::workspace::{read_workspace_sources, workspace_rs_files};
-use hoga_analyze::{analyze_workspace, SymbolGraph};
+use hoga_analyze::{analyze_workspace_with, AnalyzeOptions, SymbolGraph};
 
 const RUNS: usize = 5;
+
+/// Reachability — the cheapest possible forward may-analysis. Timing it
+/// isolates the worklist engine's own overhead from the taint transfer.
+struct Reach;
+
+impl Analysis for Reach {
+    type Fact = bool;
+    fn bottom(&self) -> bool {
+        false
+    }
+    fn entry(&self) -> bool {
+        true
+    }
+    fn join(&self, into: &mut bool, other: &bool) {
+        *into = *into || *other;
+    }
+    fn transfer(&mut self, _cfg: &Cfg, _id: usize, _fact: &mut bool) {}
+}
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
@@ -45,21 +66,90 @@ fn main() {
         ref_entries = graph.ref_entries();
     }
 
-    // End-to-end: walk + lex + parse + graph + every rule.
-    let mut best_full = f64::INFINITY;
-    let mut findings = 0usize;
+    // CFG lowering: tokens are pre-lexed so this times the builder alone.
+    let token_streams: Vec<(&str, Vec<Token>)> =
+        sources.iter().map(|(_, s)| (s.as_str(), lex(s))).collect();
+    let mut best_cfg = f64::INFINITY;
+    let mut cfg_count = 0usize;
+    let mut block_count = 0usize;
+    let mut all_cfgs: Vec<(usize, Vec<Cfg>)> = Vec::new();
     for _ in 0..RUNS {
         let t0 = Instant::now();
-        findings = analyze_workspace(&root).expect("analyze").len();
+        all_cfgs.clear();
+        cfg_count = 0;
+        block_count = 0;
+        for (i, (src, tokens)) in token_streams.iter().enumerate() {
+            let code: Vec<&Token> = tokens
+                .iter()
+                .filter(|t| {
+                    !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. })
+                })
+                .collect();
+            let cfgs = function_cfgs(&code, src);
+            cfg_count += cfgs.len();
+            block_count += cfgs.iter().map(|c| c.blocks.len()).sum::<usize>();
+            all_cfgs.push((i, cfgs));
+        }
+        best_cfg = best_cfg.min(t0.elapsed().as_secs_f64());
+    }
+
+    // Fixpoint engine throughput over every CFG in the workspace, using
+    // the trivial reachability analysis: transfers/sec with no taint cost.
+    let mut best_fix = f64::INFINITY;
+    let mut transfers = 0u64;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        transfers = 0;
+        for (_, cfgs) in &all_cfgs {
+            for cfg in cfgs {
+                transfers += forward_fixpoint(cfg, &mut Reach).iterations;
+            }
+        }
+        best_fix = best_fix.min(t0.elapsed().as_secs_f64());
+    }
+    let transfers_per_sec = transfers as f64 / best_fix.max(1e-12);
+
+    // End-to-end: walk + lex + parse + CFG + dataflow + graph + every rule.
+    let cold_opts = AnalyzeOptions::default();
+    let mut best_full = f64::INFINITY;
+    let mut findings = 0usize;
+    let mut full_stats = hoga_analyze::AnalysisStats::default();
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let (f, stats) = analyze_workspace_with(&root, &cold_opts).expect("analyze");
+        findings = f.len();
+        full_stats = stats;
         best_full = best_full.min(t0.elapsed().as_secs_f64());
     }
+
+    // Incremental cache: one cold populating run, then best-of-RUNS warm
+    // runs that replay every artifact.
+    let cache_dir = std::env::temp_dir().join(format!("hoga-analyze-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let warm_opts = AnalyzeOptions { cache_dir: Some(cache_dir.clone()) };
+    let t0 = Instant::now();
+    analyze_workspace_with(&root, &warm_opts).expect("cold cache run");
+    let cold_cache_wall = t0.elapsed().as_secs_f64();
+    let mut best_warm = f64::INFINITY;
+    let mut warm_hits = 0usize;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let (_, stats) = analyze_workspace_with(&root, &warm_opts).expect("warm cache run");
+        warm_hits = stats.cache_hits;
+        best_warm = best_warm.min(t0.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     let json = format!(
         "{{\n  \"bench\": \"analyze_workspace\",\n  \"files\": {},\n  \"bytes\": {},\n  \
          \"tokens\": {},\n  \"tokens_per_sec\": {:.0},\n  \"lex_wall_s\": {:.6},\n  \
          \"symbol_graph_wall_s\": {:.6},\n  \"symbol_graph_edges\": {},\n  \
          \"symbol_defs\": {},\n  \"symbol_defs_live\": {},\n  \"symbol_ref_entries\": {},\n  \
-         \"full_analyze_wall_s\": {:.6},\n  \"findings\": {}\n}}\n",
+         \"cfg_build_wall_s\": {:.6},\n  \"cfgs\": {},\n  \"cfg_blocks\": {},\n  \
+         \"cfg_edges\": {},\n  \"fixpoint_wall_s\": {:.6},\n  \"fixpoint_transfers\": {},\n  \
+         \"fixpoint_transfers_per_sec\": {:.0},\n  \"taint_fixpoint_transfers\": {},\n  \
+         \"full_analyze_wall_s\": {:.6},\n  \"cache_cold_wall_s\": {:.6},\n  \
+         \"cache_warm_wall_s\": {:.6},\n  \"cache_warm_hits\": {},\n  \"findings\": {}\n}}\n",
         files.len(),
         total_bytes,
         total_tokens,
@@ -70,7 +160,18 @@ fn main() {
         defs,
         live_defs,
         ref_entries,
+        best_cfg,
+        cfg_count,
+        block_count,
+        full_stats.edges,
+        best_fix,
+        transfers,
+        transfers_per_sec,
+        full_stats.fixpoint_iterations,
         best_full,
+        cold_cache_wall,
+        best_warm,
+        warm_hits,
         findings
     );
     print!("{json}");

@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn sweep_errors_map_onto_retry_semantics() {
-        let io = QorBuildError::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk"));
+        let io = QorBuildError::Io(std::io::Error::other("disk"));
         assert!(matches!(qor_err(io), JobError::Retryable(_)));
         let dup = QorBuildError::DuplicateSample { design: "d".into(), recipe_index: 0 };
         assert!(matches!(qor_err(dup), JobError::Failed(_)));
