@@ -27,6 +27,7 @@ use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{CgFacts, CgSite, LockEdge, UnderLockCall};
 use crate::det::{CondFinding, CondKind, DetStats, FnSummary};
 use crate::lexer::{lex, TokKind};
 use crate::parser::{parse_items, ItemKind, Visibility};
@@ -38,7 +39,7 @@ use crate::symbols::{source_unit, SymbolDef};
 /// Format header; bump the version whenever artifact semantics change
 /// (new rule, changed message text, new field) so stale caches miss
 /// instead of replaying old findings.
-const FORMAT: &str = "hoga-analyze-cache v1";
+const FORMAT: &str = "hoga-analyze-cache v2";
 
 /// One file's complete per-file analysis output, in cache-serializable
 /// form.
@@ -66,13 +67,18 @@ pub(crate) struct FileArtifact {
     pub(crate) sums: Vec<FnSummary>,
     /// CFG/fixpoint statistics.
     pub(crate) stats: DetStats,
+    /// Interprocedural facts for the workspace call-graph stage (R13–R15).
+    pub(crate) cg: CgFacts,
 }
 
-/// Serializable form of [`Suppression`] (`used` always starts false).
+/// Serializable form of [`Suppression`]. `used` carries the extract-time
+/// state (seed-site suppressions are consumed before `finish` runs), so a
+/// cached artifact replays the suppression pass byte-identically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SupRec {
     pub(crate) line: u32,
     pub(crate) col: u32,
+    pub(crate) used: bool,
     /// Rule id, empty when the directive was malformed.
     pub(crate) rule: String,
     pub(crate) error: Option<String>,
@@ -146,13 +152,20 @@ pub(crate) fn compute_artifact(rel: &str, src: &str, profile: FileProfile) -> Fi
         sups: fa
             .suppressions
             .into_iter()
-            .map(|s| SupRec { line: s.line, col: s.col, rule: s.rule.to_string(), error: s.error })
+            .map(|s| SupRec {
+                line: s.line,
+                col: s.col,
+                used: s.used,
+                rule: s.rule.to_string(),
+                error: s.error,
+            })
             .collect(),
         defs,
         refs: counts.into_iter().collect(),
         conds: fa.conds,
         sums: fa.summaries,
         stats: fa.det_stats,
+        cg: fa.cg,
     }
 }
 
@@ -167,7 +180,7 @@ impl FileArtifact {
                 line: s.line,
                 col: s.col,
                 rule: rule_id(&s.rule).unwrap_or(""),
-                used: false,
+                used: s.used,
                 error: s.error.clone(),
             })
             .collect();
@@ -179,6 +192,7 @@ impl FileArtifact {
             self.conds.clone(),
             self.sums.clone(),
             self.stats,
+            self.cg.clone(),
         )
     }
 
@@ -226,9 +240,10 @@ impl FileArtifact {
         }
         for s in &self.sups {
             out.push_str(&format!(
-                "sup {} {} {} {}\n",
+                "sup {} {} {} {} {}\n",
                 s.line,
                 s.col,
+                u8::from(s.used),
                 opt(Some(s.rule.clone()).filter(|r| !r.is_empty())),
                 opt(s.error.clone())
             ));
@@ -275,6 +290,39 @@ impl FileArtifact {
                 opt(sink),
                 opt(what.map(|w| esc(&w))),
                 opt(labels)
+            ));
+        }
+        for (tag, list) in
+            [("seedp", &self.cg.panics), ("seedb", &self.cg.blocking), ("call", &self.cg.calls)]
+        {
+            for s in list {
+                out.push_str(&format!(
+                    "{tag} {} {} {} {}\n",
+                    s.line,
+                    s.col,
+                    esc(&s.func),
+                    esc(&s.what)
+                ));
+            }
+        }
+        for e in &self.cg.lock_edges {
+            out.push_str(&format!(
+                "ledge {} {} {} {} {}\n",
+                e.line,
+                e.col,
+                esc(&e.func),
+                esc(&e.from),
+                esc(&e.to)
+            ));
+        }
+        for u in &self.cg.under_lock {
+            out.push_str(&format!(
+                "ulock {} {} {} {} {}\n",
+                u.line,
+                u.col,
+                esc(&u.func),
+                esc(&u.callee),
+                opt(Some(u.held.join(",")).filter(|s| !s.is_empty()))
             ));
         }
         out.push_str(&format!(
@@ -330,14 +378,15 @@ impl FileArtifact {
                     }
                 }
                 "sup" => {
-                    if fields.len() < 4 {
+                    if fields.len() < 5 {
                         return None;
                     }
                     art.sups.push(SupRec {
                         line: fields[0].parse().ok()?,
                         col: fields[1].parse().ok()?,
-                        rule: unopt(fields[2]).unwrap_or_default(),
-                        error: unopt_esc(fields[3])?,
+                        used: fields[2] == "1",
+                        rule: unopt(fields[3]).unwrap_or_default(),
+                        error: unopt_esc(fields[4])?,
                     });
                 }
                 "def" => {
@@ -402,6 +451,49 @@ impl FileArtifact {
                         callee: unesc(fields[3])?,
                         symbol: unesc(fields[4])?,
                         kind,
+                    });
+                }
+                "seedp" | "seedb" | "call" => {
+                    if fields.len() < 4 {
+                        return None;
+                    }
+                    let s = CgSite {
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        func: unesc(fields[2])?,
+                        what: unesc(fields[3])?,
+                    };
+                    match tag {
+                        "seedp" => art.cg.panics.push(s),
+                        "seedb" => art.cg.blocking.push(s),
+                        _ => art.cg.calls.push(s),
+                    }
+                }
+                "ledge" => {
+                    if fields.len() < 5 {
+                        return None;
+                    }
+                    art.cg.lock_edges.push(LockEdge {
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        func: unesc(fields[2])?,
+                        from: unesc(fields[3])?,
+                        to: unesc(fields[4])?,
+                    });
+                }
+                "ulock" => {
+                    if fields.len() < 5 {
+                        return None;
+                    }
+                    art.cg.under_lock.push(UnderLockCall {
+                        line: fields[0].parse().ok()?,
+                        col: fields[1].parse().ok()?,
+                        func: unesc(fields[2])?,
+                        callee: unesc(fields[3])?,
+                        held: match unopt(fields[4]) {
+                            None => Vec::new(),
+                            Some(h) => h.split(',').map(str::to_string).collect(),
+                        },
                     });
                 }
                 "stat" => {

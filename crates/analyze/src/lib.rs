@@ -29,9 +29,8 @@
 //!   never used outside its defining crate.
 //! * `float-equality` — `==`/`!=` against float literals on numeric paths;
 //!   use `hoga_tensor::approx_eq`.
-//! * `lock-discipline` — lock acquisitions must follow the declared
-//!   workspace lock order (`rules::LOCK_ORDER`); `.lock().unwrap()` is a
-//!   poisoning hazard.
+//! * `lock-discipline` — `.lock().unwrap()` is a poisoning hazard;
+//!   recover with `PoisonError::into_inner` or propagate a typed error.
 //! * `thread-hygiene` — every `spawn` handle is joined; no bare
 //!   `std::thread::spawn` in `eval`.
 //! * `determinism-taint` — values influenced by clocks, env reads, or
@@ -43,6 +42,16 @@
 //!   `[...]`.
 //! * `swallowed-result` — a persisted-sink call's `Result` must be
 //!   propagated or handled, never `let _ =` / `.ok()`-discarded.
+//! * `panic-reachability` — a `pub` API in a hardened module must not
+//!   *transitively* reach a panic site elsewhere in the workspace; each
+//!   finding renders a shortest call-graph witness path ([`callgraph`]).
+//! * `lock-order` — the flow-aware must-lockset pass checks every
+//!   acquisition against the declared order (`rules::LOCK_ORDER`),
+//!   flags re-acquisition of a held lock, and reports any cycle in the
+//!   discovered workspace lock-order graph.
+//! * `blocking-under-lock` — no thread join, channel receive, sleep,
+//!   file I/O, or bounded SAT check (directly or through a call chain)
+//!   while a lock guard is must-held.
 //!
 //! Findings are suppressed inline with a justified directive:
 //!
@@ -56,6 +65,7 @@
 
 pub mod baseline;
 pub mod cache;
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod det;
@@ -65,9 +75,13 @@ pub mod rules;
 pub mod symbols;
 pub mod workspace;
 
+pub use callgraph::CallGraph;
 pub use rules::{analyze_source, FileProfile, Finding};
 pub use symbols::SymbolGraph;
-pub use workspace::{analyze_workspace, analyze_workspace_with, AnalysisStats, AnalyzeOptions};
+pub use workspace::{
+    analyze_workspace, analyze_workspace_graph, analyze_workspace_with, AnalysisStats,
+    AnalyzeOptions,
+};
 
 /// Renders findings one per line as `file:line:col: [rule] message`.
 pub fn render_text(findings: &[Finding]) -> String {
@@ -111,7 +125,51 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+/// Renders findings as a SARIF 2.1.0 log (one run, the full rule
+/// catalogue in the tool driver, one result per finding) so reports
+/// surface in GitHub code scanning.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"hoga-analyze\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, id) in rules::RULE_IDS.iter().enumerate() {
+        let level = match rules::severity_of(id) {
+            "warning" => "warning",
+            _ => "error",
+        };
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"defaultConfiguration\": {{\"level\": \"{level}\"}}}}{}\n",
+            json_string(id),
+            if i + 1 == rules::RULE_IDS.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}\n",
+            json_string(f.rule),
+            json_string(f.severity()),
+            json_string(&f.message),
+            json_string(&f.file),
+            f.line,
+            f.col,
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -201,5 +259,51 @@ mod render_tests {
         assert_eq!(rules::severity_of("todo-tracker"), "warning");
         assert_eq!(rules::severity_of("lock-discipline"), "error");
         assert_eq!(rules::severity_of("float-equality"), "error");
+        assert_eq!(rules::severity_of("panic-reachability"), "error");
+        assert_eq!(rules::severity_of("lock-order"), "error");
+        assert_eq!(rules::severity_of("blocking-under-lock"), "error");
+    }
+
+    #[test]
+    fn sarif_has_required_toplevel_shape() {
+        let sarif = render_sarif(&sample());
+        for key in [
+            "\"$schema\"",
+            "sarif-schema-2.1.0.json",
+            "\"version\": \"2.1.0\"",
+            "\"runs\"",
+            "\"tool\"",
+            "\"driver\"",
+            "\"name\": \"hoga-analyze\"",
+            "\"rules\"",
+            "\"results\"",
+        ] {
+            assert!(sarif.contains(key), "missing {key}: {sarif}");
+        }
+        // Balanced braces/brackets — a cheap structural validity check for
+        // a renderer that never emits braces inside strings unescaped.
+        let opens = sarif.matches('{').count();
+        let closes = sarif.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces: {sarif}");
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_result_carries_rule_level_message_and_location() {
+        let sarif = render_sarif(&sample());
+        assert!(sarif.contains("\"ruleId\": \"panic-free-paths\""), "{sarif}");
+        assert!(sarif.contains("\"level\": \"error\""), "{sarif}");
+        assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""), "{sarif}");
+        assert!(sarif.contains("\"startLine\": 3"), "{sarif}");
+        assert!(sarif.contains("\"startColumn\": 9"), "{sarif}");
+        assert!(sarif.contains("say \\\"no\\\""), "message escaped: {sarif}");
+    }
+
+    #[test]
+    fn sarif_declares_every_rule_in_the_driver() {
+        let sarif = render_sarif(&[]);
+        for id in ["panic-reachability", "lock-order", "blocking-under-lock", "lossy-cast"] {
+            assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "missing rule {id}: {sarif}");
+        }
     }
 }

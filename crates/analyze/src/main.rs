@@ -2,8 +2,9 @@
 //! Command-line front end for the workspace linter.
 //!
 //! ```text
-//! cargo run -p hoga-analyze [--root PATH] [--format text|json] [--report PATH]
-//!     [--cache DIR] [--baseline PATH] [--fail-on-new] [--stats]
+//! cargo run -p hoga-analyze [--root PATH] [--format text|json|sarif]
+//!     [--report PATH] [--cache DIR] [--baseline PATH] [--fail-on-new]
+//!     [--write-baseline PATH] [--callgraph PATH] [--stats]
 //! ```
 //!
 //! `--report` additionally writes the JSON findings report to a file (the
@@ -13,7 +14,11 @@
 //! unchanged files are not reparsed. `--baseline PATH` compares against an
 //! archived findings report; with `--fail-on-new` the exit code gates on
 //! *new* findings only, so a known inventory can be burned down while CI
-//! still blocks regressions.
+//! still blocks regressions. `--write-baseline PATH` atomically
+//! regenerates the baseline from the current run (replacing hand-edits
+//! when a finding is intentionally accepted). `--callgraph PATH`
+//! atomically dumps the workspace call graph as JSON. `--format sarif`
+//! emits a SARIF 2.1.0 log for GitHub code scanning.
 //!
 //! Exit status: 0 = clean (or baseline-only findings under
 //! `--fail-on-new`), 1 = findings reported (new findings under
@@ -24,12 +29,32 @@ use std::process::ExitCode;
 
 use hoga_analyze::baseline::{diff_against_baseline, parse_baseline};
 use hoga_analyze::rules::Finding;
-use hoga_analyze::{analyze_workspace_with, render_json, render_text, AnalyzeOptions};
+use hoga_analyze::{
+    analyze_workspace_graph, render_json, render_sarif, render_text, AnalyzeOptions,
+};
 
 enum Format {
     Text,
     Json,
+    Sarif,
 }
+
+/// Every flag the binary accepts, with its metavar (if any) and help
+/// line. The `--help` output and the usage string are generated from this
+/// table, and the CLI test asserts every entry appears in `--help` — a
+/// new flag cannot be added without documenting it.
+const FLAGS: &[(&str, &str, &str)] = &[
+    ("--root", "PATH", "workspace root to analyze (default: this binary's workspace)"),
+    ("--format", "text|json|sarif", "console output format (default: text)"),
+    ("--report", "PATH", "also write the JSON findings report atomically to PATH"),
+    ("--cache", "DIR", "reuse per-file analysis artifacts keyed by content hash"),
+    ("--baseline", "PATH", "diff findings against an archived JSON report"),
+    ("--fail-on-new", "", "exit 1 only on findings absent from --baseline"),
+    ("--write-baseline", "PATH", "atomically regenerate the baseline from this run"),
+    ("--callgraph", "PATH", "atomically dump the workspace call graph as JSON"),
+    ("--stats", "", "print analysis statistics to stderr"),
+    ("--help", "", "show this help"),
+];
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
@@ -37,6 +62,8 @@ fn main() -> ExitCode {
     let mut report: Option<PathBuf> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut callgraph_path: Option<PathBuf> = None;
     let mut fail_on_new = false;
     let mut show_stats = false;
 
@@ -59,29 +86,25 @@ fn main() -> ExitCode {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
                 None => return usage("--baseline needs a path"),
             },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage("--write-baseline needs a path"),
+            },
+            "--callgraph" => match args.next() {
+                Some(p) => callgraph_path = Some(PathBuf::from(p)),
+                None => return usage("--callgraph needs a path"),
+            },
             "--fail-on-new" => fail_on_new = true,
             "--stats" => show_stats = true,
             "--format" => match args.next().as_deref() {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 Some(other) => return usage(&format!("unknown format `{other}`")),
-                None => return usage("--format needs `text` or `json`"),
+                None => return usage("--format needs `text`, `json`, or `sarif`"),
             },
             "--help" | "-h" => {
-                println!(
-                    "hoga-analyze: workspace linter + invariant auditor\n\n\
-                     USAGE: hoga-analyze [--root PATH] [--format text|json] [--report PATH]\n\
-                            [--cache DIR] [--baseline PATH] [--fail-on-new] [--stats]\n\n\
-                     Walks every .rs file under the workspace root and reports\n\
-                     rule violations as file:line:col diagnostics. --report\n\
-                     writes the JSON findings report to PATH (atomically) for CI\n\
-                     archiving. --cache DIR reuses per-file analysis artifacts\n\
-                     so unchanged files are not reparsed. --baseline PATH\n\
-                     diffs against an archived report; with --fail-on-new the\n\
-                     exit code turns on new findings only.\n\
-                     Exits 0 when clean, 1 when findings exist, 2 on error. See\n\
-                     docs/STATIC_ANALYSIS.md for the rule catalogue."
-                );
+                print!("{}", help_text());
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -98,7 +121,7 @@ fn main() -> ExitCode {
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
 
     let opts = AnalyzeOptions { cache_dir };
-    let (findings, stats) = match analyze_workspace_with(&root, &opts) {
+    let (findings, stats, graph) = match analyze_workspace_graph(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("hoga-analyze: error: {e}");
@@ -106,8 +129,13 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(path) = report {
-        if let Err(e) = write_atomic(&path, &render_json(&findings)) {
+    for (path, contents) in [
+        (&report, render_json(&findings)),
+        (&write_baseline, render_json(&findings)),
+        (&callgraph_path, graph.to_json()),
+    ] {
+        let Some(path) = path else { continue };
+        if let Err(e) = write_atomic(path, &contents) {
             eprintln!("hoga-analyze: error writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -154,19 +182,24 @@ fn main() -> ExitCode {
             }
         }
         Format::Json => print!("{}", render_json(&findings)),
+        Format::Sarif => print!("{}", render_sarif(&findings)),
     }
 
     if show_stats {
         eprintln!(
             "hoga-analyze: stats: {} file(s), {} cache hit(s), {} miss(es); \
-             {} cfg(s), {} block(s), {} edge(s), {} fixpoint transfer(s)",
+             {} cfg(s), {} block(s), {} edge(s), {} fixpoint transfer(s); \
+             call graph: {} node(s), {} edge(s), {} scc(s)",
             stats.files,
             stats.cache_hits,
             stats.cache_misses,
             stats.cfgs,
             stats.blocks,
             stats.edges,
-            stats.fixpoint_iterations
+            stats.fixpoint_iterations,
+            stats.call_nodes,
+            stats.call_edges,
+            stats.call_sccs
         );
     }
 
@@ -179,6 +212,35 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn help_text() -> String {
+    let mut out =
+        String::from("hoga-analyze: workspace linter + invariant auditor\n\nUSAGE: hoga-analyze");
+    for (flag, metavar, _) in FLAGS {
+        if *flag == "--help" {
+            continue;
+        }
+        if metavar.is_empty() {
+            out.push_str(&format!(" [{flag}]"));
+        } else {
+            out.push_str(&format!(" [{flag} {metavar}]"));
+        }
+    }
+    out.push_str("\n\nOPTIONS:\n");
+    for (flag, metavar, help) in FLAGS {
+        let left =
+            if metavar.is_empty() { (*flag).to_string() } else { format!("{flag} {metavar}") };
+        out.push_str(&format!("  {left:<32} {help}\n"));
+    }
+    out.push_str(
+        "\nWalks every .rs file under the workspace root and reports rule\n\
+         violations as file:line:col diagnostics. Exits 0 when clean (or when\n\
+         all findings are in the --baseline under --fail-on-new), 1 when\n\
+         findings exist, 2 on a usage or I/O error. See docs/STATIC_ANALYSIS.md\n\
+         for the rule catalogue.\n",
+    );
+    out
 }
 
 /// Writes through a sibling temp file + rename so readers never observe a
@@ -197,8 +259,9 @@ fn severity_summary(findings: &[Finding]) -> String {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "hoga-analyze: {msg}\nUSAGE: hoga-analyze [--root PATH] [--format text|json] \
-         [--report PATH] [--cache DIR] [--baseline PATH] [--fail-on-new] [--stats]"
+        "hoga-analyze: {msg}\nUSAGE: hoga-analyze [--root PATH] [--format text|json|sarif] \
+         [--report PATH] [--cache DIR] [--baseline PATH] [--fail-on-new] \
+         [--write-baseline PATH] [--callgraph PATH] [--stats]"
     );
     ExitCode::from(2)
 }

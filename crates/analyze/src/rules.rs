@@ -26,6 +26,9 @@ pub(crate) const RULE_IDS: &[&str] = &[
     "determinism-taint",
     "unchecked-index",
     "swallowed-result",
+    "panic-reachability",
+    "lock-order",
+    "blocking-under-lock",
 ];
 
 /// The interned `'static` rule id for a name, if the engine knows it (the
@@ -75,11 +78,14 @@ pub(crate) const DET_SINKS: &[(&str, &str)] = &[
     ("emit", "job event stream"),
 ];
 
-/// The single declared workspace lock order (rule R8). A guard for a name
-/// earlier in this list may be held while acquiring a later one; the
-/// reverse (or re-acquiring the same name) is a deadlock hazard and is
-/// flagged. Locks are matched by the *field or variable name* the guard
-/// is taken from, e.g. `shared.grad_slots.lock()`.
+/// The declared workspace lock order, checked flow-sensitively by R14
+/// (`lock-order`): a guard for a name earlier in this list may be held
+/// while acquiring a later one; the reverse (or re-acquiring the same
+/// name) is a deadlock hazard and is flagged. Locks outside this list are
+/// still tracked — the must-lockset pass discovers their pairwise order
+/// and the workspace stage reports any cycle. Locks are matched by the
+/// *field or variable name* the guard is taken from, e.g.
+/// `shared.grad_slots.lock()`.
 pub(crate) const LOCK_ORDER: &[&str] = &["grad_slots", "event_log"];
 
 /// One diagnostic: a rule violation at a source position.
@@ -163,6 +169,9 @@ pub struct FileAnalysis {
     pub(crate) summaries: Vec<crate::det::FnSummary>,
     /// CFG/fixpoint statistics for this file.
     pub(crate) det_stats: crate::det::DetStats,
+    /// Interprocedural facts (panic seeds, blocking sites, call edges,
+    /// lock events) for the workspace call-graph stage.
+    pub(crate) cg: crate::callgraph::CgFacts,
 }
 
 /// Runs every token-level rule over one source file. Combine with
@@ -175,7 +184,7 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
     } else {
         cfg_test_spans(&tokens, src)
     };
-    let suppressions = collect_suppressions(rel_path, &tokens, src);
+    let mut suppressions = collect_suppressions(rel_path, &tokens, src);
     let mut pre = Vec::new();
 
     // Suppression parse errors surface regardless of any rule firing.
@@ -223,6 +232,23 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
     };
     raw.append(&mut det_out.findings);
 
+    // Interprocedural fact extraction (R13–R15). Flow-local findings
+    // (declared-order violations, blocking ops under a held lock) land in
+    // `raw` here; the cross-file propagation runs in the workspace stage.
+    let cg = if profile.all_test {
+        crate::callgraph::CgFacts::default()
+    } else {
+        crate::callgraph::extract(
+            rel_path,
+            &code,
+            src,
+            &test_spans,
+            profile,
+            &mut suppressions,
+            &mut raw,
+        )
+    };
+
     FileAnalysis {
         rel_path: rel_path.to_string(),
         pre,
@@ -231,6 +257,7 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
         conds: det_out.conds,
         summaries: det_out.summaries,
         det_stats: det_out.stats,
+        cg,
     }
 }
 
@@ -238,6 +265,7 @@ impl FileAnalysis {
     /// Reassembles a per-file analysis from cached artifact parts. The
     /// suppression pass in [`FileAnalysis::finish`] then runs identically
     /// to a fresh parse, which is what makes cached runs byte-identical.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         rel_path: String,
         pre: Vec<Finding>,
@@ -246,8 +274,9 @@ impl FileAnalysis {
         conds: Vec<crate::det::CondFinding>,
         summaries: Vec<crate::det::FnSummary>,
         det_stats: crate::det::DetStats,
+        cg: crate::callgraph::CgFacts,
     ) -> FileAnalysis {
-        FileAnalysis { rel_path, pre, raw, suppressions, conds, summaries, det_stats }
+        FileAnalysis { rel_path, pre, raw, suppressions, conds, summaries, det_stats, cg }
     }
 
     /// Adds a finding produced outside the token-level rules (R6). It goes
@@ -316,6 +345,22 @@ pub fn analyze_source(rel_path: &str, src: &str, profile: FileProfile) -> Vec<Fi
     for f in crate::det::resolve_conditionals(&fa.conds, &summaries) {
         fa.push_raw(f);
     }
+    // Likewise for the call-graph rules: build a one-file graph and
+    // resolve R13/R14/R15 against it (the workspace layer merges all
+    // files' facts into one graph).
+    let input = crate::callgraph::CgFileInput {
+        rel: rel_path.to_string(),
+        hardened: profile.panic_free,
+        defs: crate::callgraph::file_defs(src),
+        facts: fa.cg.clone(),
+    };
+    let mut graph = crate::callgraph::build_graph(std::slice::from_ref(&input));
+    graph.propagate();
+    for (_, findings) in crate::callgraph::resolve_rules(&graph, std::slice::from_ref(&input)) {
+        for f in findings {
+            fa.push_raw(f);
+        }
+    }
     fa.finish()
 }
 
@@ -336,7 +381,11 @@ pub(crate) struct Suppression {
 /// Extracts `analyze:` directives from plain `//` comments. Doc comments
 /// are deliberately ignored so rule documentation can show the syntax
 /// without creating live suppressions.
-fn collect_suppressions(_rel_path: &str, tokens: &[Token], src: &str) -> Vec<Suppression> {
+pub(crate) fn collect_suppressions(
+    _rel_path: &str,
+    tokens: &[Token],
+    src: &str,
+) -> Vec<Suppression> {
     let mut out = Vec::new();
     for t in tokens {
         let TokKind::LineComment { doc: false } = t.kind else { continue };
@@ -781,8 +830,10 @@ fn rule_float_equality(
 // ---------------------------------------------------------------------------
 
 /// An acquisition site: `<name> . lock|read|write ( )` with `name` taken
-/// from the token directly before the dot (field or variable name).
-fn lock_acquisition(code: &[&Token], i: usize, src: &str) -> Option<&'static str> {
+/// from the token directly before the dot (field or variable name). Any
+/// receiver counts — the must-lockset pass (R14) discovers the order of
+/// undeclared locks instead of ignoring them.
+pub(crate) fn lock_acquisition<'a>(code: &[&Token], i: usize, src: &'a str) -> Option<&'a str> {
     let t = code.get(i)?;
     if t.kind != TokKind::Ident || !matches!(t.text(src), "lock" | "read" | "write") {
         return None;
@@ -797,15 +848,12 @@ fn lock_acquisition(code: &[&Token], i: usize, src: &str) -> Option<&'static str
     if recv.kind != TokKind::Ident {
         return None;
     }
-    let name = recv.text(src);
-    LOCK_ORDER.iter().find(|n| **n == name).copied()
+    Some(recv.text(src))
 }
 
-/// R8: lock discipline over the declared [`LOCK_ORDER`].
-///
-/// Tracks `let guard = <name>.lock()...` bindings per brace depth (released
-/// at end of scope or by `drop(guard)`) and flags (a) acquisitions that
-/// violate the declared order or re-acquire a held lock, (b) any
+/// R8: lock discipline. The ordering half of the old token-level rule
+/// moved to the flow-aware must-lockset pass (R14, `lock-order` — see
+/// [`crate::callgraph`]); what remains here is the poisoning check: any
 /// `.lock()/.read()/.write()` immediately unwrapped with `.unwrap()` —
 /// poisoning must be handled (`PoisonError::into_inner`) or propagated.
 fn rule_lock_discipline(
@@ -815,68 +863,8 @@ fn rule_lock_discipline(
     test_spans: &[std::ops::Range<usize>],
     out: &mut Vec<Finding>,
 ) {
-    struct Held {
-        order: usize,
-        depth: i64,
-        var: Option<String>,
-        name: &'static str,
-    }
-    let mut held: Vec<Held> = Vec::new();
-    let mut depth = 0i64;
     for i in 0..code.len() {
-        let t = code[i];
-        match t.kind {
-            TokKind::Punct('{') => depth += 1,
-            TokKind::Punct('}') => {
-                depth -= 1;
-                held.retain(|h| h.depth <= depth);
-            }
-            _ => {}
-        }
-        // `drop(guard)` releases early.
-        if t.kind == TokKind::Ident
-            && t.text(src) == "drop"
-            && matches!(code.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')))
-        {
-            if let Some(arg) = code.get(i + 2).filter(|a| a.kind == TokKind::Ident) {
-                let arg = arg.text(src);
-                held.retain(|h| h.var.as_deref() != Some(arg));
-            }
-        }
-        let Some(name) = lock_acquisition(code, i, src) else {
-            // Not a declared lock — but `.lock().unwrap()` on *any* receiver
-            // is still a poisoning hazard.
-            maybe_flag_lock_unwrap(rel_path, code, i, src, test_spans, out);
-            continue;
-        };
         maybe_flag_lock_unwrap(rel_path, code, i, src, test_spans, out);
-        let order = LOCK_ORDER.iter().position(|n| *n == name).unwrap_or(usize::MAX);
-        for h in &held {
-            if h.order >= order {
-                let relation =
-                    if h.order == order { "re-acquires" } else { "is out of order with" };
-                out.push(Finding {
-                    file: rel_path.to_string(),
-                    line: t.line,
-                    col: t.col,
-                    rule: "lock-discipline",
-                    message: format!(
-                        "acquiring `{name}` while a `{}` guard is held {relation} the declared \
-                         workspace lock order ({}); restructure or release the guard first",
-                        h.name,
-                        LOCK_ORDER.join(" -> ")
-                    ),
-                    symbol: Some(name.to_string()),
-                    severity_override: None,
-                });
-            }
-        }
-        // A `let` at the start of the statement binds the guard.
-        if let Some((var, bind)) = binding_of(code, i, src) {
-            if bind {
-                held.push(Held { order, depth, var, name });
-            }
-        }
     }
 }
 
@@ -920,7 +908,7 @@ fn maybe_flag_lock_unwrap(
 /// If the statement containing the acquisition at `code[i]` is a `let`,
 /// returns `(bound variable, true)`; transient (unbound) acquisitions
 /// return `None` from the caller's perspective via `(None, false)`.
-fn binding_of(code: &[&Token], i: usize, src: &str) -> Option<(Option<String>, bool)> {
+pub(crate) fn binding_of(code: &[&Token], i: usize, src: &str) -> Option<(Option<String>, bool)> {
     // Walk back to the statement boundary.
     let mut j = i;
     while j > 0 && !matches!(code[j - 1].kind, TokKind::Punct(';' | '{' | '}')) {
@@ -1408,7 +1396,7 @@ mod tests {
                    let slots = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
                    }\n";
         let f = run_plain(src);
-        assert_eq!(rules_of(&f), ["lock-discipline"]);
+        assert_eq!(rules_of(&f), ["lock-order"]);
         assert_eq!(f[0].line, 3);
         assert_eq!(f[0].symbol.as_deref(), Some("grad_slots"));
     }
@@ -1429,7 +1417,7 @@ mod tests {
                    let b = s.grad_slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
                    }\n";
         let f = run_plain(src);
-        assert_eq!(rules_of(&f), ["lock-discipline"]);
+        assert_eq!(rules_of(&f), ["lock-order"]);
         assert!(f[0].message.contains("re-acquires"), "got: {}", f[0].message);
     }
 

@@ -114,6 +114,12 @@ pub struct AnalysisStats {
     pub edges: u64,
     /// Worklist transfers executed across all dataflow fixpoints.
     pub fixpoint_iterations: u64,
+    /// Function nodes in the workspace call graph.
+    pub call_nodes: u64,
+    /// Call edges in the workspace call graph (name-level, deduplicated).
+    pub call_edges: u64,
+    /// Strongly connected components in the call graph.
+    pub call_sccs: u64,
 }
 
 /// Analyzes every `.rs` file under `root` and returns all findings,
@@ -140,6 +146,15 @@ pub fn analyze_workspace_with(
     root: &Path,
     opts: &AnalyzeOptions,
 ) -> Result<(Vec<Finding>, AnalysisStats), WalkError> {
+    analyze_workspace_graph(root, opts).map(|(findings, stats, _)| (findings, stats))
+}
+
+/// [`analyze_workspace_with`] that also returns the workspace call graph
+/// (the `--callgraph` CI artifact).
+pub fn analyze_workspace_graph(
+    root: &Path,
+    opts: &AnalyzeOptions,
+) -> Result<(Vec<Finding>, AnalysisStats, crate::callgraph::CallGraph), WalkError> {
     let crate_roots = discover_crate_roots(root)?;
     let mut stats = AnalysisStats::default();
     let mut artifacts = Vec::new();
@@ -172,14 +187,18 @@ pub fn analyze_workspace_with(
         stats.fixpoint_iterations += art.stats.fixpoint_iterations;
         artifacts.push(art);
     }
-    Ok((cross_file_stage(&artifacts), stats))
+    let (findings, graph) = cross_file_stage(&artifacts);
+    stats.call_nodes = graph.nodes();
+    stats.call_edges = graph.edges();
+    stats.call_sccs = graph.sccs();
+    Ok((findings, stats, graph))
 }
 
 /// The cross-file stage: symbol graph + dead-API (R6), interprocedural
-/// taint resolution (R10), then the shared suppression pass per file.
-/// A pure function of the artifacts — this is what guarantees cold and
-/// warm cache runs render identically.
-fn cross_file_stage(artifacts: &[FileArtifact]) -> Vec<Finding> {
+/// taint resolution (R10), call-graph propagation (R13–R15), then the
+/// shared suppression pass per file. A pure function of the artifacts —
+/// this is what guarantees cold and warm cache runs render identically.
+fn cross_file_stage(artifacts: &[FileArtifact]) -> (Vec<Finding>, crate::callgraph::CallGraph) {
     let mut defs = Vec::new();
     let mut refs: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
     for art in artifacts {
@@ -193,6 +212,30 @@ fn cross_file_stage(artifacts: &[FileArtifact]) -> Vec<Finding> {
     let mut dead = dead_api_findings(&graph);
     let summaries = merge_summaries(artifacts.iter().flat_map(|a| a.sums.iter()));
 
+    // Call-graph inputs: non-test fn defs plus the cached per-file facts.
+    let inputs: Vec<crate::callgraph::CgFileInput> = artifacts
+        .iter()
+        .map(|art| crate::callgraph::CgFileInput {
+            rel: art.rel.clone(),
+            hardened: art.profile_bits & 1 == 1,
+            defs: art
+                .defs
+                .iter()
+                .filter(|d| d.kind == crate::parser::ItemKind::Fn && !d.in_test)
+                .map(|d| crate::callgraph::CgDef {
+                    name: d.name.clone(),
+                    line: d.line,
+                    col: d.col,
+                    public: d.vis == crate::parser::Visibility::Public,
+                })
+                .collect(),
+            facts: art.cg.clone(),
+        })
+        .collect();
+    let mut call_graph = crate::callgraph::build_graph(&inputs);
+    call_graph.propagate();
+    let mut cg_findings = crate::callgraph::resolve_rules(&call_graph, &inputs);
+
     let mut findings = Vec::new();
     for art in artifacts {
         let mut fa = art.to_analysis();
@@ -202,11 +245,14 @@ fn cross_file_stage(artifacts: &[FileArtifact]) -> Vec<Finding> {
         for f in dead.remove(art.rel.as_str()).unwrap_or_default() {
             fa.push_raw(f);
         }
+        for f in cg_findings.remove(art.rel.as_str()).unwrap_or_default() {
+            fa.push_raw(f);
+        }
         findings.extend(fa.finish());
     }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
-    findings
+    (findings, call_graph)
 }
 
 /// R6 findings from the symbol graph, grouped by file.

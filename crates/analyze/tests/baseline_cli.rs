@@ -225,6 +225,101 @@ fn json_format_emits_the_report_schema() {
 }
 
 #[test]
+fn help_documents_every_accepted_flag() {
+    // The binary generates --help from its flag table; this pins the
+    // other direction: every flag the parser accepts must appear in the
+    // help text, so adding a flag without documenting it fails CI.
+    let out = analyze(&["--help"]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let help = String::from_utf8_lossy(&out.stdout).into_owned();
+    for flag in [
+        "--root",
+        "--format",
+        "--report",
+        "--cache",
+        "--baseline",
+        "--fail-on-new",
+        "--write-baseline",
+        "--callgraph",
+        "--stats",
+        "--help",
+    ] {
+        assert!(help.contains(flag), "help must document {flag}: {help}");
+    }
+    assert!(help.contains("text|json|sarif"), "help must list every format: {help}");
+}
+
+#[test]
+fn sarif_format_emits_a_2_1_0_log() {
+    let dir = scratch("sarif");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let out = analyze(&["--root", root.to_str().expect("utf-8 path"), "--format", "sarif"]);
+    assert_eq!(code(&out), 1, "findings still gate under sarif output");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"name\": \"hoga-analyze\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"ruleId\": \"determinism-taint\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"uri\": \"src/tainted.rs\""), "stdout: {stdout}");
+}
+
+#[test]
+fn write_baseline_regenerates_the_archive_atomically() {
+    let dir = scratch("write-baseline");
+    let root = dir.join("ws");
+    write_dirty_workspace(&root);
+    let baseline = dir.join("baseline.json");
+    let report = dir.join("report.json");
+
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--report",
+        report.to_str().expect("utf-8 path"),
+        "--write-baseline",
+        baseline.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(baseline.is_file(), "--write-baseline must write the archive");
+    assert!(!dir.join("baseline.tmp").exists(), "atomic write leaves no temp file");
+    assert_eq!(
+        fs::read_to_string(&baseline).expect("read baseline"),
+        fs::read_to_string(&report).expect("read report"),
+        "--write-baseline archives the same JSON report as --report"
+    );
+
+    // The regenerated baseline immediately gates: same findings, exit 0.
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--baseline",
+        baseline.to_str().expect("utf-8 path"),
+        "--fail-on-new",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("baseline: 0 new, 1 known, 0 fixed"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn callgraph_flag_dumps_the_graph_artifact() {
+    let dir = scratch("callgraph");
+    let root = dir.join("ws");
+    write_clean_workspace(&root);
+    let graph = dir.join("callgraph.json");
+    let out = analyze(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--callgraph",
+        graph.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let dumped = fs::read_to_string(&graph).expect("read callgraph artifact");
+    assert!(dumped.contains("\"schema\": \"hoga-analyze-callgraph v1\""), "dump: {dumped}");
+    assert!(dumped.contains("\"name\": \"id\""), "the clean workspace's one fn: {dumped}");
+    assert!(!dir.join("callgraph.tmp").exists(), "atomic write leaves no temp file");
+}
+
+#[test]
 fn report_matches_stdout_json_byte_for_byte() {
     let dir = scratch("report-eq");
     let root = dir.join("ws");

@@ -101,11 +101,13 @@ impl<'a> StateReader<'a> {
 
     fn u64(&mut self, what: &str) -> Result<u64, StateError> {
         let b = self.take(8, what)?;
+        // analyze: allow(panic-reachability) — take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
     fn f32(&mut self, what: &str) -> Result<f32, StateError> {
         let b = self.take(4, what)?;
+        // analyze: allow(panic-reachability) — take(4) returned exactly 4 bytes
         Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
@@ -125,6 +127,7 @@ impl<'a> StateReader<'a> {
                     let raw = self.take(len, "slot payload")?;
                     let data: Vec<f32> = raw
                         .chunks_exact(4)
+                        // analyze: allow(panic-reachability) — chunks_exact(4) yields 4-byte chunks
                         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
                         .collect();
                     let m = Matrix::try_from_vec(rows, cols, data)
@@ -222,7 +225,7 @@ impl Optimizer for Adam {
             for ((pv, &mv), &vv) in
                 value.as_mut_slice().iter_mut().zip(&m_snapshot).zip(v.as_slice())
             {
-                let mhat = mv / bc1;
+                let mhat = mv / bc1; // analyze: allow(panic-reachability) — f32 division cannot panic
                 let vhat = vv / bc2;
                 *pv -= self.lr * mhat / (vhat.sqrt() + self.eps) + wd * *pv;
             }

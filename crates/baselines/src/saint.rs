@@ -50,6 +50,7 @@ pub fn random_walk_sample(
                 break;
             }
             let pick = rng.gen_range(0..degree);
+            // analyze: allow(panic-reachability) — pick < degree == row entry count, so nth is Some
             let (next, _) = adj.row_entries(cur).nth(pick).expect("degree-checked neighbor");
             cur = next;
             in_sample[cur] = true;

@@ -10,11 +10,12 @@
 use std::path::Path;
 use std::time::Instant;
 
+use hoga_analyze::callgraph::{build_graph, file_defs, file_input, CgDef, CgFileInput};
 use hoga_analyze::cfg::{function_cfgs, Cfg};
 use hoga_analyze::dataflow::{forward_fixpoint, Analysis};
 use hoga_analyze::lexer::{lex, TokKind, Token};
 use hoga_analyze::workspace::{read_workspace_sources, workspace_rs_files};
-use hoga_analyze::{analyze_workspace_with, AnalyzeOptions, SymbolGraph};
+use hoga_analyze::{analyze_workspace_with, AnalyzeOptions, FileProfile, SymbolGraph};
 
 const RUNS: usize = 5;
 
@@ -109,6 +110,35 @@ fn main() {
     }
     let transfers_per_sec = transfers as f64 / best_fix.max(1e-12);
 
+    // Call graph: per-file fact extraction once, then graph construction
+    // and may-panic/may-block propagation throughput. The default profile
+    // (nothing hardened, nothing test) maximizes harvested facts, which is
+    // the honest worst case for the builder.
+    let inputs: Vec<CgFileInput> =
+        sources.iter().map(|(rel, s)| file_input(rel, s, FileProfile::default())).collect();
+    let def_count: usize = sources.iter().map(|(_, s)| file_defs(s).len()).sum();
+    let public_defs: usize =
+        inputs.iter().flat_map(|i| &i.defs).filter(|d: &&CgDef| d.public).count();
+    let mut best_cg_build = f64::INFINITY;
+    let (mut cg_nodes, mut cg_edges, mut cg_sccs) = (0u64, 0u64, 0u64);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let g = build_graph(&inputs);
+        cg_nodes = g.nodes();
+        cg_edges = g.edges();
+        cg_sccs = g.sccs();
+        best_cg_build = best_cg_build.min(t0.elapsed().as_secs_f64());
+    }
+    let mut graph = build_graph(&inputs);
+    let mut best_prop = f64::INFINITY;
+    let mut edge_visits = 0u64;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        edge_visits = graph.propagate();
+        best_prop = best_prop.min(t0.elapsed().as_secs_f64());
+    }
+    let edge_visits_per_sec = edge_visits as f64 / best_prop.max(1e-12);
+
     // End-to-end: walk + lex + parse + CFG + dataflow + graph + every rule.
     let cold_opts = AnalyzeOptions::default();
     let mut best_full = f64::INFINITY;
@@ -148,6 +178,10 @@ fn main() {
          \"cfg_build_wall_s\": {:.6},\n  \"cfgs\": {},\n  \"cfg_blocks\": {},\n  \
          \"cfg_edges\": {},\n  \"fixpoint_wall_s\": {:.6},\n  \"fixpoint_transfers\": {},\n  \
          \"fixpoint_transfers_per_sec\": {:.0},\n  \"taint_fixpoint_transfers\": {},\n  \
+         \"callgraph_defs\": {},\n  \"callgraph_public_defs\": {},\n  \
+         \"callgraph_nodes\": {},\n  \"callgraph_edges\": {},\n  \"callgraph_sccs\": {},\n  \
+         \"callgraph_build_wall_s\": {:.6},\n  \"callgraph_propagate_wall_s\": {:.6},\n  \
+         \"callgraph_edge_visits\": {},\n  \"callgraph_edge_visits_per_sec\": {:.0},\n  \
          \"full_analyze_wall_s\": {:.6},\n  \"cache_cold_wall_s\": {:.6},\n  \
          \"cache_warm_wall_s\": {:.6},\n  \"cache_warm_hits\": {},\n  \"findings\": {}\n}}\n",
         files.len(),
@@ -168,6 +202,15 @@ fn main() {
         transfers,
         transfers_per_sec,
         full_stats.fixpoint_iterations,
+        def_count,
+        public_defs,
+        cg_nodes,
+        cg_edges,
+        cg_sccs,
+        best_cg_build,
+        best_prop,
+        edge_visits,
+        edge_visits_per_sec,
         best_full,
         cold_cache_wall,
         best_warm,

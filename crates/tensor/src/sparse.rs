@@ -181,6 +181,7 @@ impl CsrMatrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        // analyze: allow(panic-reachability) — documented contract: r < rows, and indptr has rows+1 entries
         let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
         self.indices[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
     }
@@ -260,7 +261,7 @@ impl CsrMatrix {
 
     /// Per-row count of structural nonzeros (out-degree for adjacency use).
     pub fn row_nnz(&self) -> Vec<usize> {
-        (0..self.rows).map(|r| self.indptr[r + 1] - self.indptr[r]).collect()
+        self.indptr.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Scales row `r` entries by `s` for every row (`diag(s) · self`).
