@@ -39,7 +39,7 @@ use crate::symbols::{source_unit, SymbolDef};
 /// Format header; bump the version whenever artifact semantics change
 /// (new rule, changed message text, new field) so stale caches miss
 /// instead of replaying old findings.
-const FORMAT: &str = "hoga-analyze-cache v2";
+const FORMAT: &str = "hoga-analyze-cache v3";
 
 /// One file's complete per-file analysis output, in cache-serializable
 /// form.
@@ -101,10 +101,19 @@ pub(crate) struct DefRec {
 /// profile change (e.g. a module becoming hardened) invalidates cleanly.
 pub(crate) fn profile_bits(p: FileProfile) -> u16 {
     let mut bits = 0u16;
-    for (i, b) in
-        [p.panic_free, p.lossy_cast, p.crate_root, p.all_test, p.numeric, p.eval_path, p.pool_path]
-            .into_iter()
-            .enumerate()
+    for (i, b) in [
+        p.panic_free,
+        p.lossy_cast,
+        p.crate_root,
+        p.all_test,
+        p.numeric,
+        p.eval_path,
+        p.pool_path,
+        p.unsafe_allowlisted,
+        p.owns_unsafe_module,
+    ]
+    .into_iter()
+    .enumerate()
     {
         if b {
             bits |= 1 << i;

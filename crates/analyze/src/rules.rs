@@ -147,6 +147,14 @@ pub struct FileProfile {
     /// pool), where join discipline also applies: a `join()` whose result
     /// is discarded or `.ok()`-swallowed loses a worker panic.
     pub pool_path: bool,
+    /// R3: this file is an individually audited unsafe module
+    /// ([`crate::workspace::UNSAFE_ALLOWLIST`]) — the only place `unsafe`
+    /// tokens may appear.
+    pub unsafe_allowlisted: bool,
+    /// R3: this crate root owns an allowlisted unsafe module, so instead
+    /// of the plain `#![forbid(unsafe_code)]` it must carry the
+    /// `cfg_attr` pair (feature-off `forbid` + feature-on `deny`).
+    pub owns_unsafe_module: bool,
 }
 
 /// The per-file analysis before suppression matching. Token-level rules
@@ -213,9 +221,7 @@ pub(crate) fn analyze_file(rel_path: &str, src: &str, profile: FileProfile) -> F
     if profile.lossy_cast {
         rule_lossy_cast(rel_path, &tokens, src, &test_spans, &mut raw);
     }
-    if profile.crate_root {
-        rule_unsafe_forbidden(rel_path, &tokens, src, &mut raw);
-    }
+    rule_unsafe_forbidden(rel_path, &tokens, src, profile, &mut raw);
     rule_todo_tracker(rel_path, &tokens, src, &mut raw);
     if profile.numeric {
         rule_float_equality(rel_path, &code, src, &test_spans, &mut raw);
@@ -649,32 +655,94 @@ fn rule_lossy_cast(
 // R3: unsafe-forbidden
 // ---------------------------------------------------------------------------
 
-fn rule_unsafe_forbidden(rel_path: &str, tokens: &[Token], src: &str, out: &mut Vec<Finding>) {
+/// `true` when the code tokens contain `<lint> ( unsafe_code )` — the
+/// payload of a `forbid`/`deny`/`allow` attribute, whether it appears
+/// directly in `#![...]` or nested inside `cfg_attr`.
+fn has_unsafe_lint_seq(code: &[&Token], src: &str, lint: &str) -> bool {
+    code.windows(4).any(|w| {
+        w[0].kind == TokKind::Ident
+            && w[0].text(src) == lint
+            && matches!(w[1].kind, TokKind::Punct('('))
+            && w[2].kind == TokKind::Ident
+            && w[2].text(src) == "unsafe_code"
+            && matches!(w[3].kind, TokKind::Punct(')'))
+    })
+}
+
+fn rule_unsafe_forbidden(
+    rel_path: &str,
+    tokens: &[Token],
+    src: &str,
+    profile: FileProfile,
+    out: &mut Vec<Finding>,
+) {
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| !matches!(t.kind, TokKind::LineComment { .. } | TokKind::BlockComment { .. }))
         .collect();
-    let found = code.windows(7).any(|w| {
-        matches!(w[0].kind, TokKind::Punct('#'))
-            && matches!(w[1].kind, TokKind::Punct('!'))
-            && matches!(w[2].kind, TokKind::Punct('['))
-            && w[3].kind == TokKind::Ident
-            && w[3].text(src) == "forbid"
-            && matches!(w[4].kind, TokKind::Punct('('))
-            && w[5].kind == TokKind::Ident
-            && w[5].text(src) == "unsafe_code"
-            && matches!(w[6].kind, TokKind::Punct(')'))
-    });
-    if !found {
-        out.push(Finding {
-            file: rel_path.to_string(),
-            line: 1,
-            col: 1,
-            rule: "unsafe-forbidden",
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-            symbol: None,
-            severity_override: None,
-        });
+
+    // Crate-root attribute check. A root that owns an allowlisted unsafe
+    // module may replace the unconditional `#![forbid(unsafe_code)]` with
+    // the `cfg_attr` pair (feature-off `forbid`, feature-on `deny`); both
+    // halves must be present so neither build drops the lint.
+    if profile.crate_root {
+        let found = if profile.owns_unsafe_module {
+            has_unsafe_lint_seq(&code, src, "forbid") && has_unsafe_lint_seq(&code, src, "deny")
+        } else {
+            code.windows(7).any(|w| {
+                matches!(w[0].kind, TokKind::Punct('#'))
+                    && matches!(w[1].kind, TokKind::Punct('!'))
+                    && matches!(w[2].kind, TokKind::Punct('['))
+                    && w[3].kind == TokKind::Ident
+                    && w[3].text(src) == "forbid"
+                    && matches!(w[4].kind, TokKind::Punct('('))
+                    && w[5].kind == TokKind::Ident
+                    && w[5].text(src) == "unsafe_code"
+                    && matches!(w[6].kind, TokKind::Punct(')'))
+            })
+        };
+        if !found {
+            let message = if profile.owns_unsafe_module {
+                "crate root owns an audited unsafe module and must carry both \
+                 `cfg_attr` halves: `forbid(unsafe_code)` with the feature off \
+                 and `deny(unsafe_code)` with it on"
+                    .to_string()
+            } else {
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string()
+            };
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: 1,
+                col: 1,
+                rule: "unsafe-forbidden",
+                message,
+                symbol: None,
+                severity_override: None,
+            });
+        }
+    }
+
+    // Token-wise `unsafe` scan, every file: crate-level attributes can be
+    // bypassed with a module-level `allow`, so the allowlist is enforced
+    // on occurrences, not on attributes. String literals and comments are
+    // separate token kinds and never match.
+    if !profile.unsafe_allowlisted {
+        for t in &code {
+            if t.kind == TokKind::Ident && t.text(src) == "unsafe" {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "unsafe-forbidden",
+                    message: "`unsafe` outside the audited allowlist \
+                              (see hoga-analyze workspace::UNSAFE_ALLOWLIST); move the code \
+                              into an allowlisted module or extend the list with an audit"
+                        .to_string(),
+                    symbol: None,
+                    severity_override: None,
+                });
+            }
+        }
     }
 }
 
@@ -1285,6 +1353,55 @@ mod tests {
         let f =
             analyze_source("src/lib.rs", "// #![forbid(unsafe_code)]\npub fn f() {}\n", profile);
         assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
+    }
+
+    #[test]
+    fn unsafe_owning_root_needs_both_cfg_attr_halves() {
+        let profile =
+            FileProfile { crate_root: true, owns_unsafe_module: true, ..FileProfile::default() };
+        let both = "#![cfg_attr(not(feature = \"simd\"), forbid(unsafe_code))]\n\
+                    #![cfg_attr(feature = \"simd\", deny(unsafe_code))]\n\
+                    pub fn f() {}\n";
+        assert!(analyze_source("src/lib.rs", both, profile).is_empty());
+
+        // Dropping either half reopens a build with the lint missing.
+        let forbid_only =
+            "#![cfg_attr(not(feature = \"simd\"), forbid(unsafe_code))]\npub fn f() {}\n";
+        let f = analyze_source("src/lib.rs", forbid_only, profile);
+        assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
+        assert!(f[0].message.contains("both"), "message names the pair: {}", f[0].message);
+        let deny_only = "#![cfg_attr(feature = \"simd\", deny(unsafe_code))]\npub fn f() {}\n";
+        assert_eq!(
+            rules_of(&analyze_source("src/lib.rs", deny_only, profile)),
+            ["unsafe-forbidden"]
+        );
+
+        // A plain unconditional forbid no longer satisfies an owning root:
+        // it would make the audited module uncompilable rather than gated.
+        let plain = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert_eq!(rules_of(&analyze_source("src/lib.rs", plain, profile)), ["unsafe-forbidden"]);
+    }
+
+    #[test]
+    fn unsafe_token_outside_allowlist_is_flagged_anywhere() {
+        // Not a crate root: the occurrence scan runs on every file.
+        let src = "pub fn f(p: *const f32) -> f32 { unsafe { *p } }\n";
+        let f = analyze_source("crates/x/src/inner.rs", src, FileProfile::default());
+        assert_eq!(rules_of(&f), ["unsafe-forbidden"]);
+        assert!(f[0].message.contains("allowlist"));
+
+        // Comments and string literals never match.
+        let harmless = "// unsafe in prose\nconst S: &str = \"unsafe\";\n";
+        assert!(
+            analyze_source("crates/x/src/inner.rs", harmless, FileProfile::default()).is_empty()
+        );
+    }
+
+    #[test]
+    fn unsafe_token_in_allowlisted_module_is_accepted() {
+        let profile = FileProfile { unsafe_allowlisted: true, ..FileProfile::default() };
+        let src = "#![allow(unsafe_code)]\npub fn f(p: *const f32) -> f32 { unsafe { *p } }\n";
+        assert!(analyze_source("crates/tensor/src/simd.rs", src, profile).is_empty());
     }
 
     #[test]

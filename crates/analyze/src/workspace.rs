@@ -47,6 +47,30 @@ pub(crate) fn module_match(list: &[&str], rel: &str) -> bool {
 pub(crate) const NUMERIC_MODULES: &[&str] =
     &["crates/tensor/src/", "crates/autograd/src/", "crates/eval/src/"];
 
+/// The only files allowed to contain the `unsafe` keyword (R3). Each entry
+/// is an individually audited module — currently just the feature-gated
+/// AVX2 kernel backend, whose crate root demotes `forbid(unsafe_code)` to
+/// a `cfg_attr`-paired `deny` so this one module can `allow` it. Every
+/// other file in the workspace is scanned token-wise: any `unsafe`
+/// outside this list is a finding regardless of crate-level attributes.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/tensor/src/simd.rs"];
+
+/// The `crates/<name>/` prefix of a workspace-relative path (empty when
+/// the path has fewer than two components) — used to decide whether a
+/// crate root owns an [`UNSAFE_ALLOWLIST`] module.
+pub(crate) fn crate_prefix(rel: &str) -> &str {
+    let mut slashes = 0;
+    for (i, b) in rel.bytes().enumerate() {
+        if b == b'/' {
+            slashes += 1;
+            if slashes == 2 {
+                return &rel[..=i];
+            }
+        }
+    }
+    ""
+}
+
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
 
@@ -284,14 +308,18 @@ pub(crate) fn dead_api_findings(
 /// Decides which rules apply to a workspace-relative path.
 pub(crate) fn profile_for(rel: &str, crate_roots: &[String]) -> FileProfile {
     let all_test = rel.split('/').any(|c| c == "tests" || c == "benches" || c == "examples");
+    let crate_root = crate_roots.iter().any(|r| r == rel);
     FileProfile {
         panic_free: module_match(HARDENED_MODULES, rel),
         lossy_cast: module_match(DECODE_MODULES, rel),
-        crate_root: crate_roots.iter().any(|r| r == rel),
+        crate_root,
         all_test,
         numeric: !all_test && NUMERIC_MODULES.iter().any(|m| rel.starts_with(m)),
         eval_path: rel.starts_with("crates/eval/src/"),
         pool_path: rel.starts_with("crates/jobs/src/"),
+        unsafe_allowlisted: module_match(UNSAFE_ALLOWLIST, rel),
+        owns_unsafe_module: crate_root
+            && UNSAFE_ALLOWLIST.iter().any(|m| crate_prefix(m) == crate_prefix(rel)),
     }
 }
 

@@ -10,11 +10,22 @@
 //! Shapes follow the HOGA trainer: a hop stack of `batch * (K+1)` rows
 //! (batch 512, K+1 = 5) at hidden widths d = 64 and d = 256. Pass `--smoke`
 //! for a reduced-size run suitable for CI gating.
+//!
+//! Three further sections cover the kernel-backend work: `backends`
+//! (scalar vs SIMD training matmul at one thread, with the bitwise flag),
+//! `fast_path` (inference `matmul_fast` throughput and its max ULP
+//! distance from the training oracle), and `int8` (row-quantized
+//! `qmatmul` on both backends — bitwise-pinned against each other — plus
+//! accuracy deltas against the f32 product and against the
+//! dequantized-operand product). Schema in `docs/PERFORMANCE.md`.
 
 use std::path::Path;
 use std::time::Instant;
 
-use hoga_tensor::{set_threads, CsrMatrix, Matrix};
+use hoga_tensor::{
+    active_backend, qmatmul, set_backend, set_threads, Backend, CsrMatrix, Matrix, QuantizedMatrix,
+    QuantizedWeights,
+};
 
 /// Deterministic, RNG-free fill in roughly [-1, 1] (the stub `rand` in some
 /// validation environments panics at seed time, so benches avoid it).
@@ -43,6 +54,23 @@ fn time_at(threads: usize, runs: usize, op: &dyn Fn() -> Matrix) -> (f64, Vec<u3
     }
     set_threads(0);
     (best, out_bits)
+}
+
+/// ULP distance on the same monotonic integer line `approx_eq_ulps` uses;
+/// saturates at `u64::MAX` for NaN so a poisoned lane can never pass.
+fn ulp_dist(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    fn order(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        i64::from(if bits < 0 { i32::MIN.wrapping_sub(bits) } else { bits })
+    }
+    order(a).abs_diff(order(b))
+}
+
+fn max_ulp_dist(a: &Matrix, b: &Matrix) -> u64 {
+    a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| ulp_dist(x, y)).max().unwrap_or(0)
 }
 
 struct KernelRow {
@@ -176,15 +204,189 @@ fn main() {
     kernels
         .push(KernelRow::measure(format!("spmm_{n}x{n}_d64"), spmm_macs, runs, &|| adj.spmm(&x)));
 
+    // ---- Backend curve: scalar vs SIMD inner loops, single thread ----
+    //
+    // The training path must stay bitwise identical across backends, so
+    // this section is a pure throughput curve plus the equality flag the
+    // differential suite also pins. `simd_backend` records what the
+    // `Backend::Simd` request resolved to ("simd-avx2" or the portable
+    // fallback) so a curve is never attributed to hardware it did not run
+    // on.
+    set_backend(Backend::Simd);
+    let simd_backend = active_backend();
+    set_backend(Backend::Scalar);
+    let mut backend_rows: Vec<String> = Vec::new();
+    let mut fast_rows: Vec<String> = Vec::new();
+    for &d in &[64usize, 256] {
+        let a = dense(rows, d, 77);
+        let b = dense(d, d, 88);
+        let macs = (rows * d * d) as u64;
+
+        // Interleave the backends run-by-run so frequency drift on shared
+        // hardware hits both timings equally instead of skewing the ratio.
+        set_threads(1);
+        let mut scalar_1t = f64::INFINITY;
+        let mut simd_1t = f64::INFINITY;
+        let mut scalar_bits = Vec::new();
+        let mut simd_bits = Vec::new();
+        for _ in 0..runs.max(3) {
+            set_backend(Backend::Scalar);
+            let t0 = Instant::now();
+            let out = a.matmul(&b);
+            scalar_1t = scalar_1t.min(t0.elapsed().as_secs_f64());
+            scalar_bits = bits(&out);
+            set_backend(Backend::Simd);
+            let t0 = Instant::now();
+            let out = a.matmul(&b);
+            simd_1t = simd_1t.min(t0.elapsed().as_secs_f64());
+            simd_bits = bits(&out);
+        }
+        set_threads(0);
+        set_backend(Backend::Simd);
+
+        // Inference fast path on the SIMD backend, ULP-checked against the
+        // training kernel (the reference oracle for `matmul_fast`).
+        let reference = a.matmul(&b);
+        let (fast_1t, _) = time_at(1, runs, &|| a.matmul_fast(&b));
+        let fast_out = a.matmul_fast(&b);
+        let max_ulps = max_ulp_dist(&fast_out, &reference);
+        // Raw ULP distance explodes for near-zero elements produced by
+        // cancellation (a few 1e-7s of absolute error spans millions of
+        // denormal ULPs), so record the absolute ceiling alongside it.
+        let max_abs = fast_out
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .fold(0.0f32, |m, (&g, &w)| m.max((g - w).abs()));
+        set_backend(Backend::Scalar);
+
+        assert_eq!(
+            scalar_bits, simd_bits,
+            "training matmul at d={d} differs between scalar and {simd_backend} backends"
+        );
+        backend_rows.push(format!(
+            "    {{\n      \"kernel\": \"matmul_{rows}x{d}x{d}\",\n      \"macs\": {macs},\n      \
+             \"scalar_wall_1t_s\": {scalar_1t:.6},\n      \"simd_wall_1t_s\": {simd_1t:.6},\n      \
+             \"scalar_macs_per_sec_1t\": {:.0},\n      \"simd_macs_per_sec_1t\": {:.0},\n      \
+             \"speedup_vs_scalar_1t\": {:.3},\n      \"bitwise_equal\": {}\n    }}",
+            macs as f64 / scalar_1t.max(1e-12),
+            macs as f64 / simd_1t.max(1e-12),
+            scalar_1t / simd_1t.max(1e-12),
+            scalar_bits == simd_bits
+        ));
+        fast_rows.push(format!(
+            "    {{\n      \"kernel\": \"matmul_fast_{rows}x{d}x{d}\",\n      \
+             \"backend\": \"{simd_backend}\",\n      \"macs\": {macs},\n      \
+             \"wall_1t_s\": {fast_1t:.6},\n      \"macs_per_sec_1t\": {:.0},\n      \
+             \"speedup_vs_training_simd_1t\": {:.3},\n      \
+             \"speedup_vs_scalar_1t\": {:.3},\n      \"max_ulps_vs_reference\": {max_ulps},\n      \
+             \"max_abs_err_vs_reference\": {max_abs:e}\n    }}",
+            macs as f64 / fast_1t.max(1e-12),
+            simd_1t / fast_1t.max(1e-12),
+            scalar_1t / fast_1t.max(1e-12)
+        ));
+    }
+
+    // ---- int8 row-quantized inference matmul vs the f32 oracle ----
+    //
+    // `err_vs_f32` is quantization + kernel error against the exact f32
+    // product; `err_vs_dequant` re-runs the product on the dequantized
+    // operands, isolating the integer kernel itself (it should be near
+    // float rounding noise). Errors are normalized by max|oracle|.
+    let mut int8_rows: Vec<String> = Vec::new();
+    for &d in &[64usize, 256] {
+        let a = dense(rows, d, 99);
+        let w = dense(d, d, 111);
+        let macs = (rows * d * d) as u64;
+
+        set_backend(Backend::Scalar);
+        let qw = QuantizedWeights::quantize(&w);
+        let (quant_wall, _) = time_at(1, runs, &|| QuantizedMatrix::quantize(&a).dequantize());
+        let qa = QuantizedMatrix::quantize(&a);
+        // Interleave the f32 oracle and both int8 backends run-by-run, as
+        // in the backends section, so the recorded ratios share frequency
+        // conditions. Exact integer accumulation makes the two int8 paths
+        // bitwise comparable — pinned here like the training assert above.
+        set_threads(1);
+        let mut f32_1t = f64::INFINITY;
+        let mut int8_1t = f64::INFINITY;
+        let mut int8_simd_1t = f64::INFINITY;
+        let mut y8 = Matrix::zeros(0, 0);
+        let mut scalar8_bits = Vec::new();
+        let mut simd8_bits = Vec::new();
+        for _ in 0..runs.max(3) {
+            set_backend(Backend::Scalar);
+            let t0 = Instant::now();
+            let _ = a.matmul(&w);
+            f32_1t = f32_1t.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let out = qmatmul(&qa, &qw);
+            int8_1t = int8_1t.min(t0.elapsed().as_secs_f64());
+            scalar8_bits = bits(&out);
+            set_backend(Backend::Simd);
+            let t0 = Instant::now();
+            y8 = qmatmul(&qa, &qw);
+            int8_simd_1t = int8_simd_1t.min(t0.elapsed().as_secs_f64());
+            simd8_bits = bits(&y8);
+        }
+        set_threads(0);
+        set_backend(Backend::Scalar);
+        assert_eq!(
+            scalar8_bits, simd8_bits,
+            "int8 qmatmul at d={d} differs between scalar and {simd_backend} backends"
+        );
+
+        let oracle = a.matmul(&w);
+        let scale = oracle.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-12);
+        let dequant_oracle = qa.dequantize().matmul(&qw.dequantize());
+        let mut max_err = 0.0f32;
+        let mut sum_err = 0.0f64;
+        for (&got, &want) in y8.as_slice().iter().zip(oracle.as_slice()) {
+            let e = (got - want).abs() / scale;
+            max_err = max_err.max(e);
+            sum_err += f64::from(e);
+        }
+        let mean_err = sum_err / y8.as_slice().len().max(1) as f64;
+        let kernel_err = y8
+            .as_slice()
+            .iter()
+            .zip(dequant_oracle.as_slice())
+            .fold(0.0f32, |m, (&g, &o)| m.max((g - o).abs() / scale));
+
+        int8_rows.push(format!(
+            "    {{\n      \"kernel\": \"qmatmul_{rows}x{d}x{d}\",\n      \"macs\": {macs},\n      \
+             \"scalar_wall_1t_s\": {int8_1t:.6},\n      \"scalar_macs_per_sec_1t\": {:.0},\n      \
+             \"simd_wall_1t_s\": {int8_simd_1t:.6},\n      \"simd_macs_per_sec_1t\": {:.0},\n      \
+             \"simd_speedup_vs_int8_scalar_1t\": {:.3},\n      \
+             \"simd_speedup_vs_f32_scalar_matmul_1t\": {:.3},\n      \
+             \"bitwise_equal\": {},\n      \
+             \"activation_quantize_roundtrip_s\": {quant_wall:.6},\n      \
+             \"max_rel_err_vs_f32\": {max_err:.6},\n      \"mean_rel_err_vs_f32\": {mean_err:.6},\n      \
+             \"max_rel_err_vs_dequant_oracle\": {kernel_err:.6}\n    }}",
+            macs as f64 / int8_1t.max(1e-12),
+            macs as f64 / int8_simd_1t.max(1e-12),
+            int8_1t / int8_simd_1t.max(1e-12),
+            f32_1t / int8_simd_1t.max(1e-12),
+            scalar8_bits == simd8_bits
+        ));
+    }
+    set_backend(Backend::Scalar);
+
     let rows_json: Vec<String> = kernels.iter().map(KernelRow::json).collect();
     let json = format!(
         "{{\n  \"bench\": \"kernels\",\n  \"smoke\": {},\n  \"batch\": {},\n  \
-         \"hop_blocks\": {},\n  \"runs\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+         \"hop_blocks\": {},\n  \"runs\": {},\n  \"simd_backend\": \"{}\",\n  \
+         \"kernels\": [\n{}\n  ],\n  \"backends\": [\n{}\n  ],\n  \
+         \"fast_path\": [\n{}\n  ],\n  \"int8\": [\n{}\n  ]\n}}\n",
         smoke,
         batch,
         hops,
         runs,
-        rows_json.join(",\n")
+        simd_backend,
+        rows_json.join(",\n"),
+        backend_rows.join(",\n"),
+        fast_rows.join(",\n"),
+        int8_rows.join(",\n")
     );
     print!("{json}");
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");

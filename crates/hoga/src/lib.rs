@@ -54,4 +54,5 @@
 
 pub mod heads;
 pub mod hopfeat;
+pub mod infer;
 pub mod model;

@@ -68,7 +68,6 @@ impl HogaConfig {
     ///
     /// Panics (at [`HogaModel::new`]) if `hidden_dim` is not divisible by
     /// the head count.
-    // analyze: allow(dead-public-api) — builder knob of the public model-configuration API; exercised by the unit tests
     pub fn with_heads(mut self, num_heads: usize) -> Self {
         self.num_heads = num_heads;
         self
@@ -81,24 +80,23 @@ impl HogaConfig {
     }
 
     /// Replaces the layer count.
-    // analyze: allow(dead-public-api) — builder knob of the public model-configuration API; exercised by the unit tests
     pub fn with_layers(mut self, num_layers: usize) -> Self {
         self.num_layers = num_layers;
         self
     }
 }
 
-struct AttnHead {
-    wq: ParamId,
-    wk: ParamId,
-    wu: ParamId,
-    wv: ParamId,
+pub(crate) struct AttnHead {
+    pub(crate) wq: ParamId,
+    pub(crate) wk: ParamId,
+    pub(crate) wu: ParamId,
+    pub(crate) wv: ParamId,
 }
 
-struct AttnLayer {
-    heads: Vec<AttnHead>,
-    gamma: ParamId,
-    beta: ParamId,
+pub(crate) struct AttnLayer {
+    pub(crate) heads: Vec<AttnHead>,
+    pub(crate) gamma: ParamId,
+    pub(crate) beta: ParamId,
 }
 
 /// The HOGA model: input projection, gated self-attention stack, attentive
@@ -106,11 +104,11 @@ struct AttnLayer {
 pub struct HogaModel {
     /// All trainable parameters (optimizers operate on this set).
     pub params: ParamSet,
-    config: HogaConfig,
-    w_in: ParamId,
-    b_in: ParamId,
-    layers: Vec<AttnLayer>,
-    alpha: ParamId,
+    pub(crate) config: HogaConfig,
+    pub(crate) w_in: ParamId,
+    pub(crate) b_in: ParamId,
+    pub(crate) layers: Vec<AttnLayer>,
+    pub(crate) alpha: ParamId,
 }
 
 /// Forward-pass outputs.

@@ -1,0 +1,139 @@
+//! Differential tests of the tape-free inference path against the training
+//! forward pass.
+//!
+//! The contract under test (see `hoga_core::infer`):
+//!
+//! * `Precision::Exact` replays the tape ops verbatim → **bitwise** equal
+//!   representations and readout scores, for every aggregator and head
+//!   count.
+//! * `Precision::Fast` swaps in the fused/lane-parallel kernels → close to
+//!   the exact path within a small absolute tolerance.
+//! * `Precision::Int8` quantizes the hidden projections → loosely bounded
+//!   against the f32 oracle, deterministic under plan reuse.
+
+use hoga_autograd::Tape;
+use hoga_core::infer::Precision;
+use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
+use hoga_tensor::{Init, Matrix};
+
+fn toy_stack(batch: usize, k1: usize, d: usize, seed: u64) -> Matrix {
+    Init::SmallUniform.matrix(batch * k1, d, seed)
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn tape_forward(model: &HogaModel, stack: &Matrix, batch: usize) -> (Matrix, Option<Matrix>) {
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, stack, batch);
+    let reps = tape.value(out.representations).clone();
+    let scores = out.readout_scores.map(|s| tape.value(s).clone());
+    (reps, scores)
+}
+
+#[test]
+fn exact_inference_is_bitwise_identical_to_tape_forward() {
+    let configs = [
+        HogaConfig::new(7, 16, 5),
+        HogaConfig::new(7, 16, 5).with_heads(4),
+        HogaConfig::new(7, 16, 5).with_layers(2),
+        HogaConfig::new(7, 16, 5).with_aggregator(Aggregator::GateOnly),
+        HogaConfig::new(7, 16, 5).with_aggregator(Aggregator::Sum),
+    ];
+    for (i, cfg) in configs.iter().enumerate() {
+        let model = HogaModel::new(cfg, 3 + i as u64);
+        let batch = 4;
+        let stack = toy_stack(batch, cfg.num_hops + 1, cfg.input_dim, 40 + i as u64);
+        let (want_reps, want_scores) = tape_forward(&model, &stack, batch);
+        let got = model.infer(&stack, batch, Precision::Exact);
+        assert_eq!(
+            bits(&want_reps),
+            bits(&got.representations),
+            "config {i}: exact inference differs bitwise from the tape forward"
+        );
+        match (want_scores, got.readout_scores) {
+            (Some(w), Some(g)) => assert_eq!(bits(&w), bits(&g), "config {i}: scores differ"),
+            (None, None) => {}
+            _ => panic!("config {i}: score presence mismatch"),
+        }
+    }
+}
+
+#[test]
+fn fast_inference_tracks_exact_within_tolerance() {
+    let cfg = HogaConfig::new(9, 24, 4).with_heads(2);
+    let model = HogaModel::new(&cfg, 11);
+    let batch = 6;
+    let stack = toy_stack(batch, 5, 9, 12);
+    let exact = model.infer(&stack, batch, Precision::Exact);
+    let fast = model.infer(&stack, batch, Precision::Fast);
+    assert!(
+        exact.representations.max_abs_diff(&fast.representations) < 1e-4,
+        "fast representations drifted: {}",
+        exact.representations.max_abs_diff(&fast.representations)
+    );
+    let (es, fs) = (exact.readout_scores.unwrap(), fast.readout_scores.unwrap());
+    assert!(es.max_abs_diff(&fs) < 1e-4, "fast scores drifted: {}", es.max_abs_diff(&fs));
+}
+
+#[test]
+fn int8_inference_is_loosely_bounded_and_scores_normalized() {
+    let cfg = HogaConfig::new(9, 24, 4);
+    let model = HogaModel::new(&cfg, 21);
+    let batch = 6;
+    let stack = toy_stack(batch, 5, 9, 22);
+    let exact = model.infer(&stack, batch, Precision::Exact);
+    let plan = model.int8_plan();
+    let int8 = model.infer_int8(&plan, &stack, batch);
+    // Per-row/per-column 8-bit quantization through one attention layer:
+    // loose but meaningful bound relative to the representation scale.
+    let scale = exact.representations.as_slice().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+    let delta = exact.representations.max_abs_diff(&int8.representations);
+    assert!(
+        delta <= 0.15 * scale,
+        "int8 drifted too far: delta {delta} vs representation scale {scale}"
+    );
+    let scores = int8.readout_scores.unwrap();
+    assert!(scores.is_finite());
+    for r in 0..batch {
+        let s: f32 = scores.row(r).iter().sum();
+        assert!((s - 1.0).abs() < 1e-5, "int8 scores row {r} sums to {s}");
+    }
+}
+
+#[test]
+fn int8_plan_reuse_is_deterministic() {
+    let cfg = HogaConfig::new(6, 16, 3).with_heads(2);
+    let model = HogaModel::new(&cfg, 31);
+    let batch = 3;
+    let stack = toy_stack(batch, 4, 6, 32);
+    let plan_a = model.int8_plan();
+    let plan_b = model.int8_plan();
+    let r1 = model.infer_int8(&plan_a, &stack, batch);
+    let r2 = model.infer_int8(&plan_a, &stack, batch);
+    let r3 = model.infer_int8(&plan_b, &stack, batch);
+    assert_eq!(bits(&r1.representations), bits(&r2.representations), "plan reuse nondeterministic");
+    assert_eq!(bits(&r1.representations), bits(&r3.representations), "plan rebuild drifted");
+}
+
+#[test]
+fn exact_inference_covers_sum_ablation_end_to_end() {
+    let cfg = HogaConfig::new(5, 8, 3).with_aggregator(Aggregator::Sum);
+    let model = HogaModel::new(&cfg, 41);
+    let batch = 3;
+    let stack = toy_stack(batch, 4, 5, 42);
+    let out = model.infer(&stack, batch, Precision::Fast);
+    assert_eq!(out.representations.shape(), (batch, 8));
+    assert!(out.readout_scores.is_none());
+    assert!(out.representations.is_finite());
+}
+
+#[test]
+#[should_panic(expected = "int8 inference needs a weight plan")]
+fn int8_without_plan_panics() {
+    let cfg = HogaConfig::new(5, 8, 3);
+    let model = HogaModel::new(&cfg, 51);
+    let stack = toy_stack(2, 4, 5, 52);
+    let _ = model.infer(&stack, 2, Precision::Int8);
+}

@@ -27,7 +27,6 @@ pub fn approx_eq(a: f32, b: f32) -> bool {
 /// The bit patterns are mapped onto a single monotonic integer line so
 /// adjacent representable floats differ by exactly one; the comparison then
 /// bounds the distance by `max_ulps`. `NaN` never compares equal.
-// analyze: allow(dead-public-api) — ULP-distance entry of the public approx API that the float-equality rule points users at; covered by unit tests
 pub fn approx_eq_ulps(a: f32, b: f32, max_ulps: u32) -> bool {
     if a.is_nan() || b.is_nan() {
         return false;

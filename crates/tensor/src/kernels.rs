@@ -1,9 +1,62 @@
 //! Row-wise neural-network kernels: softmax and LayerNorm, with exact
 //! backward passes for the autograd layer.
+//!
+//! Inner loops dispatch through [`crate::backend::KernelBackend`]; the
+//! training entry points are bitwise identical across backends, while the
+//! `*_fast` inference variants trade the ascending reduction order for
+//! lane-parallel reductions within a documented ULP bound (see
+//! `docs/PERFORMANCE.md`).
+//!
+//! # NaN contract
+//!
+//! A NaN logit is a *caller* bug (a diverged model or a corrupt feature),
+//! but the kernels still define what happens: the affected row comes back
+//! **entirely NaN** on every backend — mirroring how fully-masked rows get
+//! a deterministic uniform fallback — and a `debug_assert` trips in debug
+//! builds so the bug surfaces at the kernel boundary instead of three
+//! layers downstream. Before this contract, `softmax_rows` scanned the max
+//! with `f32::max` (which drops NaN), so a single NaN logit slipped past
+//! the masked-row check and poisoned the row *silently* — and, worse, the
+//! poisoning pattern depended on where the NaN sat in the row.
 
+use crate::backend::{dispatch, KernelBackend};
 use crate::Matrix;
 
 const LN_EPS: f32 = 1e-5;
+
+/// What a single scan of a logit row found (the shared classifier behind
+/// the softmax kernels' masked-row and NaN contracts; backend-independent
+/// by construction, so every backend honors the same edge cases).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RowScan {
+    /// At least one finite logit; carries the row maximum.
+    Finite(f32),
+    /// Every logit is `-inf` (a fully masked attention row).
+    AllMasked,
+    /// At least one NaN logit.
+    HasNan,
+}
+
+/// Classifies a non-empty logit row in one pass. Unlike a `f32::max`
+/// fold, NaN is detected rather than dropped.
+fn scan_logits(row: &[f32]) -> RowScan {
+    let mut max = f32::NEG_INFINITY;
+    let mut has_nan = false;
+    for &x in row {
+        if x.is_nan() {
+            has_nan = true;
+        } else if x > max {
+            max = x;
+        }
+    }
+    if has_nan {
+        RowScan::HasNan
+    } else if max.is_infinite() && max.is_sign_negative() {
+        RowScan::AllMasked
+    } else {
+        RowScan::Finite(max)
+    }
+}
 
 /// Row-wise numerically stable softmax.
 ///
@@ -21,6 +74,19 @@ const LN_EPS: f32 = 1e-5;
 /// assert!(s[(1, 0)] > 0.999);
 /// ```
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    dispatch!(B => softmax_rows_impl::<B, false>(logits))
+}
+
+/// Inference-only softmax: identical edge-case contract to
+/// [`softmax_rows`], but the normalizing sum runs through the backend's
+/// lane-parallel fast reduction. Output is within a documented ULP bound
+/// of [`softmax_rows`] (see `docs/PERFORMANCE.md`); for a fixed backend
+/// it is still a pure function of its inputs.
+pub fn softmax_rows_fast(logits: &Matrix) -> Matrix {
+    dispatch!(B => softmax_rows_impl::<B, true>(logits))
+}
+
+fn softmax_rows_impl<B: KernelBackend, const FAST: bool>(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
     let width = out.cols();
     for r in 0..out.rows() {
@@ -28,22 +94,32 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
         if row.is_empty() {
             continue;
         }
-        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-        if max.is_infinite() && max.is_sign_negative() {
-            // Fully masked row (every logit is -inf): `x - max` would be NaN
-            // for each entry. Fall back to the uniform distribution, matching
-            // the limit of softmax as all logits go to -inf together.
-            row.fill(1.0 / width as f32);
-            continue;
-        }
-        let mut sum = 0.0;
-        for x in row.iter_mut() {
-            *x = (*x - max).exp();
-            sum += *x;
-        }
-        let inv = 1.0 / sum;
-        for x in row.iter_mut() {
-            *x *= inv;
+        match scan_logits(row) {
+            RowScan::HasNan => {
+                // A NaN logit means the *inputs* are already broken; make
+                // the whole row deterministically NaN (position-independent)
+                // and trip loudly in debug builds. See the module docs.
+                debug_assert!(
+                    row.iter().all(|x| !x.is_nan()),
+                    "NaN logit reached softmax_rows (row {r}); \
+                     release builds propagate a whole-NaN row"
+                );
+                row.fill(f32::NAN);
+            }
+            RowScan::AllMasked => {
+                // Fully masked row (every logit is -inf): `x - max` would be
+                // NaN for each entry. Fall back to the uniform distribution,
+                // matching the limit of softmax as all logits go to -inf
+                // together.
+                row.fill(1.0 / width as f32);
+            }
+            RowScan::Finite(max) => {
+                for x in row.iter_mut() {
+                    *x = (*x - max).exp();
+                }
+                let sum = if FAST { B::sum_fast(row) } else { B::sum(row) };
+                B::scale(row, 1.0 / sum);
+            }
         }
     }
     out
@@ -59,16 +135,28 @@ pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
         if row.is_empty() {
             continue;
         }
-        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-        if max.is_infinite() && max.is_sign_negative() {
-            // Fully masked row: return the log of the uniform distribution
-            // instead of `-inf - (-inf) = NaN` per entry.
-            row.fill(-(width as f32).ln());
-            continue;
-        }
-        let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-        for x in row.iter_mut() {
-            *x -= log_sum;
+        match scan_logits(row) {
+            RowScan::HasNan => {
+                // Same contract as softmax_rows: deterministic whole-NaN
+                // row, loud in debug builds (module docs).
+                debug_assert!(
+                    row.iter().all(|x| !x.is_nan()),
+                    "NaN logit reached log_softmax_rows (row {r}); \
+                     release builds propagate a whole-NaN row"
+                );
+                row.fill(f32::NAN);
+            }
+            RowScan::AllMasked => {
+                // Fully masked row: return the log of the uniform
+                // distribution instead of `-inf - (-inf) = NaN` per entry.
+                row.fill(-(width as f32).ln());
+            }
+            RowScan::Finite(max) => {
+                let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+                for x in row.iter_mut() {
+                    *x -= log_sum;
+                }
+            }
         }
     }
     out
@@ -117,26 +205,44 @@ pub struct LayerNormCache {
 ///
 /// Panics if `gamma` or `beta` length differs from `x.cols()`.
 pub fn layernorm_forward(x: &Matrix, gamma: &[f32], beta: &[f32]) -> (Matrix, LayerNormCache) {
+    dispatch!(B => layernorm_forward_impl::<B, false>(x, gamma, beta))
+}
+
+/// Inference-only LayerNorm: identical contract to [`layernorm_forward`]
+/// but with lane-parallel mean/variance reductions and no backward cache.
+/// Output is within a documented ULP bound of the training kernel.
+pub fn layernorm_rows_fast(x: &Matrix, gamma: &[f32], beta: &[f32]) -> Matrix {
+    dispatch!(B => layernorm_forward_impl::<B, true>(x, gamma, beta).0)
+}
+
+fn layernorm_forward_impl<B: KernelBackend, const FAST: bool>(
+    x: &Matrix,
+    gamma: &[f32],
+    beta: &[f32],
+) -> (Matrix, LayerNormCache) {
     let d = x.cols();
     assert_eq!(gamma.len(), d, "gamma length mismatch");
     assert_eq!(beta.len(), d, "beta length mismatch");
     let mut out = Matrix::zeros(x.rows(), d);
     let mut normalized = Matrix::zeros(x.rows(), d);
+    if d == 0 {
+        // Width-0 rows have no features to normalize; `sum / d` would make
+        // mean (and then inv_std) NaN. Mirror the softmax kernels and make
+        // this a well-defined no-op: empty rows out, a finite placeholder
+        // inv_std so the backward pass stays NaN-free.
+        return (out, LayerNormCache { inv_std: vec![1.0; x.rows()], normalized });
+    }
     let mut inv_std = Vec::with_capacity(x.rows());
     for r in 0..x.rows() {
         let row = x.row(r);
-        let mean = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let sum = if FAST { B::sum_fast(row) } else { B::sum(row) };
+        let mean = sum / d as f32;
+        let sq = if FAST { B::sq_diff_sum_fast(row, mean) } else { B::sq_diff_sum(row, mean) };
+        let var = sq / d as f32;
         let is = 1.0 / (var + LN_EPS).sqrt();
         inv_std.push(is);
-        let nrow = normalized.row_mut(r);
-        for (n, &v) in nrow.iter_mut().zip(row) {
-            *n = (v - mean) * is;
-        }
-        let orow = out.row_mut(r);
-        for c in 0..d {
-            orow[c] = normalized[(r, c)] * gamma[c] + beta[c];
-        }
+        B::normalize_row(normalized.row_mut(r), row, mean, is);
+        B::affine_row(out.row_mut(r), normalized.row(r), gamma, beta);
     }
     (out, LayerNormCache { inv_std, normalized })
 }
@@ -158,6 +264,11 @@ pub fn layernorm_backward(
     assert_eq!(gamma.len(), d, "gamma length mismatch");
     assert_eq!(cache.normalized.shape(), dy.shape(), "cache shape mismatch");
     let n_rows = dy.rows();
+    if d == 0 {
+        // Width-0 forward was a no-op; the backward has no feature axis to
+        // reduce over either (and `1.0 / d` below would be inf).
+        return (Matrix::zeros(n_rows, 0), Vec::new(), Vec::new());
+    }
     let mut dx = Matrix::zeros(n_rows, d);
     let mut dgamma = vec![0.0f32; d];
     let mut dbeta = vec![0.0f32; d];
@@ -230,6 +341,57 @@ mod tests {
         assert!((y[(1, 2)] - 0.5).abs() < 1e-6);
     }
 
+    #[test]
+    fn scan_classifies_rows() {
+        assert_eq!(scan_logits(&[1.0, -2.0]), RowScan::Finite(1.0));
+        assert_eq!(scan_logits(&[f32::NEG_INFINITY, 3.0]), RowScan::Finite(3.0));
+        assert_eq!(scan_logits(&[f32::NEG_INFINITY, f32::NEG_INFINITY]), RowScan::AllMasked);
+        // The old `f32::max` fold dropped NaN, so `[NaN, 0.0]` looked like a
+        // normal row with max 0.0 and the NaN slipped through undetected.
+        assert_eq!(scan_logits(&[f32::NAN, 0.0]), RowScan::HasNan);
+        assert_eq!(scan_logits(&[0.0, f32::NAN]), RowScan::HasNan);
+        assert_eq!(scan_logits(&[f32::NAN, f32::NEG_INFINITY]), RowScan::HasNan);
+        assert_eq!(scan_logits(&[f32::INFINITY, f32::NAN]), RowScan::HasNan);
+    }
+
+    /// Regression: a single NaN logit must not slip past the masked-row
+    /// check. In debug builds the kernels trip a `debug_assert` right at the
+    /// kernel boundary; in release they return a deterministic whole-NaN
+    /// row (pinned by `scan_classifies_rows` + the release-only test below).
+    #[test]
+    #[cfg(debug_assertions)]
+    fn nan_logit_trips_debug_assert() {
+        for kernel in [softmax_rows, log_softmax_rows, softmax_rows_fast] {
+            let x = Matrix::from_rows(&[&[0.0, f32::NAN, 1.0]]);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel(&x)))
+                .expect_err("NaN logit must panic in debug builds");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(msg.contains("NaN logit"), "unexpected panic message: {msg}");
+        }
+    }
+
+    /// The release half of the NaN contract: the whole row is NaN no matter
+    /// where the NaN sat, and clean rows are untouched.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_logit_poisons_whole_row_deterministically() {
+        for kernel in [softmax_rows, log_softmax_rows, softmax_rows_fast] {
+            let x = Matrix::from_rows(&[&[0.0, f32::NAN, 1.0], &[0.5, 0.25, -1.0]]);
+            let y = kernel(&x);
+            assert!(y.row(0).iter().all(|v| v.is_nan()), "row 0 not fully NaN: {y:?}");
+            assert!(y.row(1).iter().all(|v| v.is_finite()), "clean row corrupted: {y:?}");
+            // Position independence: NaN elsewhere gives the same row 0.
+            let x2 = Matrix::from_rows(&[&[f32::NAN, 0.0, 1.0], &[0.5, 0.25, -1.0]]);
+            let y2 = kernel(&x2);
+            assert!(y2.row(0).iter().all(|v| v.is_nan()));
+            assert_eq!(y.row(1), y2.row(1));
+        }
+    }
+
     /// Regression: log-softmax on a fully masked row used to be all-NaN; it
     /// now returns the log of the uniform distribution.
     #[test]
@@ -297,6 +459,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression: width-0 matrices used to hit `sum / 0` → NaN mean and
+    /// NaN `inv_std`; forward and backward must now be well-defined no-ops
+    /// like the softmax kernels.
+    #[test]
+    fn layernorm_width_zero_is_noop_forward_and_backward() {
+        let x = Matrix::zeros(3, 0);
+        let (y, cache) = layernorm_forward(&x, &[], &[]);
+        assert_eq!(y.shape(), (3, 0));
+        assert!(y.is_finite());
+        assert_eq!(cache.inv_std.len(), 3);
+        assert!(cache.inv_std.iter().all(|v| v.is_finite()), "NaN inv_std: {cache:?}");
+        let dy = Matrix::zeros(3, 0);
+        let (dx, dgamma, dbeta) = layernorm_backward(&dy, &[], &cache);
+        assert_eq!(dx.shape(), (3, 0));
+        assert!(dx.is_finite());
+        assert!(dgamma.is_empty());
+        assert!(dbeta.is_empty());
+    }
+
+    /// The fast kernels share the scalar edge-case contract exactly.
+    #[test]
+    fn fast_kernels_handle_masked_and_empty_rows() {
+        let x = Matrix::from_rows(&[
+            &[f32::NEG_INFINITY, f32::NEG_INFINITY],
+            &[2.0, f32::NEG_INFINITY],
+        ]);
+        let y = softmax_rows_fast(&x);
+        assert!(y.is_finite());
+        assert!((y[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((y[(1, 0)] - 1.0).abs() < 1e-6);
+        assert_eq!(softmax_rows_fast(&Matrix::zeros(2, 0)).shape(), (2, 0));
+        let z = Matrix::zeros(2, 0);
+        assert_eq!(layernorm_rows_fast(&z, &[], &[]).shape(), (2, 0));
+    }
+
+    /// The fast variants stay numerically close to the training kernels.
+    #[test]
+    fn fast_kernels_track_training_kernels() {
+        let x = Matrix::from_fn(5, 37, |r, c| ((r * 37 + c) as f32 * 0.13).sin() * 2.0);
+        assert!(softmax_rows(&x).max_abs_diff(&softmax_rows_fast(&x)) < 1e-6);
+        let gamma: Vec<f32> = (0..37).map(|i| 0.5 + 0.01 * i as f32).collect();
+        let beta: Vec<f32> = (0..37).map(|i| 0.02 * i as f32).collect();
+        let (y, _) = layernorm_forward(&x, &gamma, &beta);
+        assert!(y.max_abs_diff(&layernorm_rows_fast(&x, &gamma, &beta)) < 1e-4);
     }
 
     #[test]

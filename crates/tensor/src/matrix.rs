@@ -1,3 +1,4 @@
+use crate::backend::{dispatch, KernelBackend};
 use crate::parallel::{parallel_chunks, parallel_map};
 use crate::ShapeError;
 use serde::{Deserialize, Serialize};
@@ -17,6 +18,17 @@ const TRANSPOSE_TILE: usize = 32;
 /// rows of a chunk; per-row accumulation order over `k` stays ascending, so
 /// results are bitwise identical to the unblocked loop.
 const MATMUL_K_PANEL: usize = 64;
+
+/// Picks the k-panel length for [`Matrix::matmul`] so the `other` panel
+/// (`len · n · 4` bytes) stays L1-resident: the register-tiled SIMD kernel
+/// sweeps the panel once per 16-column tile with a row-length stride, and
+/// a panel that spills to L2 turns every sweep into demand misses. Panel
+/// boundaries never change results — the per-element `k` chain stays
+/// ascending across them — so this is purely a cache decision.
+fn matmul_panel_len(n: usize) -> usize {
+    const PANEL_BYTES: usize = 24 * 1024;
+    (PANEL_BYTES / (4 * n.max(1))).clamp(8, MATMUL_K_PANEL)
+}
 
 /// Rows of the shared dimension per partial accumulator in
 /// [`Matrix::matmul_tn`].
@@ -349,6 +361,23 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Self) -> Self {
+        dispatch!(B => self.matmul_impl::<B, false>(other))
+    }
+
+    /// Inference-only `self · other`: same shape contract as
+    /// [`Matrix::matmul`], but the inner loop may fuse multiply-adds, so
+    /// results are ULP-bounded against [`Matrix::matmul_reference`] instead
+    /// of bitwise identical (see `docs/PERFORMANCE.md`). Still a pure
+    /// function of the operands for a fixed backend resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_fast(&self, other: &Self) -> Self {
+        dispatch!(B => self.matmul_impl::<B, true>(other))
+    }
+
+    fn matmul_impl<B: KernelBackend, const FAST: bool>(&self, other: &Self) -> Self {
         assert_eq!(
             self.cols, other.rows,
             "shape mismatch in matmul: ({}, {}) x ({}, {})",
@@ -362,21 +391,56 @@ impl Matrix {
         let parallel = m * k * n > PARALLEL_MACS;
         let a = &self.data;
         let b = &other.data;
+        let panel = matmul_panel_len(n);
         let work = |row_start: usize, chunk: &mut [f32]| {
             let rows_here = chunk.len() / n;
-            for kb in (0..k).step_by(MATMUL_K_PANEL) {
-                let kend = (kb + MATMUL_K_PANEL).min(k);
-                for i in 0..rows_here {
-                    let arow = &a[(row_start + i) * k + kb..(row_start + i) * k + kend];
+            for kb in (0..k).step_by(panel) {
+                let kend = (kb + panel).min(k);
+                let bpanel = &b[kb * n..kend * n];
+                let arow = |i: usize| &a[(row_start + i) * k + kb..(row_start + i) * k + kend];
+                // Six output rows share each b panel (bitwise equal to
+                // six single-row sweeps; see KernelBackend::fma_panel6),
+                // then the remainder one row at a time.
+                let mut i = 0;
+                while i + 6 <= rows_here {
+                    let (c0, rest) = chunk[i * n..(i + 6) * n].split_at_mut(n);
+                    let (c1, rest) = rest.split_at_mut(n);
+                    let (c2, rest) = rest.split_at_mut(n);
+                    let (c3, rest) = rest.split_at_mut(n);
+                    let (c4, c5) = rest.split_at_mut(n);
+                    B::fma_panel6::<FAST>(
+                        [c0, c1, c2, c3, c4, c5],
+                        [arow(i), arow(i + 1), arow(i + 2), arow(i + 3), arow(i + 4), arow(i + 5)],
+                        bpanel,
+                        n,
+                    );
+                    i += 6;
+                }
+                for i in i..rows_here {
+                    let arow = arow(i);
                     let crow = &mut chunk[i * n..(i + 1) * n];
-                    for (dk, &av) in arow.iter().enumerate() {
-                        // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                        if av == 0.0 {
-                            continue;
+                    if FAST {
+                        for (dk, &av) in arow.iter().enumerate() {
+                            B::fma_row_fast(crow, av, &bpanel[dk * n..(dk + 1) * n]);
                         }
-                        let brow = &b[(kb + dk) * n..(kb + dk + 1) * n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += av * bv;
+                    } else {
+                        // Four k-steps per accumulator pass (bitwise equal to
+                        // four single passes; see KernelBackend::fma_row4),
+                        // then the remainder one step at a time.
+                        let mut dk = 0;
+                        while dk + 4 <= arow.len() {
+                            let a4 = [arow[dk], arow[dk + 1], arow[dk + 2], arow[dk + 3]];
+                            let b4 = [
+                                &bpanel[dk * n..(dk + 1) * n],
+                                &bpanel[(dk + 1) * n..(dk + 2) * n],
+                                &bpanel[(dk + 2) * n..(dk + 3) * n],
+                                &bpanel[(dk + 3) * n..(dk + 4) * n],
+                            ];
+                            B::fma_row4(crow, a4, b4);
+                            dk += 4;
+                        }
+                        for (off, &av) in arow[dk..].iter().enumerate() {
+                            B::fma_row(crow, av, &bpanel[(dk + off) * n..(dk + off + 1) * n]);
                         }
                     }
                 }
@@ -396,6 +460,21 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Self) -> Self {
+        dispatch!(B => self.matmul_nt_impl::<B, false>(other))
+    }
+
+    /// Inference-only `self · otherᵀ`: the dot products run on the
+    /// backend's lane-parallel fast reduction, ULP-bounded against
+    /// [`Matrix::matmul_nt_reference`] (see `docs/PERFORMANCE.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_fast(&self, other: &Self) -> Self {
+        dispatch!(B => self.matmul_nt_impl::<B, true>(other))
+    }
+
+    fn matmul_nt_impl<B: KernelBackend, const FAST: bool>(&self, other: &Self) -> Self {
         assert_eq!(
             self.cols, other.cols,
             "shape mismatch in matmul_nt: ({}, {}) x ({}, {})^T",
@@ -403,6 +482,9 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Self::zeros(m, n);
+        if out.data.is_empty() {
+            return out;
+        }
         let a = &self.data;
         let b = &other.data;
         let work = |row_start: usize, chunk: &mut [f32]| {
@@ -411,8 +493,8 @@ impl Matrix {
                 let arow = &a[(row_start + i) * k..(row_start + i + 1) * k];
                 for j in 0..n {
                     let brow = &b[j * k..(j + 1) * k];
-                    let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-                    chunk[i * n + j] = dot;
+                    chunk[i * n + j] =
+                        if FAST { B::dot_fast(arow, brow) } else { B::dot(arow, brow) };
                 }
             }
         };
@@ -440,6 +522,10 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Self) -> Self {
+        dispatch!(B => self.matmul_tn_impl::<B>(other))
+    }
+
+    fn matmul_tn_impl<B: KernelBackend>(&self, other: &Self) -> Self {
         assert_eq!(
             self.rows, other.rows,
             "shape mismatch in matmul_tn: ({}, {})^T x ({}, {})",
@@ -449,7 +535,7 @@ impl Matrix {
         let chunks = tn_chunk_count(m, k, n);
         if chunks <= 1 {
             let mut out = Self::zeros(m, n);
-            Self::tn_accumulate(&self.data, &other.data, m, n, 0..k, &mut out.data);
+            Self::tn_accumulate::<B>(&self.data, &other.data, m, n, 0..k, &mut out.data);
             return out;
         }
         let rows_per = k.div_ceil(chunks);
@@ -457,7 +543,7 @@ impl Matrix {
             let lo = ci * rows_per;
             let hi = ((ci + 1) * rows_per).min(k);
             let mut partial = vec![0.0f32; m * n];
-            Self::tn_accumulate(&self.data, &other.data, m, n, lo..hi, &mut partial);
+            Self::tn_accumulate::<B>(&self.data, &other.data, m, n, lo..hi, &mut partial);
             partial
         });
         // Reduce the partials in ascending chunk order — parallel_map returns
@@ -474,7 +560,7 @@ impl Matrix {
     /// Accumulates `out += a[kk]ᵀ · b[kk]` for the shared-dimension rows `kk`
     /// in `range`, in ascending order. Shared by the sequential and chunked
     /// paths of [`Matrix::matmul_tn`] so both run the identical inner loop.
-    fn tn_accumulate(
+    fn tn_accumulate<B: KernelBackend>(
         a: &[f32],
         b: &[f32],
         m: usize,
@@ -486,14 +572,8 @@ impl Matrix {
             let arow = &a[kk * m..(kk + 1) * m];
             let brow = &b[kk * n..(kk + 1) * n];
             for (i, &av) in arow.iter().enumerate() {
-                // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                if av == 0.0 {
-                    continue;
-                }
                 let orow = &mut out[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
-                }
+                B::fma_row(orow, av, brow);
             }
         }
     }
@@ -509,6 +589,26 @@ impl Matrix {
     /// Panics if either operand's row count is not divisible by `batch`, or
     /// if the per-block inner dimensions disagree.
     pub fn batched_matmul(&self, other: &Self, batch: usize) -> Self {
+        dispatch!(B => self.batched_matmul_impl::<B, false>(other, batch))
+    }
+
+    /// Inference-only batched product: same shape contract as
+    /// [`Matrix::batched_matmul`], but the inner loop may fuse
+    /// multiply-adds, so results are ULP-bounded against
+    /// [`Matrix::batched_matmul_reference`] instead of bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Matrix::batched_matmul`].
+    pub fn batched_matmul_fast(&self, other: &Self, batch: usize) -> Self {
+        dispatch!(B => self.batched_matmul_impl::<B, true>(other, batch))
+    }
+
+    fn batched_matmul_impl<B: KernelBackend, const FAST: bool>(
+        &self,
+        other: &Self,
+        batch: usize,
+    ) -> Self {
         assert!(batch > 0, "batch must be positive");
         assert_eq!(self.rows % batch, 0, "lhs rows {} not divisible by batch {batch}", self.rows);
         assert_eq!(other.rows % batch, 0, "rhs rows {} not divisible by batch {batch}", other.rows);
@@ -537,14 +637,15 @@ impl Matrix {
                 for i in 0..br_a {
                     let arow = &a[(bi * br_a + i) * k..(bi * br_a + i + 1) * k];
                     let orow = &mut block[i * n..(i + 1) * n];
-                    for (kk, &av) in arow.iter().enumerate() {
-                        // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                        if av == 0.0 {
-                            continue;
+                    if FAST {
+                        for (kk, &av) in arow.iter().enumerate() {
+                            let brow = &b[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
+                            B::fma_row_fast(orow, av, brow);
                         }
-                        let brow = &b[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
-                        for (ov, &bv) in orow.iter_mut().zip(brow) {
-                            *ov += av * bv;
+                    } else {
+                        for (kk, &av) in arow.iter().enumerate() {
+                            let brow = &b[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
+                            B::fma_row(orow, av, brow);
                         }
                     }
                 }
@@ -567,6 +668,25 @@ impl Matrix {
     /// Panics under the same divisibility conditions as
     /// [`Matrix::batched_matmul`], or if the operands' column counts differ.
     pub fn batched_matmul_nt(&self, other: &Self, batch: usize) -> Self {
+        dispatch!(B => self.batched_matmul_nt_impl::<B, false>(other, batch))
+    }
+
+    /// Inference-only `self_i · other_iᵀ`: the dot products run on the
+    /// backend's lane-parallel fast reduction, ULP-bounded against
+    /// [`Matrix::batched_matmul_nt_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Matrix::batched_matmul_nt`].
+    pub fn batched_matmul_nt_fast(&self, other: &Self, batch: usize) -> Self {
+        dispatch!(B => self.batched_matmul_nt_impl::<B, true>(other, batch))
+    }
+
+    fn batched_matmul_nt_impl<B: KernelBackend, const FAST: bool>(
+        &self,
+        other: &Self,
+        batch: usize,
+    ) -> Self {
         assert!(batch > 0, "batch must be positive");
         assert_eq!(self.rows % batch, 0, "lhs rows {} not divisible by batch {batch}", self.rows);
         assert_eq!(other.rows % batch, 0, "rhs rows {} not divisible by batch {batch}", other.rows);
@@ -595,8 +715,8 @@ impl Matrix {
                     let arow = &a[(bi * br_a + i) * k..(bi * br_a + i + 1) * k];
                     for j in 0..br_b {
                         let brow = &b[(bi * br_b + j) * k..(bi * br_b + j + 1) * k];
-                        let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-                        block[i * br_b + j] = dot;
+                        block[i * br_b + j] =
+                            if FAST { B::dot_fast(arow, brow) } else { B::dot(arow, brow) };
                     }
                 }
             }
@@ -618,6 +738,10 @@ impl Matrix {
     /// Panics if the operands' per-block row counts differ or rows are not
     /// divisible by `batch`.
     pub fn batched_matmul_tn(&self, other: &Self, batch: usize) -> Self {
+        dispatch!(B => self.batched_matmul_tn_impl::<B>(other, batch))
+    }
+
+    fn batched_matmul_tn_impl<B: KernelBackend>(&self, other: &Self, batch: usize) -> Self {
         assert!(batch > 0, "batch must be positive");
         assert_eq!(self.rows % batch, 0, "lhs rows {} not divisible by batch {batch}", self.rows);
         assert_eq!(other.rows % batch, 0, "rhs rows {} not divisible by batch {batch}", other.rows);
@@ -643,14 +767,8 @@ impl Matrix {
                     let arow = &a[(bi * br_a + kk) * cols..(bi * br_a + kk + 1) * cols];
                     let brow = &b[(bi * br_b + kk) * n..(bi * br_b + kk + 1) * n];
                     for (i, &av) in arow.iter().enumerate() {
-                        // analyze: allow(float-equality) — exact-zero sparsity fast path; skipping only bitwise zeros cannot change the accumulated sum
-                        if av == 0.0 {
-                            continue;
-                        }
                         let orow = &mut block[i * n..(i + 1) * n];
-                        for (ov, &bv) in orow.iter_mut().zip(brow) {
-                            *ov += av * bv;
-                        }
+                        B::fma_row(orow, av, brow);
                     }
                 }
             }

@@ -18,6 +18,18 @@
 //! * [`parallel_map`] returns results **in task-index order** regardless of
 //!   which worker ran which task, so callers that reduce the results in
 //!   order get bitwise-identical floats for every thread count.
+//!
+//! # Composition with the kernel backends
+//!
+//! Thread-level partitioning composes orthogonally with the lane-level
+//! backends in `crate::backend`: these helpers decide *which rows* a
+//! thread computes, while the selected [`crate::Backend`] decides *how*
+//! each row's arithmetic is vectorized. Training-path kernels stay
+//! bitwise identical across every (thread count × backend) combination
+//! because SIMD lanes replay the identical per-element multiply/add
+//! sequence; only the inference-only `*_fast` kernels reassociate
+//! reductions, and they do so in a fixed lane tree that is still
+//! thread-count invariant.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

@@ -6,13 +6,17 @@
 //! partial results reduce in fixed order — so running with 1 thread and with
 //! 8 threads must produce *bitwise identical* floats.
 
-use hoga_tensor::{set_threads, CsrMatrix, Matrix};
+use hoga_tensor::{
+    approx_eq_eps, approx_eq_ulps, qmatmul, set_backend, set_threads, Backend, CsrMatrix, Matrix,
+    QuantizedMatrix, QuantizedWeights,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
 
-/// Serializes tests that toggle the global thread override so they cannot
-/// observe each other's `set_threads` calls.
+/// Serializes tests that toggle the global thread override or the global
+/// kernel backend so they cannot observe each other's `set_threads` /
+/// `set_backend` calls.
 fn thread_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
@@ -242,6 +246,191 @@ fn from_coo_large_input_is_thread_invariant_and_matches_oracle() {
 }
 
 // ---------------------------------------------------------------------------
+// Backend differentials: SIMD vs scalar
+// ---------------------------------------------------------------------------
+
+/// Dense matrix with values that are NOT exactly representable sums (unlike
+/// [`dense`], whose quarter-integer entries make every accumulation exact and
+/// would let a broken reduction tree pass bitwise checks vacuously).
+fn dense_rough(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = r.wrapping_mul(53).wrapping_add(c.wrapping_mul(19)).wrapping_add(salt * 211);
+        if h % 13 == 0 {
+            0.0
+        } else {
+            ((h % 23) as f32) * 0.137 - 1.41
+        }
+    })
+}
+
+/// Runs `op` under both backend requests and asserts bitwise-identical
+/// output — the training-path contract: the backend may change *how* a row
+/// is computed, never *what* is computed.
+fn assert_backend_invariant(label: &str, op: impl Fn() -> Matrix) -> Matrix {
+    let _guard = thread_lock();
+    set_backend(Backend::Scalar);
+    let scalar = op();
+    set_backend(Backend::Simd);
+    let simd = op();
+    set_backend(Backend::Scalar);
+    assert_eq!(
+        bits(&scalar),
+        bits(&simd),
+        "{label}: SIMD backend output differs bitwise from scalar on the training path"
+    );
+    scalar
+}
+
+/// Asserts `got` is within the documented fast-path tolerance of `want`:
+/// a ULP budget for well-scaled values with an absolute epsilon fallback
+/// after cancellation near zero.
+fn assert_fast_close(label: &str, want: &Matrix, got: &Matrix) {
+    assert_eq!(want.shape(), got.shape(), "{label}: shape mismatch");
+    for (i, (&w, &g)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert!(
+            approx_eq_ulps(w, g, 1024) || approx_eq_eps(w, g, 1e-5),
+            "{label}: element {i} outside fast-path tolerance: {w} vs {g}"
+        );
+    }
+}
+
+#[test]
+fn training_matmul_family_is_backend_invariant_bitwise() {
+    // Awkward widths (not multiples of the 8-wide lane count) exercise the
+    // SIMD remainder loops; `dense_rough` values make reassociation visible.
+    let a = dense_rough(37, 70, 1);
+    let b = dense_rough(70, 51, 2);
+    assert_backend_invariant("matmul", || a.matmul(&b));
+    let bt = dense_rough(51, 70, 3);
+    assert_backend_invariant("matmul_nt", || a.matmul_nt(&bt));
+    let a2 = dense_rough(70, 37, 4);
+    assert_backend_invariant("matmul_tn", || a2.matmul_tn(&b));
+
+    let batch = 16;
+    let s = dense_rough(batch * 5, 5, 5);
+    let v = dense_rough(batch * 5, 27, 6);
+    assert_backend_invariant("batched_matmul", || s.batched_matmul(&v, batch));
+    let q = dense_rough(batch * 5, 27, 7);
+    assert_backend_invariant("batched_matmul_nt", || q.batched_matmul_nt(&v, batch));
+    assert_backend_invariant("batched_matmul_tn", || s.batched_matmul_tn(&v, batch));
+}
+
+#[test]
+fn training_path_is_backend_and_thread_invariant_jointly() {
+    // The full 2×3 grid: {scalar, simd} × {1, 3, 8 threads} must agree
+    // bitwise — lane-level and thread-level partitioning compose without
+    // changing a single bit on the training path.
+    let a = dense_rough(130, 70, 8);
+    let b = dense_rough(70, 90, 9);
+    let _guard = thread_lock();
+    set_backend(Backend::Scalar);
+    set_threads(1);
+    let baseline = a.matmul(&b);
+    for backend in [Backend::Scalar, Backend::Simd] {
+        for threads in [1usize, 3, 8] {
+            set_backend(backend);
+            set_threads(threads);
+            let got = a.matmul(&b);
+            assert_eq!(
+                bits(&baseline),
+                bits(&got),
+                "matmul at {backend:?} × {threads} threads differs from scalar × 1"
+            );
+        }
+    }
+    set_backend(Backend::Scalar);
+    set_threads(0);
+}
+
+#[test]
+fn int8_qmatmul_is_backend_and_thread_invariant_bitwise() {
+    // The int8 product accumulates exactly in i32 and dequantizes with one
+    // fixed float expression, so *every* backend × thread combination must
+    // agree bitwise — a stronger contract than the f32 training path, which
+    // only promises invariance for a fixed association order. Sizes cross
+    // the parallel threshold and exercise the AVX2 kernel's 4-row block,
+    // 16-column tile, and all three tails.
+    let qa = QuantizedMatrix::quantize(&dense_rough(67, 70, 13));
+    let qw = QuantizedWeights::quantize(&dense_rough(70, 51, 14));
+    let _guard = thread_lock();
+    set_backend(Backend::Scalar);
+    set_threads(1);
+    let baseline = qmatmul(&qa, &qw);
+    for backend in [Backend::Scalar, Backend::Simd] {
+        for threads in [1usize, 3, 8] {
+            set_backend(backend);
+            set_threads(threads);
+            let got = qmatmul(&qa, &qw);
+            assert_eq!(
+                bits(&baseline),
+                bits(&got),
+                "qmatmul at {backend:?} × {threads} threads differs from scalar × 1"
+            );
+        }
+    }
+    set_backend(Backend::Scalar);
+    set_threads(0);
+}
+
+#[test]
+fn fast_kernels_are_ulp_bounded_against_references() {
+    let a = dense_rough(33, 70, 10);
+    let b = dense_rough(70, 41, 11);
+    let bt = dense_rough(41, 70, 12);
+    let batch = 8;
+    let s = dense_rough(batch * 5, 5, 13);
+    let v = dense_rough(batch * 5, 21, 14);
+    let _guard = thread_lock();
+    for backend in [Backend::Scalar, Backend::Simd] {
+        set_backend(backend);
+        assert_fast_close("matmul_fast", &a.matmul_reference(&b), &a.matmul_fast(&b));
+        assert_fast_close("matmul_nt_fast", &a.matmul_nt_reference(&bt), &a.matmul_nt_fast(&bt));
+        assert_fast_close(
+            "batched_matmul_fast",
+            &s.batched_matmul_reference(&v, batch),
+            &s.batched_matmul_fast(&v, batch),
+        );
+        assert_fast_close(
+            "batched_matmul_nt_fast",
+            &v.batched_matmul_nt_reference(&v, batch),
+            &v.batched_matmul_nt_fast(&v, batch),
+        );
+    }
+    set_backend(Backend::Scalar);
+}
+
+#[test]
+fn fast_kernels_are_thread_invariant_for_fixed_backend() {
+    // The fast path gives up scalar-vs-SIMD bit equality, NOT determinism:
+    // for a fixed backend resolution the lane reduction tree is fixed, so
+    // thread count still cannot change a bit.
+    let a = dense_rough(130, 70, 15);
+    let b = dense_rough(70, 90, 16);
+    let bt = dense_rough(90, 70, 17);
+    let _guard = thread_lock();
+    for backend in [Backend::Scalar, Backend::Simd] {
+        set_backend(backend);
+        for (label, op) in [
+            ("matmul_fast", Box::new(|| a.matmul_fast(&b)) as Box<dyn Fn() -> Matrix>),
+            ("matmul_nt_fast", Box::new(|| a.matmul_nt_fast(&bt))),
+        ] {
+            set_threads(1);
+            let single = op();
+            for threads in [3usize, 8] {
+                set_threads(threads);
+                assert_eq!(
+                    bits(&single),
+                    bits(&op()),
+                    "{label} at {backend:?} × {threads} threads differs from 1 thread"
+                );
+            }
+        }
+    }
+    set_backend(Backend::Scalar);
+    set_threads(0);
+}
+
+// ---------------------------------------------------------------------------
 // Property-based differentials vs the naive references
 // ---------------------------------------------------------------------------
 
@@ -306,6 +495,37 @@ proptest! {
             ba.batched_matmul_tn(&ba, batch)
                 .max_abs_diff(&ba.batched_matmul_tn_reference(&ba, batch)) < 1e-4
         );
+    }
+
+    /// Every width class around the 8-wide lane boundary (remainders 0..=7)
+    /// must keep the scalar-vs-SIMD training contract bitwise and the fast
+    /// path inside tolerance.
+    #[test]
+    fn backend_contract_holds_at_any_lane_remainder(
+        (m, k, n) in (1..=4usize, 1..=20usize, 1..=20usize),
+        seed in 0..1000usize,
+    ) {
+        let a = dense_rough(m, k, seed);
+        let b = dense_rough(k, n, seed + 1);
+        let _guard = thread_lock();
+        set_backend(Backend::Scalar);
+        let train_scalar = a.matmul(&b);
+        let fast_scalar = a.matmul_fast(&b);
+        set_backend(Backend::Simd);
+        let train_simd = a.matmul(&b);
+        let fast_simd = a.matmul_fast(&b);
+        set_backend(Backend::Scalar);
+        drop(_guard);
+        prop_assert_eq!(bits(&train_scalar), bits(&train_simd));
+        let reference = a.matmul_reference(&b);
+        for (fast, label) in [(&fast_scalar, "scalar"), (&fast_simd, "simd")] {
+            for (&w, &g) in reference.as_slice().iter().zip(fast.as_slice()) {
+                prop_assert!(
+                    approx_eq_ulps(w, g, 1024) || approx_eq_eps(w, g, 1e-5),
+                    "{} fast path outside tolerance: {} vs {}", label, w, g
+                );
+            }
+        }
     }
 
     #[test]
