@@ -21,11 +21,13 @@ pub(crate) const HARDENED_MODULES: &[&str] = &[
     "crates/eval/src/trainer.rs",
     "crates/eval/src/parallel_train.rs",
     "crates/eval/src/sched.rs",
+    "crates/hoga/src/infer.rs",
     "crates/jobs/src/engine.rs",
     "crates/jobs/src/events.rs",
     "crates/jobs/src/fault.rs",
     "crates/jobs/src/job.rs",
     "crates/jobs/src/retry.rs",
+    "crates/serve/src/",
     "crates/tensor/src/matrix.rs",
 ];
 
@@ -33,8 +35,12 @@ pub(crate) const HARDENED_MODULES: &[&str] = &[
 /// checked conversions (R2). Same prefix convention as
 /// [`HARDENED_MODULES`]. The analyzer's own lexer/parser/cache decode
 /// untrusted bytes, so they hold themselves to the decode rules too.
-pub(crate) const DECODE_MODULES: &[&str] =
-    &["crates/analyze/src/", "crates/circuit/src/aiger.rs", "crates/datasets/src/io.rs"];
+pub(crate) const DECODE_MODULES: &[&str] = &[
+    "crates/analyze/src/",
+    "crates/circuit/src/aiger.rs",
+    "crates/datasets/src/io.rs",
+    "crates/serve/src/",
+];
 
 /// `true` when `rel` matches an exact entry or a `/`-terminated prefix
 /// entry of a module list.

@@ -1,0 +1,179 @@
+//! QoR serving latency under concurrency, written to `BENCH_serve.json`
+//! at the workspace root.
+//!
+//! A plain `harness = false` main (no Criterion): starts the real
+//! `hoga-serve` server in-process on a loopback port with a freshly
+//! written checkpoint, then drives it with 1, 8, and 64 concurrent
+//! closed-loop clients posting `/v1/predict` for a mix of circuits. For
+//! each concurrency level it records p50/p95/p99 request latency and the
+//! shed rate — the fraction of requests answered 503 by admission control
+//! rather than queued unboundedly. Pass `--smoke` for a reduced run
+//! suitable for CI gating.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use hoga_core::heads::GraphRegressor;
+use hoga_core::model::{HogaConfig, HogaModel};
+use hoga_datasets::io::{encode_aig, save_checkpoint, Checkpoint};
+use hoga_datasets::openabcd::RECIPE_ENCODING_WIDTH;
+use hoga_serve::{HttpClient, Server, ServerConfig};
+
+const HOPS: usize = 4;
+const HIDDEN: usize = 16;
+
+fn write_checkpoint(path: &Path) {
+    let mut model = HogaModel::new(&HogaConfig::new(7, HIDDEN, HOPS), 0xBE_7C);
+    let _head =
+        GraphRegressor::new(&mut model.params, HIDDEN + RECIPE_ENCODING_WIDTH, HIDDEN, 0xBE_7C);
+    let ck = Checkpoint {
+        epoch: 1,
+        seed: 0xBE_7C,
+        lr_scale: 1.0,
+        params: model.params.clone(),
+        opt_state: Vec::new(),
+    };
+    save_checkpoint(path, &ck).expect("write bench checkpoint");
+}
+
+/// A few structurally distinct circuits so the workload mixes hop-cache
+/// hits and misses (sized index `i` varies the structure).
+fn circuit(i: usize) -> Vec<u8> {
+    let pis = 4 + (i % 4);
+    let mut g = hoga_circuit::Aig::new(pis);
+    let mut acc = g.pi_lit(0);
+    for p in 1..pis {
+        let x = g.pi_lit(p);
+        acc = if p % 2 == 0 { g.xor(acc, x) } else { g.and(acc, !x) };
+    }
+    let extra = g.maj(g.pi_lit(0), g.pi_lit(1), acc);
+    g.add_po(acc);
+    g.add_po(!extra);
+    encode_aig(&g).to_vec()
+}
+
+struct LevelResult {
+    concurrency: usize,
+    requests: usize,
+    ok: usize,
+    shed: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn drive(client: HttpClient, concurrency: usize, per_client: usize) -> LevelResult {
+    let mut threads = Vec::with_capacity(concurrency);
+    for c in 0..concurrency {
+        threads.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(per_client);
+            let (mut ok, mut shed) = (0usize, 0usize);
+            for i in 0..per_client {
+                let body = circuit(c + i);
+                let t0 = Instant::now();
+                match client.post(
+                    "/v1/predict",
+                    &[("X-Recipe", "b; rw; rf; b; rw -z; rf -z")],
+                    &body,
+                ) {
+                    Ok(r) if r.status == 200 => {
+                        ok += 1;
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    Ok(r) if r.status == 503 => shed += 1,
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            (lat, ok, shed)
+        }));
+    }
+    let mut lat = Vec::new();
+    let (mut ok, mut shed) = (0, 0);
+    for t in threads {
+        let (l, o, s) = t.join().expect("client thread");
+        lat.extend(l);
+        ok += o;
+        shed += s;
+    }
+    lat.sort_by(|a, b| a.total_cmp(b));
+    LevelResult {
+        concurrency,
+        requests: concurrency * per_client,
+        ok,
+        shed,
+        p50_ms: percentile(&lat, 50.0),
+        p95_ms: percentile(&lat, 95.0),
+        p99_ms: percentile(&lat, 99.0),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let levels: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 64] };
+    let per_client = if smoke { 6 } else { 20 };
+
+    let checkpoint =
+        std::env::temp_dir().join(format!("hoga-bench-serve-{}.bin", std::process::id()));
+    write_checkpoint(&checkpoint);
+    let handle = Server::start(ServerConfig {
+        checkpoint: checkpoint.clone(),
+        num_hops: HOPS,
+        workers: 4,
+        queue_capacity: 16,
+        max_connections: 128,
+        ..ServerConfig::default()
+    })
+    .expect("bench server starts");
+    let client = HttpClient::new(handle.addr(), Duration::from_secs(30));
+
+    // Warm the hop cache and the worker pool before timing.
+    for i in 0..4 {
+        let _ = client.post("/v1/predict", &[("X-Recipe", "b; rw")], &circuit(i));
+    }
+
+    let results: Vec<LevelResult> = levels.iter().map(|&c| drive(client, c, per_client)).collect();
+
+    let mut entries = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let shed_rate = r.shed as f64 / (r.requests as f64).max(1.0);
+        entries.push_str(&format!(
+            "    {{\"concurrency\": {}, \"requests\": {}, \"ok\": {}, \"shed\": {}, \
+             \"shed_rate\": {:.4}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.concurrency,
+            r.requests,
+            r.ok,
+            r.shed,
+            shed_rate,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"hops\": {HOPS},\n  \
+         \"hidden_dim\": {HIDDEN},\n  \"workers\": 4,\n  \"queue_capacity\": 16,\n  \
+         \"levels\": [\n{entries}  ]\n}}\n"
+    );
+    print!("{json}");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let out = root.join("BENCH_serve.json");
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", out.display());
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&checkpoint);
+
+    // Robustness floor: every request was answered — served or typed-shed.
+    for r in &results {
+        assert_eq!(r.ok + r.shed, r.requests, "requests lost at concurrency {}", r.concurrency);
+    }
+}

@@ -73,12 +73,20 @@ pub fn encode_aig(aig: &Aig) -> Bytes {
     out.freeze()
 }
 
+/// Stable structural fingerprint of an AIG: FNV-1a over the canonical
+/// [`encode_aig`] byte stream. Two AIGs hash equal exactly when their
+/// encodings are byte-identical (same PI count, same strash-canonical gate
+/// list, same POs) — the serving layer keys its hop-feature cache on this,
+/// so the value must stay stable across processes and restarts.
+pub fn structural_hash(aig: &Aig) -> u64 {
+    crate::manifest::fnv1a64(&encode_aig(aig))
+}
+
 /// Deserializes an AIG produced by [`encode_aig`].
 ///
 /// # Errors
 ///
 /// Returns [`DecodeError`] on truncation, bad magic, or invalid structure.
-// analyze: allow(dead-public-api) — decode half of the public AIG codec, paired with encode_aig; covered by round-trip tests
 pub fn decode_aig(mut buf: impl Buf) -> Result<Aig, DecodeError> {
     need(&buf, 7, "header")?;
     if buf.get_u32() != MAGIC {
@@ -470,6 +478,28 @@ mod tests {
         let h = decode_aig(bytes).expect("decode");
         assert_eq!(g, h);
         assert!(hoga_circuit::simulate::probably_equivalent(&g, &h, 2, 0));
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_discriminating() {
+        let g = sample_aig();
+        // Same structure → same hash, across independent encodes and a
+        // decode round-trip (the cache key must survive re-upload).
+        assert_eq!(structural_hash(&g), structural_hash(&g));
+        let rebuilt = decode_aig(encode_aig(&g)).expect("decode");
+        assert_eq!(structural_hash(&g), structural_hash(&rebuilt));
+        // Any structural change — one more PO, one fewer gate — changes it.
+        let mut extra_po = g.clone();
+        extra_po.add_po(g.pi_lit(0));
+        assert_ne!(structural_hash(&g), structural_hash(&extra_po));
+        let smaller = {
+            let mut s = Aig::new(3);
+            let (a, b) = (s.pi_lit(0), s.pi_lit(1));
+            let x = s.and(a, b);
+            s.add_po(x);
+            s
+        };
+        assert_ne!(structural_hash(&g), structural_hash(&smaller));
     }
 
     #[test]

@@ -197,7 +197,9 @@ impl FaultPlan {
                         FaultKind::Corrupt => Fault::CorruptGradient { epoch, step, worker },
                     })
                 }
-                FaultSite::Attempt { .. } => None,
+                // Attempt faults are engine-level; serve faults belong to
+                // the inference server. Neither projects onto trainer steps.
+                FaultSite::Attempt { .. } | FaultSite::Serve(_) => None,
             })
             .collect();
         Self { faults }

@@ -6,7 +6,28 @@
 //! a pooled MLP regressor for graph-level QoR prediction.
 
 use hoga_autograd::{ParamId, ParamSet, Tape, Var};
-use hoga_tensor::Init;
+use hoga_tensor::{Init, Matrix};
+use std::error::Error;
+use std::fmt;
+
+/// Typed shape mismatch from the tape-free head entry point
+/// ([`GraphRegressor::infer`]); the serving layer maps it to a request
+/// error instead of unwinding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadShapeError {
+    /// Input width the head was constructed for.
+    pub expect: usize,
+    /// Width of the matrix actually passed.
+    pub got: usize,
+}
+
+impl fmt::Display for HeadShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "head input width mismatch: head expects {}, got {}", self.expect, self.got)
+    }
+}
+
+impl Error for HeadShapeError {}
 
 /// Linear per-node classifier (the Gamora pipeline's output stage).
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +80,6 @@ impl GraphRegressor {
     ///
     /// `segments[g]` is the contiguous row range of graph `g`'s nodes inside
     /// `reps`. Returns a `(num_graphs, 1)` variable.
-    // analyze: allow(dead-public-api) — plain-pooling prediction path of the public head API; the trainer uses predict_with_extra, tests use this one
     pub fn predict(
         &self,
         tape: &mut Tape,
@@ -96,6 +116,39 @@ impl GraphRegressor {
         self.mlp(tape, params, cat)
     }
 
+    /// Tape-free scoring for the serving path: the same two-layer MLP as
+    /// [`GraphRegressor::predict_with_extra`], run directly on [`Matrix`]
+    /// values. `pooled_with_extra` is the mean-pooled graph embedding with
+    /// any side information (encoded recipe) already concatenated, one row
+    /// per graph; the result is `(rows, 1)` scores.
+    ///
+    /// Uses the exact-precision kernels in the same op order as the tape
+    /// path, so scores are bitwise identical to
+    /// [`GraphRegressor::predict_with_extra`] for equal inputs — the
+    /// serving layer's byte-identical-response guarantee rests on this.
+    ///
+    /// # Errors
+    ///
+    /// [`HeadShapeError`] when the input width disagrees with the width the
+    /// head was constructed for (never panics: this sits on the server's
+    /// request path).
+    pub fn infer(
+        &self,
+        params: &ParamSet,
+        pooled_with_extra: &Matrix,
+    ) -> Result<Matrix, HeadShapeError> {
+        let w1 = params.value(self.w1);
+        if pooled_with_extra.cols() != w1.rows() {
+            return Err(HeadShapeError { expect: w1.rows(), got: pooled_with_extra.cols() });
+        }
+        let mut h = pooled_with_extra.matmul(w1);
+        add_bias_rows(&mut h, params.value(self.b1));
+        let h = h.map(|a| a.max(0.0));
+        let mut out = h.matmul(params.value(self.w2));
+        add_bias_rows(&mut out, params.value(self.b2));
+        Ok(out)
+    }
+
     fn mlp(&self, tape: &mut Tape, params: &ParamSet, pooled: Var) -> Var {
         let w1 = tape.param(params, self.w1);
         let b1 = tape.param(params, self.b1);
@@ -106,6 +159,17 @@ impl GraphRegressor {
         let b2 = tape.param(params, self.b2);
         let out = tape.matmul(h, w2);
         tape.add_bias(out, b2)
+    }
+}
+
+/// Adds a `1 × d` bias row to every row of `x` in the tape's `add_bias`
+/// element order — bitwise parity with the tape head depends on it. Widths
+/// are guaranteed by the callers' shape checks (`zip` bounds the loop).
+fn add_bias_rows(x: &mut Matrix, bias: &Matrix) {
+    for r in 0..x.rows() {
+        for (o, &b) in x.row_mut(r).iter_mut().zip(bias.row(0)) {
+            *o += b;
+        }
     }
 }
 
@@ -226,6 +290,46 @@ mod tests {
             opt.step(&mut params, &grads);
         }
         assert!(last < 0.1, "graph classifier failed to separate: {last}");
+    }
+
+    #[test]
+    fn tape_free_head_matches_tape_head_bitwise() {
+        let mut params = ParamSet::new();
+        let reg = GraphRegressor::new(&mut params, 4 + 2, 8, 6);
+        let reps_data = Matrix::from_fn(6, 4, |r, c| ((r * 3 + c) as f32).sin() * 0.3);
+        let extra = Matrix::from_fn(2, 2, |r, c| (r + c) as f32 * 0.5 - 0.4);
+        let segments = vec![(0usize, 3usize), (3, 6)];
+        let mut tape = Tape::new();
+        let reps = tape.constant(reps_data.clone());
+        let pred = reg.predict_with_extra(&mut tape, &params, reps, segments.clone(), &extra);
+        let want = tape.value(pred).clone();
+        // Mean-pool by hand, concat extra, run the tape-free MLP.
+        let mut pooled = Matrix::zeros(2, 6);
+        for (g, &(lo, hi)) in segments.iter().enumerate() {
+            // Multiply by the reciprocal, exactly like tape.segment_reduce,
+            // so the bitwise comparison below is fair.
+            let inv = 1.0 / (hi - lo) as f32;
+            for c in 0..4 {
+                let s: f32 = (lo..hi).map(|r| reps_data[(r, c)]).sum();
+                pooled[(g, c)] = s * inv;
+            }
+            for c in 0..2 {
+                pooled[(g, 4 + c)] = extra[(g, c)];
+            }
+        }
+        let got = reg.infer(&params, &pooled).expect("widths agree");
+        assert_eq!(want.shape(), got.shape());
+        let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want_bits, got_bits, "tape-free head drifted from the tape head");
+    }
+
+    #[test]
+    fn tape_free_head_rejects_wrong_width() {
+        let mut params = ParamSet::new();
+        let reg = GraphRegressor::new(&mut params, 5, 8, 7);
+        let wrong = Matrix::zeros(2, 4);
+        assert_eq!(reg.infer(&params, &wrong), Err(HeadShapeError { expect: 5, got: 4 }));
     }
 
     #[test]

@@ -32,6 +32,72 @@ use hoga_tensor::{
     layernorm_forward, layernorm_rows_fast, qmatmul, softmax_rows, softmax_rows_fast, Matrix,
     QuantizedMatrix, QuantizedWeights,
 };
+use std::error::Error;
+use std::fmt;
+
+/// Typed shape/plan mismatch from the fallible inference entry points
+/// ([`HogaModel::try_infer`] / [`HogaModel::try_infer_int8`]). The serving
+/// layer maps these to HTTP 4xx instead of unwinding a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// `hop_stack.rows() != batch * (num_hops + 1)`.
+    HopStackRows {
+        /// Rows the model geometry requires for the claimed batch.
+        expect: usize,
+        /// Rows the hop stack actually has.
+        got: usize,
+    },
+    /// `hop_stack.cols() != input_dim`.
+    FeatureWidth {
+        /// The model's input feature dimension.
+        expect: usize,
+        /// Columns the hop stack actually has.
+        got: usize,
+    },
+    /// [`Precision::Int8`] passed to [`HogaModel::try_infer`]: int8 needs a
+    /// prebuilt [`Int8Plan`] so the quantization cost is explicit.
+    NeedsInt8Plan,
+    /// The [`Int8Plan`] was built for a model with different geometry.
+    PlanGeometry {
+        /// Human-readable description of the first mismatch found.
+        detail: String,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HopStackRows { expect, got } => {
+                write!(f, "hop stack row mismatch: expected {expect} rows, got {got}")
+            }
+            Self::FeatureWidth { expect, got } => {
+                write!(f, "feature width mismatch: expected {expect} cols, got {got}")
+            }
+            Self::NeedsInt8Plan => {
+                write!(f, "int8 inference needs a weight plan: use int8_plan() + try_infer_int8()")
+            }
+            Self::PlanGeometry { detail } => write!(f, "int8 plan geometry mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for InferError {}
+
+/// Resolved numeric mode for one `infer_impl` call: `Int8` has already
+/// been paired with its validated plan, so the hot path carries no
+/// `Option` to unwrap.
+#[derive(Clone, Copy)]
+enum Mode<'a> {
+    Exact,
+    Fast,
+    Int8(&'a Int8Plan),
+}
+
+impl Mode<'_> {
+    fn is_exact(&self) -> bool {
+        matches!(self, Mode::Exact)
+    }
+}
 
 /// Numeric contract of an inference pass; see the [module docs](self).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,13 +187,37 @@ impl HogaModel {
     /// # Panics
     ///
     /// Panics under the same shape conditions as `forward`, or if
-    /// `precision` is [`Precision::Int8`].
+    /// `precision` is [`Precision::Int8`]. Long-lived callers (the serving
+    /// layer) use [`HogaModel::try_infer`] instead.
     pub fn infer(&self, hop_stack: &Matrix, batch: usize, precision: Precision) -> InferOutput {
-        assert!(
-            precision != Precision::Int8,
-            "int8 inference needs a weight plan: use int8_plan() + infer_int8()"
-        );
-        self.infer_impl(hop_stack, batch, precision, None)
+        match self.try_infer(hop_stack, batch, precision) {
+            Ok(out) => out,
+            // analyze: allow(panic-free-paths) — documented panicking wrapper; fallible callers use try_infer
+            Err(e) => panic!("infer: {e}"),
+        }
+    }
+
+    /// Fallible [`HogaModel::infer`]: validates shapes up front and returns
+    /// a typed [`InferError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::NeedsInt8Plan`] for [`Precision::Int8`] (use
+    /// [`HogaModel::try_infer_int8`]); the shape variants when the hop
+    /// stack disagrees with the model geometry.
+    pub fn try_infer(
+        &self,
+        hop_stack: &Matrix,
+        batch: usize,
+        precision: Precision,
+    ) -> Result<InferOutput, InferError> {
+        let mode = match precision {
+            Precision::Exact => Mode::Exact,
+            Precision::Fast => Mode::Fast,
+            Precision::Int8 => return Err(InferError::NeedsInt8Plan),
+        };
+        self.check_shapes(hop_stack, batch)?;
+        Ok(self.infer_impl(hop_stack, batch, mode))
     }
 
     /// Tape-free int8 forward pass using a prebuilt [`Int8Plan`].
@@ -135,33 +225,108 @@ impl HogaModel {
     /// # Panics
     ///
     /// Panics under the same shape conditions as
-    /// [`HogaModel::forward`][crate::model::HogaModel::forward].
+    /// [`HogaModel::forward`][crate::model::HogaModel::forward]. Long-lived
+    /// callers use [`HogaModel::try_infer_int8`] instead.
     pub fn infer_int8(&self, plan: &Int8Plan, hop_stack: &Matrix, batch: usize) -> InferOutput {
-        self.infer_impl(hop_stack, batch, Precision::Int8, Some(plan))
+        match self.try_infer_int8(plan, hop_stack, batch) {
+            Ok(out) => out,
+            // analyze: allow(panic-free-paths) — documented panicking wrapper; fallible callers use try_infer_int8
+            Err(e) => panic!("infer_int8: {e}"),
+        }
     }
 
-    fn infer_impl(
+    /// Fallible [`HogaModel::infer_int8`]: validates the hop-stack shapes
+    /// and the plan geometry (layer/head counts and projection dimensions)
+    /// up front, so the hot loop below indexes the plan without any
+    /// reachable panic.
+    ///
+    /// # Errors
+    ///
+    /// The [`InferError`] shape variants, or
+    /// [`InferError::PlanGeometry`] when `plan` was built for a different
+    /// model.
+    pub fn try_infer_int8(
         &self,
+        plan: &Int8Plan,
         hop_stack: &Matrix,
         batch: usize,
-        precision: Precision,
-        plan: Option<&Int8Plan>,
-    ) -> InferOutput {
+    ) -> Result<InferOutput, InferError> {
+        self.check_shapes(hop_stack, batch)?;
+        self.check_plan(plan)?;
+        Ok(self.infer_impl(hop_stack, batch, Mode::Int8(plan)))
+    }
+
+    fn check_shapes(&self, hop_stack: &Matrix, batch: usize) -> Result<(), InferError> {
+        let k1 = self.config.num_hops + 1;
+        if hop_stack.rows() != batch * k1 {
+            return Err(InferError::HopStackRows { expect: batch * k1, got: hop_stack.rows() });
+        }
+        if hop_stack.cols() != self.config.input_dim {
+            return Err(InferError::FeatureWidth {
+                expect: self.config.input_dim,
+                got: hop_stack.cols(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Every plan index and dimension used by `infer_impl` is checked here,
+    /// which is what makes the int8 hot loop panic-free for validated
+    /// inputs.
+    fn check_plan(&self, plan: &Int8Plan) -> Result<(), InferError> {
+        let geom = |detail: String| InferError::PlanGeometry { detail };
+        if plan.w_in.k() != self.config.input_dim {
+            return Err(geom(format!(
+                "w_in expects {} input features, model has {}",
+                plan.w_in.k(),
+                self.config.input_dim
+            )));
+        }
+        if plan.layers.len() != self.layers.len() {
+            return Err(geom(format!(
+                "plan has {} layers, model has {}",
+                plan.layers.len(),
+                self.layers.len()
+            )));
+        }
+        for (li, (pl, ml)) in plan.layers.iter().zip(&self.layers).enumerate() {
+            if pl.heads.len() != ml.heads.len() {
+                return Err(geom(format!(
+                    "layer {li}: plan has {} heads, model has {}",
+                    pl.heads.len(),
+                    ml.heads.len()
+                )));
+            }
+            let head_dim = self.config.hidden_dim / self.config.num_heads.max(1);
+            for (hi, ph) in pl.heads.iter().enumerate() {
+                for (name, w) in [("wq", &ph.wq), ("wk", &ph.wk), ("wu", &ph.wu), ("wv", &ph.wv)] {
+                    if w.k() != self.config.hidden_dim || w.n() != head_dim {
+                        return Err(geom(format!(
+                            "layer {li} head {hi} {name}: plan is {}x{}, model needs {}x{}",
+                            w.k(),
+                            w.n(),
+                            self.config.hidden_dim,
+                            head_dim
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn infer_impl(&self, hop_stack: &Matrix, batch: usize, mode: Mode<'_>) -> InferOutput {
         let k1 = self.config.num_hops + 1;
         let k = self.config.num_hops;
-        assert_eq!(hop_stack.rows(), batch * k1, "hop stack row mismatch");
-        assert_eq!(hop_stack.cols(), self.config.input_dim, "feature width mismatch");
 
         let value = |id: ParamId| self.params.value(id);
 
         // Input projection H = X W_in + b_in. Int8 quantizes the raw hop
         // stack once and projects in integer arithmetic.
-        let mut h = match precision {
-            Precision::Exact => hop_stack.matmul(value(self.w_in)),
-            Precision::Fast => hop_stack.matmul_fast(value(self.w_in)),
-            Precision::Int8 => {
-                qmatmul(&QuantizedMatrix::quantize(hop_stack), &plan.expect("int8 plan").w_in)
-            }
+        let mut h = match mode {
+            Mode::Exact => hop_stack.matmul(value(self.w_in)),
+            Mode::Fast => hop_stack.matmul_fast(value(self.w_in)),
+            Mode::Int8(plan) => qmatmul(&QuantizedMatrix::quantize(hop_stack), &plan.w_in),
         };
         add_bias_rows(&mut h, value(self.b_in));
 
@@ -170,19 +335,24 @@ impl HogaModel {
             for (li, layer) in self.layers.iter().enumerate() {
                 // Int8: quantize the layer input once; all per-head
                 // projections share the same quantized activations.
-                let qh = match precision {
-                    Precision::Int8 => Some(QuantizedMatrix::quantize(&h)),
+                let qh = match mode {
+                    Mode::Int8(_) => Some(QuantizedMatrix::quantize(&h)),
                     _ => None,
                 };
                 let project =
-                    |w: ParamId, qw: fn(&Int8Head) -> &QuantizedWeights, hi: usize| match precision
-                    {
-                        Precision::Exact => h.matmul(value(w)),
-                        Precision::Fast => h.matmul_fast(value(w)),
-                        Precision::Int8 => {
-                            let head = &plan.expect("int8 plan").layers[li].heads[hi];
-                            qmatmul(qh.as_ref().expect("quantized activations"), qw(head))
-                        }
+                    |w: ParamId, qw: fn(&Int8Head) -> &QuantizedWeights, hi: usize| match mode {
+                        Mode::Exact => h.matmul(value(w)),
+                        Mode::Fast => h.matmul_fast(value(w)),
+                        Mode::Int8(plan) => match (plan.layers.get(li), qh.as_ref()) {
+                            // check_plan proved the geometry; an absent
+                            // entry reduces to the f32 path rather than
+                            // introducing a panic site.
+                            (Some(pl), Some(q)) => match pl.heads.get(hi) {
+                                Some(head) => qmatmul(q, qw(head)),
+                                None => h.matmul(value(w)),
+                            },
+                            _ => h.matmul(value(w)),
+                        },
                     };
                 let mut head_outputs = Vec::with_capacity(layer.heads.len());
                 for (hi, head) in layer.heads.iter().enumerate() {
@@ -196,7 +366,7 @@ impl HogaModel {
                             // score tile is (K+1)², a rounding-sensitive
                             // softmax input and a negligible MAC share.
                             let (logits, s, sv);
-                            if precision == Precision::Exact {
+                            if mode.is_exact() {
                                 logits = q.batched_matmul_nt(&kk, batch);
                                 s = softmax_rows(&logits);
                                 sv = s.batched_matmul(&v, batch);
@@ -207,8 +377,10 @@ impl HogaModel {
                             }
                             u.hadamard(&sv)
                         }
-                        Aggregator::GateOnly => u.hadamard(&v),
-                        Aggregator::Sum => unreachable!(),
+                        // GateOnly gates without attention; Sum never
+                        // enters this loop (guarded above), so the gate
+                        // expression is the only non-attention shape.
+                        Aggregator::GateOnly | Aggregator::Sum => u.hadamard(&v),
                     };
                     head_outputs.push(gated);
                 }
@@ -218,7 +390,7 @@ impl HogaModel {
                 }
                 let gamma = value(layer.gamma);
                 let beta = value(layer.beta);
-                let normed = if precision == Precision::Exact {
+                let normed = if mode.is_exact() {
                     layernorm_forward(&cat, gamma.row(0), beta.row(0)).0
                 } else {
                     layernorm_rows_fast(&cat, gamma.row(0), beta.row(0))
@@ -248,7 +420,7 @@ impl HogaModel {
         let cat = h0_rep.concat_cols(&h_rest);
         let alpha = value(self.alpha);
         let (scores, weighted);
-        if precision == Precision::Exact {
+        if mode.is_exact() {
             let logits_flat = cat.matmul(alpha);
             let logits = Matrix::from_vec(batch, k, logits_flat.as_slice().to_vec());
             scores = softmax_rows(&logits);

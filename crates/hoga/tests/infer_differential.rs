@@ -12,7 +12,7 @@
 //!   against the f32 oracle, deterministic under plan reuse.
 
 use hoga_autograd::Tape;
-use hoga_core::infer::Precision;
+use hoga_core::infer::{InferError, Precision};
 use hoga_core::model::{Aggregator, HogaConfig, HogaModel};
 use hoga_tensor::{Init, Matrix};
 
@@ -136,4 +136,61 @@ fn int8_without_plan_panics() {
     let model = HogaModel::new(&cfg, 51);
     let stack = toy_stack(2, 4, 5, 52);
     let _ = model.infer(&stack, 2, Precision::Int8);
+}
+
+#[test]
+fn try_infer_matches_the_panicking_wrapper_bitwise() {
+    let cfg = HogaConfig::new(7, 16, 5).with_heads(4);
+    let model = HogaModel::new(&cfg, 61);
+    let batch = 4;
+    let stack = toy_stack(batch, 6, 7, 62);
+    for precision in [Precision::Exact, Precision::Fast] {
+        let want = model.infer(&stack, batch, precision);
+        let got = model.try_infer(&stack, batch, precision).expect("valid shapes");
+        assert_eq!(bits(&want.representations), bits(&got.representations));
+    }
+    let plan = model.int8_plan();
+    let want = model.infer_int8(&plan, &stack, batch);
+    let got = model.try_infer_int8(&plan, &stack, batch).expect("valid shapes and plan");
+    assert_eq!(bits(&want.representations), bits(&got.representations));
+}
+
+#[test]
+fn try_infer_returns_typed_errors_instead_of_panicking() {
+    let cfg = HogaConfig::new(5, 8, 3);
+    let model = HogaModel::new(&cfg, 71);
+    let good = toy_stack(2, 4, 5, 72);
+    // Wrong row count for the claimed batch.
+    let err = model.try_infer(&good, 3, Precision::Exact).unwrap_err();
+    assert_eq!(err, InferError::HopStackRows { expect: 12, got: 8 });
+    // Wrong feature width.
+    let wide = toy_stack(2, 4, 6, 73);
+    let err = model.try_infer(&wide, 2, Precision::Exact).unwrap_err();
+    assert_eq!(err, InferError::FeatureWidth { expect: 5, got: 6 });
+    // Int8 without a plan is a typed error on the fallible path.
+    let err = model.try_infer(&good, 2, Precision::Int8).unwrap_err();
+    assert_eq!(err, InferError::NeedsInt8Plan);
+    // Errors render a message the serving layer can return as-is.
+    assert!(err.to_string().contains("int8"));
+}
+
+#[test]
+fn try_infer_int8_rejects_a_foreign_plan() {
+    let cfg = HogaConfig::new(5, 8, 3);
+    let model = HogaModel::new(&cfg, 81);
+    let other = HogaModel::new(&HogaConfig::new(5, 8, 3).with_layers(2), 82);
+    let stack = toy_stack(2, 4, 5, 83);
+    let foreign = other.int8_plan();
+    match model.try_infer_int8(&foreign, &stack, 2) {
+        Err(InferError::PlanGeometry { detail }) => {
+            assert!(detail.contains("layers"), "detail: {detail}")
+        }
+        other => panic!("expected PlanGeometry, got {other:?}"),
+    }
+    // A differently-shaped projection is also caught, not just layer count.
+    let narrow = HogaModel::new(&HogaConfig::new(5, 4, 3), 84);
+    match model.try_infer_int8(&narrow.int8_plan(), &stack, 2) {
+        Err(InferError::PlanGeometry { .. }) => {}
+        other => panic!("expected PlanGeometry, got {other:?}"),
+    }
 }

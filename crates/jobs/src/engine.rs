@@ -66,6 +66,19 @@ impl fmt::Display for Overloaded {
 
 impl Error for Overloaded {}
 
+/// Per-submission overrides of the engine-wide [`EngineConfig`] defaults.
+///
+/// The serving layer needs these: each request carries its own wall-clock
+/// budget (from an HTTP header), so one engine must supervise jobs with
+/// different deadlines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Per-job wall-clock budget in milliseconds. `None` inherits
+    /// [`EngineConfig::deadline_ms`]; `Some(0)` disables the deadline for
+    /// this job even if the engine has one.
+    pub deadline_ms: Option<u64>,
+}
+
 /// One type-erased attempt body: owns the job value (so state mutated by
 /// a failed attempt survives into the retry) plus the success side of the
 /// result channel.
@@ -77,6 +90,7 @@ struct Submission {
     id: u64,
     cancel: CancelToken,
     faults: Arc<FaultInjector>,
+    deadline_ms: u64,
     attempt_body: AttemptBody,
     fail: Option<Box<dyn FnOnce(JobError) + Send>>,
 }
@@ -169,6 +183,17 @@ impl Engine {
         job: J,
         faults: JobFaultPlan,
     ) -> Result<JobHandle<J::Output>, Overloaded> {
+        self.submit_with(job, faults, SubmitOptions::default())
+    }
+
+    /// [`Engine::submit`] with per-submission overrides (e.g. a request's
+    /// own wall-clock deadline).
+    pub fn submit_with<J: Job + 'static>(
+        &self,
+        job: J,
+        faults: JobFaultPlan,
+        opts: SubmitOptions,
+    ) -> Result<JobHandle<J::Output>, Overloaded> {
         let name = job.name();
         let (tx, rx) = channel();
         let tx_ok = tx.clone();
@@ -202,6 +227,7 @@ impl Engine {
             id,
             cancel: cancel.clone(),
             faults: Arc::new(FaultInjector::new(&faults)),
+            deadline_ms: opts.deadline_ms.unwrap_or(self.shared.config.deadline_ms),
             attempt_body,
             fail: Some(fail),
         });
@@ -273,8 +299,8 @@ fn worker_loop(shared: &Shared) {
 fn supervise(shared: &Shared, mut sub: Submission) {
     let config = &shared.config;
     let job_seed = splitmix64(config.seed ^ sub.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let deadline = (config.deadline_ms > 0)
-        .then(|| Instant::now() + Duration::from_millis(config.deadline_ms));
+    let deadline_ms = sub.deadline_ms;
+    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
     let max_attempts = config.retry.max_attempts.max(1);
 
     for attempt in 1..=max_attempts {
@@ -283,7 +309,7 @@ fn supervise(shared: &Shared, mut sub: Submission) {
             attempt,
             cancel: sub.cancel.clone(),
             deadline,
-            deadline_ms: config.deadline_ms,
+            deadline_ms,
             events: Arc::clone(&shared.events),
             faults: Arc::clone(&sub.faults),
         };
@@ -453,5 +479,88 @@ mod tests {
         assert!(!sleep_cancellable(&token, Duration::from_millis(50)));
         let fresh = CancelToken::new();
         assert!(sleep_cancellable(&fresh, Duration::from_millis(1)));
+    }
+
+    /// Spins until its budget elapses, polling `check_interrupt` — the
+    /// cooperative shape every deadline-aware job has.
+    struct SpinJob {
+        millis: u64,
+    }
+
+    impl Job for SpinJob {
+        type Output = ();
+
+        fn name(&self) -> String {
+            "spin".into()
+        }
+
+        fn run(&mut self, ctx: &JobContext) -> Result<(), JobError> {
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_millis(self.millis) {
+                ctx.check_interrupt()?;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn submit_with_overrides_the_engine_deadline() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            retry: RetryPolicy::no_retry(),
+            deadline_ms: 0, // engine-wide: no deadline
+            ..EngineConfig::default()
+        })
+        .expect("spawn workers");
+        let handle = engine
+            .submit_with(
+                SpinJob { millis: 10_000 },
+                JobFaultPlan::none(),
+                SubmitOptions { deadline_ms: Some(30) },
+            )
+            .expect("queue has room");
+        match handle.wait() {
+            Err(JobError::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 30),
+            other => panic!("expected the per-submission deadline to fire, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_with_zero_disables_an_engine_deadline() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            retry: RetryPolicy::no_retry(),
+            deadline_ms: 10, // engine-wide: far shorter than the job
+            ..EngineConfig::default()
+        })
+        .expect("spawn workers");
+        let handle = engine
+            .submit_with(
+                SpinJob { millis: 60 },
+                JobFaultPlan::none(),
+                SubmitOptions { deadline_ms: Some(0) },
+            )
+            .expect("queue has room");
+        assert!(handle.wait().is_ok(), "Some(0) must disable the engine deadline");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_inherits_the_engine_deadline() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            retry: RetryPolicy::no_retry(),
+            deadline_ms: 30,
+            ..EngineConfig::default()
+        })
+        .expect("spawn workers");
+        let handle = engine.submit(SpinJob { millis: 10_000 }, JobFaultPlan::none()).expect("room");
+        match handle.wait() {
+            Err(JobError::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 30),
+            other => panic!("expected the inherited engine deadline, got {other:?}"),
+        }
+        engine.shutdown();
     }
 }

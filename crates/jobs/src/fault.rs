@@ -2,16 +2,27 @@
 //!
 //! Every fault the workspace knows how to inject — trainer worker panics
 //! (`eval::fault::FaultPlan`), synthesis miscompiles and stalls
-//! (`synth::guard::SynthFaultPlan`), and engine-level attempt faults — is a
-//! `(site, kind)` pair from this module. The domain crates expose
-//! `from_job_plan` adapters that *project* a [`JobFaultPlan`] onto their own
-//! coordinates, so one plan drives fault injection end to end:
+//! (`synth::guard::SynthFaultPlan`), engine-level attempt faults, and the
+//! inference server's degradation modes (`serve`) — is a `(site, kind)`
+//! pair from this module. The domain crates expose `from_job_plan`
+//! adapters that *project* a [`JobFaultPlan`] onto their own coordinates,
+//! so one plan drives fault injection end to end:
 //!
 //! | kind \ consumer | engine (attempt site)       | eval trainer (step site)  | synth guard (step site) |
 //! |-----------------|-----------------------------|---------------------------|-------------------------|
 //! | `Panic`         | panic inside `catch_unwind` | `WorkerPanic`             | ignored (guard never panics) |
 //! | `Stall`         | sleep, then proceed         | `WorkerDelay`             | `SynthFault::Stall`     |
 //! | `Corrupt`       | retryable incident          | `CorruptGradient`         | `SynthFault::Miscompile`|
+//!
+//! Serve-path sites ([`ServeSite`], claimed via
+//! [`FaultInjector::claim_serve`]) map onto the same kinds:
+//!
+//! | site               | meaning when claimed                                   |
+//! |--------------------|--------------------------------------------------------|
+//! | `SlowClient`       | request body dribbles in slower than the read timeout  |
+//! | `CorruptFrame`     | uploaded circuit bytes are flipped before decoding     |
+//! | `CorruptCheckpoint`| checkpoint bytes are flipped before CRC verification   |
+//! | `StallReload`      | hot reload stalls after load, before the registry swap |
 //!
 //! A [`FaultInjector`] arms a plan for one job run; each fault fires
 //! **exactly once** (claim-once semantics via an atomic swap), so a retried
@@ -40,6 +51,25 @@ pub enum FaultSite {
     /// The meaning of the axes is per-job (trainer: epoch/step/worker;
     /// dataset sweep: chunk/0/0; synth: 0/recipe-step/0).
     Step { unit: u64, step: u64, lane: u64 },
+    /// Inference-server degradation point, claimed by `crates/serve`.
+    Serve(ServeSite),
+}
+
+/// Degradation points in the serving path (see the module docs table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSite {
+    /// While reading a request body: the client dribbles bytes slower than
+    /// the socket read timeout.
+    SlowClient,
+    /// After the body is read, before AIG decode: payload bytes flipped.
+    CorruptFrame,
+    /// After a checkpoint is read from disk, before CRC verification:
+    /// artifact bytes flipped.
+    CorruptCheckpoint,
+    /// During hot reload, after the canary passes but before the registry
+    /// swap: the reload thread stalls while requests keep serving the old
+    /// model.
+    StallReload,
 }
 
 /// One planned fault.
@@ -116,6 +146,13 @@ impl FaultInjector {
         })
     }
 
+    /// Claim the fault planned at the given serve-path site, if any.
+    /// Public: the serving layer sits outside this crate and injects at
+    /// connection scope, not job scope, so it claims directly.
+    pub fn claim_serve(&self, site: ServeSite) -> Option<FaultKind> {
+        self.claim(|s| matches!(s, FaultSite::Serve(p) if *p == site))
+    }
+
     /// How many planned faults have not fired yet.
     pub fn remaining(&self) -> usize {
         self.fired.iter().filter(|f| !f.load(Ordering::SeqCst)).count()
@@ -157,6 +194,22 @@ mod tests {
         let inj = FaultInjector::default();
         assert_eq!(inj.claim_attempt(1), None);
         assert_eq!(inj.claim_step(0, 0, 0), None);
+        assert_eq!(inj.claim_serve(ServeSite::SlowClient), None);
+        assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn serve_sites_claim_once_and_do_not_cross_match() {
+        let plan = JobFaultPlan::none()
+            .inject(FaultSite::Serve(ServeSite::SlowClient), FaultKind::Stall { millis: 250 })
+            .inject(FaultSite::Serve(ServeSite::CorruptCheckpoint), FaultKind::Corrupt);
+        let inj = FaultInjector::new(&plan);
+        assert_eq!(inj.claim_serve(ServeSite::CorruptFrame), None, "unplanned site");
+        assert_eq!(inj.claim_serve(ServeSite::StallReload), None, "unplanned site");
+        assert_eq!(inj.claim_attempt(1), None, "serve faults never leak into attempts");
+        assert_eq!(inj.claim_serve(ServeSite::SlowClient), Some(FaultKind::Stall { millis: 250 }));
+        assert_eq!(inj.claim_serve(ServeSite::SlowClient), None, "claim-once");
+        assert_eq!(inj.claim_serve(ServeSite::CorruptCheckpoint), Some(FaultKind::Corrupt));
         assert_eq!(inj.remaining(), 0);
     }
 }

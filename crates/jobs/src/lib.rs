@@ -40,8 +40,8 @@ pub mod fault;
 pub mod job;
 pub mod retry;
 
-pub use engine::{Engine, EngineConfig, JobHandle, Overloaded};
+pub use engine::{Engine, EngineConfig, JobHandle, Overloaded, SubmitOptions};
 pub use events::{EventLog, EventSink, JobEvent, NullSink};
-pub use fault::{FaultInjector, FaultKind, FaultSite, JobFaultPlan, PlannedFault};
+pub use fault::{FaultInjector, FaultKind, FaultSite, JobFaultPlan, PlannedFault, ServeSite};
 pub use job::{CancelToken, Job, JobContext, JobError};
 pub use retry::{backoff_delay, RetryPolicy};

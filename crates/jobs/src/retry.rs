@@ -125,4 +125,72 @@ mod tests {
         let d = backoff_delay(&policy, 3, u32::MAX);
         assert!(d <= Duration::from_millis(policy.max_delay_ms * 2));
     }
+
+    /// Golden values near `u32::MAX`: the exponent clamp + cap keep the
+    /// delay in `raw ± 25%` of the 2000ms cap, and the jitter mix stays a
+    /// pure function of `(seed, attempt)` even at the attempt ceiling.
+    #[test]
+    fn attempts_near_u32_max_pin_golden_values() {
+        let policy = RetryPolicy::default();
+        let golden = [(u32::MAX - 2, 2214u64), (u32::MAX - 1, 1877u64), (u32::MAX, 2398u64)];
+        for (attempt, expect_ms) in golden {
+            let d = backoff_delay(&policy, 0xC0_FFEE, attempt);
+            assert_eq!(d, Duration::from_millis(expect_ms), "attempt {attempt}");
+        }
+    }
+
+    /// Golden jittered schedule for the default policy: any change to the
+    /// mixer, the jitter span, or the cap shows up as a diff here.
+    #[test]
+    fn default_policy_schedule_pins_golden_values() {
+        let policy = RetryPolicy::default();
+        let delays: Vec<u64> =
+            (1..=6).map(|a| backoff_delay(&policy, 0x5EED, a).as_millis() as u64).collect();
+        assert_eq!(delays, vec![56, 94, 177, 466, 964, 1803]);
+    }
+
+    /// A zero-jitter policy is exactly the capped exponential, including at
+    /// the `u32::MAX` attempt where the exponent clamp takes over.
+    #[test]
+    fn zero_jitter_policy_is_exactly_the_capped_exponential() {
+        let policy =
+            RetryPolicy { max_attempts: 10, base_delay_ms: 7, max_delay_ms: 93, jitter_pct: 0 };
+        let attempts: Vec<u32> = (1..=7).chain([u32::MAX]).collect();
+        let delays: Vec<u64> =
+            attempts.iter().map(|&a| backoff_delay(&policy, 1234, a).as_millis() as u64).collect();
+        assert_eq!(delays, vec![7, 14, 28, 56, 93, 93, 93, 93]);
+        // The seed is irrelevant once jitter is off.
+        assert_eq!(backoff_delay(&policy, 0, 3), backoff_delay(&policy, u64::MAX, 3));
+    }
+
+    /// The un-jittered delay is monotone non-decreasing in the attempt
+    /// number all the way to saturation — no overflow dip anywhere.
+    #[test]
+    fn unjittered_delay_is_monotone_to_saturation() {
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay_ms: 13,
+            max_delay_ms: 50_000,
+            jitter_pct: 0,
+        };
+        let mut prev = Duration::ZERO;
+        let attempts: Vec<u32> = (1..=64).chain([1 << 20, u32::MAX - 1, u32::MAX]).collect();
+        for a in attempts {
+            let d = backoff_delay(&policy, 99, a);
+            assert!(d >= prev, "attempt {a}: {d:?} < {prev:?}");
+            prev = d;
+        }
+        assert_eq!(prev, Duration::from_millis(50_000), "tail saturates at the cap");
+    }
+
+    /// `max_delay_ms` below `base_delay_ms` is tolerated: the effective cap
+    /// is their max, so attempt 1 still sleeps the base delay.
+    #[test]
+    fn cap_below_base_saturates_to_base() {
+        let policy =
+            RetryPolicy { max_attempts: 5, base_delay_ms: 40, max_delay_ms: 10, jitter_pct: 0 };
+        for a in [1u32, 2, 9, u32::MAX] {
+            assert_eq!(backoff_delay(&policy, 5, a), Duration::from_millis(40), "attempt {a}");
+        }
+    }
 }

@@ -1,0 +1,187 @@
+//! Minimal blocking HTTP/1.1 client for tests, benches, and smoke checks.
+//!
+//! Speaks exactly the dialect the server emits (`Connection: close`, a
+//! `Content-Length` on every response), so reading to EOF after the header
+//! block is a complete response. Also exposes [`HttpClient::send_raw`] so
+//! chaos tests can act as a *misbehaving* client — partial writes, early
+//! hangups — without a second code path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Typed client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failed (including timeouts).
+    Io(std::io::Error),
+    /// The peer's bytes did not parse as an HTTP/1.1 response.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "client io: {e}"),
+            Self::BadResponse(why) => write!(f, "bad response: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One fully-read response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive single-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == want).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy — error bodies are always ASCII JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// The client: one request per connection, like the server's model.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr` with a per-socket-operation timeout.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Self { addr, timeout }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn get(&self, path: &str) -> Result<HttpResponse, ClientError> {
+        self.request("GET", path, &[], &[])
+    }
+
+    /// `POST path` with headers and body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn post(
+        &self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<HttpResponse, ClientError> {
+        self.request("POST", path, headers, body)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<HttpResponse, ClientError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: hoga-serve\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body);
+        self.send_raw(&wire, None)
+    }
+
+    /// Writes `bytes` verbatim, optionally pausing `stall` after the first
+    /// `split_at` bytes (a deterministic slow-loris), then reads the full
+    /// response. `send_raw(&full_request, None)` is a well-behaved send.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn send_raw(
+        &self,
+        bytes: &[u8],
+        stall: Option<(usize, Duration)>,
+    ) -> Result<HttpResponse, ClientError> {
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.timeout).map_err(ClientError::Io)?;
+        let mut stream = stream;
+        stream.set_read_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        match stall {
+            Some((split_at, pause)) => {
+                let cut = split_at.min(bytes.len());
+                stream.write_all(bytes.get(..cut).unwrap_or(&[])).map_err(ClientError::Io)?;
+                stream.flush().map_err(ClientError::Io)?;
+                std::thread::sleep(pause);
+                stream.write_all(bytes.get(cut..).unwrap_or(&[])).map_err(ClientError::Io)?;
+            }
+            None => stream.write_all(bytes).map_err(ClientError::Io)?,
+        }
+        stream.flush().map_err(ClientError::Io)?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).map_err(ClientError::Io)?;
+        parse_response(&raw)
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, ClientError> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::BadResponse("no header terminator".into()))?;
+    let head = std::str::from_utf8(raw.get(..split).unwrap_or(&[]))
+        .map_err(|_| ClientError::BadResponse("non-UTF8 head".into()))?;
+    let body = raw.get(split + 4..).unwrap_or(&[]).to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| ClientError::BadResponse("empty head".into()))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line: {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(HttpResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_response_splits_status_headers_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n{\"error\":\"x\"}";
+        let r = parse_response(raw).expect("well-formed");
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("retry-after"), Some("1"));
+        assert_eq!(r.text(), "{\"error\":\"x\"}");
+    }
+
+    #[test]
+    fn parse_response_rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 notanumber X\r\n\r\n").is_err());
+    }
+}

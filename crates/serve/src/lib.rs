@@ -1,0 +1,48 @@
+//! `hoga-serve` — a robustness-first QoR inference server.
+//!
+//! HOGA's core property makes serving cheap: hop features
+//! `X^(k) = Â X^(k-1)` depend only on the circuit, so once a design's hop
+//! stack is computed (and cached), every recipe query against it is one
+//! small attention forward pass. This crate turns that into a long-lived
+//! std-only HTTP/1.1 service — `std::net::TcpListener` plus the bounded
+//! supervised worker pool of `hoga-jobs`, no async runtime — that is
+//! *born hardened* rather than hardened later:
+//!
+//! * **Admission control** — connection count and the engine queue are both
+//!   bounded; overflow is HTTP 503 with `Retry-After`, via the engine's
+//!   typed [`hoga_jobs::Overloaded`], never an unbounded pile-up.
+//! * **Deadline propagation** — an `X-Deadline-Ms` request header becomes a
+//!   per-submission wall-clock budget ([`hoga_jobs::SubmitOptions`]) that
+//!   the forward pass observes through `CancelToken` checks between hop
+//!   levels; expiry is HTTP 504.
+//! * **Slow-loris defense** — socket read/write timeouts; a client that
+//!   dribbles bytes occupies only its connection thread, never an engine
+//!   worker slot (jobs are submitted only after a request is fully read).
+//! * **CRC-guarded hot reload** — checkpoints load through the
+//!   CRC-verified `hoga_datasets::io` decode path; corrupt artifacts are
+//!   refused with typed errors and quarantined, and a new model is swapped
+//!   in only after a canary forward pass on a pinned reference circuit
+//!   passes (see [`registry`]). The old model serves throughout.
+//! * **Bounded hop-feature cache** — keyed by
+//!   [`hoga_datasets::io::structural_hash`], LRU-evicted under a byte
+//!   budget; oversized entries degrade to recompute-on-miss, never OOM.
+//! * **Deterministic chaos** — every degradation mode is injectable via
+//!   [`hoga_jobs::ServeSite`] fault sites and proven in-process by
+//!   `tests/chaos.rs` plus the out-of-process CI smoke.
+//!
+//! See `docs/SERVING.md` for the request lifecycle and the full fault-site
+//! table.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, HopCache};
+pub use client::{ClientError, HttpClient, HttpResponse};
+pub use http::{HttpError, Request, Response};
+pub use registry::{ModelBundle, ModelRegistry, ReloadError};
+pub use server::{Server, ServerConfig, ServerHandle, StartError};

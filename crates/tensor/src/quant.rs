@@ -75,6 +75,7 @@ impl QuantizedMatrix {
                 let s = span / 255.0;
                 // zero_point = qmin − lo/s, rounded; lo ≤ 0 ≤ hi keeps it
                 // inside [-128, 127].
+                // analyze: allow(panic-reachability) — f32 division: s = span/255 > 0 here, and float /0 is inf, never a panic
                 (s, (-128.0 - lo / s).round() as i32)
             } else {
                 // Constant row: hi == lo == 0 here because the range was
@@ -85,6 +86,7 @@ impl QuantizedMatrix {
             zero_point[r] = zp;
             let qrow = &mut q[r * cols..(r + 1) * cols];
             for (qv, &v) in qrow.iter_mut().zip(row) {
+                // analyze: allow(panic-reachability) — f32 division: s > 0 on both branches above; float /0 is inf, never a panic
                 let t = (v / s).round() as i32 + zp;
                 *qv = t.clamp(-128, 127) as i8;
             }
@@ -224,13 +226,17 @@ pub fn qmatmul(a: &QuantizedMatrix, w: &QuantizedWeights) -> Matrix {
         // bitwise identical to the scalar loop below for every input.
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
         if matches!(crate::backend::resolved(), crate::backend::ResolvedBackend::Avx2) {
+            // In bounds: the shape assert above pins `a.q.len()` to rows·k
+            // and the parallel splitter keeps row chunks within rows.
+            let qa_range = row_start * k..(row_start + rows_here) * k;
+            let row_range = row_start..row_start + rows_here;
             crate::simd::qmatmul_chunk(
                 chunk,
                 &crate::simd::QOperands {
-                    qa: &a.q[row_start * k..(row_start + rows_here) * k],
+                    qa: &a.q[qa_range],
                     k,
-                    scale: &a.scale[row_start..row_start + rows_here],
-                    zero_point: &a.zero_point[row_start..row_start + rows_here],
+                    scale: &a.scale[row_range.clone()],
+                    zero_point: &a.zero_point[row_range],
                     qw: &w.q,
                     n,
                     w_scale: &w.scale,

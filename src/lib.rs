@@ -26,5 +26,6 @@ pub use hoga_datasets as datasets;
 pub use hoga_eval as eval;
 pub use hoga_gen as gen;
 pub use hoga_jobs as jobs;
+pub use hoga_serve as serve;
 pub use hoga_synth as synth;
 pub use hoga_tensor as tensor;

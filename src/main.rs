@@ -16,6 +16,11 @@
 //! hoga-repro qor-dataset --out DIR [--scale N] [--recipes N] [--max-nodes N]
 //!                        [--stop-after N] [--chunk N] [--inject D:R:S[:stall]]
 //!                        [--conflict-budget N] [--max-work N]
+//! hoga-repro serve    --checkpoint PATH [--addr HOST:PORT] [--hops N]
+//!                     [--workers N] [--queue N] [--max-conns N]
+//!                     [--read-timeout-ms N] [--deadline-ms N] [--cache-bytes N]
+//!                     [--inject-serve SITE:kind[:millis]] [--inject-job SPEC]
+//! hoga-repro encode-aig --design NAME --out PATH [--scale N]
 //! ```
 //!
 //! All commands print the reproduced table/series to stdout and exit 0 on
@@ -99,12 +104,14 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "sched" => cmd_sched(&flags),
         "train" => cmd_train(&flags),
         "qor-dataset" => cmd_qor_dataset(&flags),
+        "serve" => cmd_serve(&flags),
+        "encode-aig" => cmd_encode_aig(&flags),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }
 }
 
 const USAGE: &str =
-    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched|train|qor-dataset> [flags]
+    "usage: hoga-repro <table1|table2|fig4|fig5|fig6|fig7|ablation|synth|sched|train|qor-dataset|serve|encode-aig> [flags]
   --scale N        Table-1 size divisor (default 32)
   --max-nodes N    skip designs above N scaled nodes (default 1500)
   --recipes N      synthesis recipes per design (default 8)
@@ -135,7 +142,20 @@ const USAGE: &str =
   --deadline-ms N  wall-clock budget per attempt chain (0 = none)
   --inject-job attempt:A:kind[:millis] | step:U:S:L:kind[:millis]
                    inject an engine-level fault (kind: panic|stall|corrupt)
-  --events PATH    write the rendered job event stream to PATH";
+  --events PATH    write the rendered job event stream to PATH
+  serve flags:
+  --checkpoint PATH    serve: QoR checkpoint to load (CRC-verified; required)
+  --addr HOST:PORT     serve: bind address (default 127.0.0.1:7878; port 0 = any)
+  --hops N         serve: hop count K, must match training (default 5)
+  --queue N        serve: bounded queue; overflow sheds with 503 (default 16)
+  --max-conns N    serve: concurrent connection cap (default 64)
+  --read-timeout-ms N  serve: slow-loris socket cutoff (default 2000)
+  --cache-bytes N  serve: hop-feature cache budget (default 64 MiB)
+  --inject-serve SITE:kind[:millis]  serve: arm a serve fault site once
+                   (SITE: slow-client|corrupt-frame|corrupt-checkpoint|stall-reload)
+  encode-aig flags:
+  --design NAME    encode-aig: Table-1 design to encode (see synth)
+  --out PATH       encode-aig: where to write the encoded frame";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -589,6 +609,113 @@ fn cmd_sched(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses an `--inject-serve` spec: `SITE:kind[:millis]` where SITE names
+/// one of the four serving degradation points.
+fn parse_inject_serve(spec: &str) -> Result<(FaultSite, FaultKind), String> {
+    use hoga_repro::jobs::ServeSite;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (site_name, kind_name, millis) = match parts.as_slice() {
+        [s, k] => (*s, *k, None),
+        [s, k, m] => (*s, *k, Some(*m)),
+        _ => {
+            return Err(format!("--inject-serve expects SITE:kind[:millis], got `{spec}`"));
+        }
+    };
+    let site = match site_name {
+        "slow-client" => ServeSite::SlowClient,
+        "corrupt-frame" => ServeSite::CorruptFrame,
+        "corrupt-checkpoint" => ServeSite::CorruptCheckpoint,
+        "stall-reload" => ServeSite::StallReload,
+        other => {
+            return Err(format!(
+                "unknown serve site `{other}` in `{spec}` \
+                 (slow-client|corrupt-frame|corrupt-checkpoint|stall-reload)"
+            ));
+        }
+    };
+    let kind = match (kind_name, millis) {
+        ("corrupt", None) => FaultKind::Corrupt,
+        ("stall", m) => FaultKind::Stall {
+            millis: m
+                .map(|v| v.parse().map_err(|_| format!("bad stall millis `{v}` in `{spec}`")))
+                .transpose()?
+                .unwrap_or(50),
+        },
+        _ => return Err(format!("unknown fault kind `{kind_name}` in `{spec}` (stall|corrupt)")),
+    };
+    Ok((FaultSite::Serve(site), kind))
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use hoga_repro::serve::{Server, ServerConfig};
+    let Some(checkpoint) = flags.get("checkpoint") else {
+        return Err(CliError::usage("serve requires --checkpoint PATH"));
+    };
+    let mut serve_faults = JobFaultPlan::none();
+    if let Some(spec) = flags.get("inject-serve") {
+        let (site, kind) = parse_inject_serve(spec).map_err(CliError::Usage)?;
+        serve_faults = serve_faults.inject(site, kind);
+    }
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into()),
+        checkpoint: std::path::PathBuf::from(checkpoint),
+        num_hops: get(flags, "hops", defaults.num_hops),
+        workers: get(flags, "workers", defaults.workers),
+        queue_capacity: get(flags, "queue", defaults.queue_capacity),
+        max_connections: get(flags, "max-conns", defaults.max_connections),
+        read_timeout_ms: get(flags, "read-timeout-ms", defaults.read_timeout_ms),
+        write_timeout_ms: get(flags, "write-timeout-ms", defaults.write_timeout_ms),
+        default_deadline_ms: get(flags, "deadline-ms", defaults.default_deadline_ms),
+        cache_bytes: get(flags, "cache-bytes", defaults.cache_bytes),
+        serve_faults,
+        job_faults: inject_job_plan(flags)?,
+        ..defaults
+    };
+    let handle = Server::start(config).map_err(|e| CliError::failed(e.to_string()))?;
+    // Flushed eagerly: supervisors and the CI smoke tail the log for this
+    // line before sending traffic, and piped stdout is block-buffered.
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "serving on {}", handle.addr());
+        let _ = out.flush();
+    }
+    // Serve until the process is stopped externally (signal/SIGKILL —
+    // crash-only shutdown is part of the robustness contract; see
+    // docs/SERVING.md).
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_encode_aig(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let Some(name) = flags.get("design") else {
+        return Err(CliError::usage("encode-aig requires --design NAME (see Table 1 names)"));
+    };
+    let Some(out) = flags.get("out") else {
+        return Err(CliError::usage("encode-aig requires --out PATH"));
+    };
+    let Some(spec) = OPENABCD_DESIGNS.iter().find(|d| d.name == name.as_str()) else {
+        let names: Vec<&str> = OPENABCD_DESIGNS.iter().map(|d| d.name).collect();
+        return Err(CliError::usage(format!(
+            "unknown design `{name}`; available: {}",
+            names.join(", ")
+        )));
+    };
+    let aig = generate_ip(spec, get(flags, "scale", 32));
+    let frame = hoga_repro::datasets::io::encode_aig(&aig);
+    std::fs::write(out, frame.to_vec())
+        .map_err(|e| CliError::failed(format!("cannot write `{out}`: {e}")))?;
+    println!(
+        "wrote {out}: design `{}`, {} nodes, {} bytes",
+        spec.name,
+        aig.num_nodes(),
+        frame.len()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +779,29 @@ mod tests {
 
         let (_, kind) = parse_inject_job("step:0:0:0:stall").expect("default stall millis");
         assert_eq!(kind, FaultKind::Stall { millis: 50 });
+    }
+
+    #[test]
+    fn parse_inject_serve_accepts_all_sites_and_rejects_garbage() {
+        use hoga_repro::jobs::ServeSite;
+        let (site, kind) = parse_inject_serve("slow-client:stall:250").expect("slow client");
+        assert_eq!(site, FaultSite::Serve(ServeSite::SlowClient));
+        assert_eq!(kind, FaultKind::Stall { millis: 250 });
+
+        let (site, kind) = parse_inject_serve("corrupt-frame:corrupt").expect("corrupt frame");
+        assert_eq!(site, FaultSite::Serve(ServeSite::CorruptFrame));
+        assert_eq!(kind, FaultKind::Corrupt);
+
+        let (site, _) = parse_inject_serve("corrupt-checkpoint:corrupt").expect("checkpoint");
+        assert_eq!(site, FaultSite::Serve(ServeSite::CorruptCheckpoint));
+
+        let (site, kind) = parse_inject_serve("stall-reload:stall").expect("default millis");
+        assert_eq!(site, FaultSite::Serve(ServeSite::StallReload));
+        assert_eq!(kind, FaultKind::Stall { millis: 50 });
+
+        for bad in ["", "slow-client", "nope:stall", "slow-client:frob", "slow-client:stall:x"] {
+            assert!(parse_inject_serve(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]
